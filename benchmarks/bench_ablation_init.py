@@ -1,0 +1,63 @@
+"""Ablation A3 — min-token initialisation on/off.
+
+Section 7.1 replaces the cascade's expensive top levels with a min-token
+sort into 128 chunks.  This ablation compares cascade training cost and
+resulting pruning with and without that initialisation.
+
+Expected shape: initialisation cuts training time substantially (fewer and
+smaller models at the top) with only a minor effect on pruning.
+"""
+
+import time
+
+import pytest
+
+from repro.core import TokenGroupMatrix, knn_search
+from repro.datasets import make_dataset
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+NUM_GROUPS = 64
+
+
+@pytest.mark.benchmark(group="ablation-init")
+def test_ablation_initialisation(report, benchmark):
+    dataset = make_dataset("KOSARAK", scale=0.003, seed=0)
+    queries = sample_queries(dataset, 50, seed=21)
+
+    def evaluate():
+        results = {}
+        for label, initial in (("min-token-16", 16), ("no-init", 1)):
+            l2p = L2PPartitioner(
+                pairs_per_model=1_500,
+                epochs=3,
+                initial_groups=initial,
+                min_group_size=8,
+                seed=0,
+            )
+            start = time.perf_counter()
+            partition = l2p.partition(dataset, NUM_GROUPS)
+            train_seconds = time.perf_counter() - start
+            tgm = TokenGroupMatrix(dataset, partition.groups)
+            candidates = sum(
+                knn_search(dataset, tgm, q, 10).stats.candidates_verified for q in queries
+            )
+            results[label] = (train_seconds, l2p.stats_.models_trained, candidates)
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [
+        [label, round(seconds, 3), models, candidates]
+        for label, (seconds, models, candidates) in results.items()
+    ]
+    report(
+        "ablation_init",
+        "Ablation A3: cascade initialisation (min-token chunks vs none)",
+        ["init", "train s", "models", "kNN candidates"],
+        rows,
+    )
+    # Initialisation trains fewer models in less time, and pruning stays
+    # within ~25% of the fully-learned cascade.
+    assert results["min-token-16"][0] < results["no-init"][0]
+    assert results["min-token-16"][1] < results["no-init"][1]
+    assert results["min-token-16"][2] <= results["no-init"][2] * 1.25

@@ -1,0 +1,84 @@
+"""Figure 10 — sensitivity to the number of groups n and result size k.
+
+Sweeps n and k on the clustered benchmark dataset and reports mean kNN
+latency.  Paper's shape: more groups accelerate queries with diminishing
+returns (eventually index scan cost dominates), and larger k is slower.
+"""
+
+import time
+
+import pytest
+
+from repro.core import TokenGroupMatrix, knn_search
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+GROUP_COUNTS = [4, 16, 64, 256]
+KS = [1, 10, 50]
+QUERIES = 60
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_groups_and_k(report, benchmark, clustered_bench_dataset):
+    dataset = clustered_bench_dataset
+    queries = sample_queries(dataset, QUERIES, seed=8)
+
+    def sweep():
+        l2p = L2PPartitioner(
+            pairs_per_model=1_500, epochs=3, initial_groups=4, min_group_size=8, seed=0
+        )
+        l2p.partition(dataset, max(GROUP_COUNTS))
+        # The cascade's level partitions give nested group counts for free.
+        by_count = {}
+        for partition in l2p.level_partitions_:
+            for target in GROUP_COUNTS:
+                if partition.num_groups == target:
+                    by_count[target] = partition
+        timings = {}
+        for target in GROUP_COUNTS:
+            partition = by_count.get(target)
+            if partition is None:
+                continue
+            tgm = TokenGroupMatrix(dataset, partition.groups)
+            for k in KS:
+                start = time.perf_counter()
+                candidates = 0
+                for query in queries:
+                    candidates += knn_search(dataset, tgm, query, k).stats.candidates_verified
+                timings[(target, k)] = (
+                    (time.perf_counter() - start) / len(queries) * 1000,
+                    candidates // len(queries),
+                )
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for target in GROUP_COUNTS:
+        row = [target]
+        for k in KS:
+            entry = timings.get((target, k))
+            row.append(round(entry[0], 3) if entry else "-")
+        for k in KS:
+            entry = timings.get((target, k))
+            row.append(entry[1] if entry else "-")
+        rows.append(row)
+    report(
+        "fig10",
+        "Figure 10: mean kNN latency (ms) and candidates vs n and k",
+        ["n"] + [f"k={k} ms" for k in KS] + [f"k={k} cands" for k in KS],
+        rows,
+    )
+
+    # Shape assertions:
+    # (1) candidates shrink as n grows (pruning gets finer),
+    # (2) larger k never verifies fewer candidates at fixed n.
+    for k in KS:
+        first = timings.get((GROUP_COUNTS[0], k))
+        last = timings.get((GROUP_COUNTS[-1], k))
+        if first and last:
+            assert last[1] <= first[1]
+    for target in GROUP_COUNTS:
+        small_k = timings.get((target, KS[0]))
+        large_k = timings.get((target, KS[-1]))
+        if small_k and large_k:
+            assert large_k[1] >= small_k[1]

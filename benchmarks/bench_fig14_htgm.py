@@ -1,0 +1,75 @@
+"""Figure 14 — TGM vs HTGM across the power-law similarity exponent α.
+
+Synthetic databases with ``P[sim = v] ∼ v^−α`` (Section 7.7): a cascade is
+trained, the TGM is built on the fine level and the HTGM on a coarse+fine
+pair.  We report the HTGM/TGM ratios of the two paper metrics: index access
+cost (columns visited) and computational cost (similarity calculations).
+
+Paper's shape: HTGM wins (ratio < 1) when α is large — most sets dissimilar
+— and loses its edge when sets are similar (small α).
+"""
+
+import pytest
+
+from repro.core import HierarchicalTGM, TokenGroupMatrix
+from repro.datasets import powerlaw_similarity_dataset
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+ALPHAS = [1.0, 2.0, 3.5]
+NUM_SETS = 1_500
+COARSE, FINE = 8, 64
+QUERIES = 40
+DELTA = 0.7
+
+
+def cost_ratios(alpha: float) -> tuple[float, float]:
+    dataset = powerlaw_similarity_dataset(
+        NUM_SETS, 2_000, 10, alpha=alpha, num_templates=30, seed=13
+    )
+    l2p = L2PPartitioner(
+        pairs_per_model=1_000, epochs=3, initial_groups=COARSE, min_group_size=6, seed=0
+    )
+    fine_partition = l2p.partition(dataset, FINE)
+    coarse_partition = next(
+        p for p in l2p.level_partitions_ if p.num_groups == COARSE
+    )
+    htgm = HierarchicalTGM(dataset, [coarse_partition.groups, fine_partition.groups])
+    tgm = TokenGroupMatrix(dataset, fine_partition.groups)
+
+    queries = sample_queries(dataset, QUERIES, seed=14)
+    htgm_columns = htgm_sims = tgm_columns = tgm_sims = 0
+    for query in queries:
+        h_stats = htgm.range_search(dataset, query, DELTA).stats
+        htgm_columns += h_stats.columns_visited
+        htgm_sims += h_stats.similarity_computations
+        from repro.core import range_search
+
+        t_stats = range_search(dataset, tgm, query, DELTA).stats
+        tgm_columns += t_stats.columns_visited
+        tgm_sims += t_stats.similarity_computations
+    return htgm_columns / max(tgm_columns, 1), htgm_sims / max(tgm_sims, 1)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_htgm_vs_tgm(report, benchmark):
+    def sweep():
+        return {alpha: cost_ratios(alpha) for alpha in ALPHAS}
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [alpha, round(ratios[alpha][0], 3), round(ratios[alpha][1], 3)] for alpha in ALPHAS
+    ]
+    report(
+        "fig14",
+        f"Figure 14: HTGM/TGM cost ratios vs α (HTGM {COARSE}+{FINE} groups, δ={DELTA})",
+        ["alpha", "column ratio", "simcalc ratio"],
+        rows,
+    )
+    # HTGM's index-access advantage strengthens as α grows (more dissimilar
+    # data → coarse level prunes subtrees before the wide matrix is read).
+    column_ratios = [ratios[alpha][0] for alpha in ALPHAS]
+    assert column_ratios[-1] < column_ratios[0]
+    assert column_ratios[-1] < 1.0
+    # Verification cost is never higher for HTGM (same surviving groups).
+    assert all(ratios[alpha][1] <= 1.0 + 1e-9 for alpha in ALPHAS)

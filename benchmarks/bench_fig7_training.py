@@ -1,0 +1,93 @@
+"""Figure 7 — model convergence (a) and training cost vs #groups (b).
+
+(a) trains one Siamese model per dataset on a level-0-sized group and
+reports the per-epoch loss: the paper observes convergence after roughly
+two epochs.
+
+(b) sweeps the cascade's target group count and reports total training
+time: the paper observes linear growth in the number of groups.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dataset
+from repro.learn import L2PPartitioner
+
+DATASETS = ["KOSARAK", "DBLP", "AOL"]
+
+
+@pytest.mark.benchmark(group="fig7a")
+def test_fig7a_learning_curves(report, benchmark):
+    def train_all():
+        curves = {}
+        for name in DATASETS:
+            dataset = make_dataset(name, scale=0.001, seed=0)
+            l2p = L2PPartitioner(
+                pairs_per_model=4_000, epochs=6, initial_groups=1, min_group_size=10, seed=0
+            )
+            members = list(range(len(dataset)))
+            representations = l2p.embedding.fit(dataset).transform_all(dataset)
+            scale = np.abs(representations).max(axis=0)
+            scale[scale == 0] = 1.0
+            _, history = l2p.train_group_model(dataset, representations / scale, members, 0)
+            curves[name] = history
+        return curves
+
+    curves = benchmark.pedantic(train_all, rounds=1, iterations=1)
+    rows = [
+        [name] + [round(loss, 4) for loss in history] for name, history in curves.items()
+    ]
+    report(
+        "fig7",
+        "Figure 7a: training loss per epoch (convergence ~2 epochs)",
+        ["dataset"] + [f"epoch {i + 1}" for i in range(6)],
+        rows,
+    )
+    for name, history in curves.items():
+        # The loss drops from epoch 1 and plateaus: the final epoch sits
+        # within 15% of the best epoch (convergence after ~2-3 epochs).
+        assert history[-1] < history[0], name
+        assert history[-1] <= min(history) * 1.15 + 1e-9, name
+
+
+@pytest.mark.benchmark(group="fig7b")
+def test_fig7b_training_cost_linear_in_groups(report, benchmark):
+    dataset = make_dataset("KOSARAK", scale=0.002, seed=0)
+    group_counts = [16, 32, 64, 128]
+
+    def sweep():
+        timings = []
+        for target in group_counts:
+            l2p = L2PPartitioner(
+                pairs_per_model=1_000,
+                epochs=3,
+                initial_groups=8,
+                min_group_size=8,
+                seed=0,
+            )
+            start = time.perf_counter()
+            partition = l2p.partition(dataset, target)
+            elapsed = time.perf_counter() - start
+            timings.append((target, partition.num_groups, l2p.stats_.models_trained, elapsed))
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [target, groups, models, round(seconds, 3), round(seconds / groups * 1000, 2)]
+        for target, groups, models, seconds in timings
+    ]
+    report(
+        "fig7",
+        "Figure 7b: training cost vs number of groups (linear growth)",
+        ["target n", "groups", "models", "seconds", "ms/group"],
+        rows,
+    )
+    # Linear shape: per-group cost stays within a factor ~3 across the sweep,
+    # while total cost grows monotonically.
+    seconds = [s for *_, s in timings]
+    assert seconds[-1] > seconds[0]
+    per_group = [s / g for _, g, _, s in timings]
+    assert max(per_group) <= 3.5 * min(per_group)

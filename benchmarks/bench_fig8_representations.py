@@ -1,0 +1,115 @@
+"""Figure 8 — PTR vs other set representations.
+
+On a sampled KOSARAK stand-in (the paper samples 5% of KOSARAK because PCA
+and MDS cannot scale), each representation is plugged into the same L2P
+cascade; we report (1) representation construction time and (2) query time
+of the resulting index for kNN (k=10) and range (δ=0.7).
+
+Paper's shape: PTR is 10–20 000× faster to construct than PCA/MDS with
+similar-or-better search time; Binary Encoding and PTR-half search slower.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import TokenGroupMatrix, knn_search, range_search
+from repro.datasets import make_dataset
+from repro.embedding import (
+    BinaryEncodingEmbedding,
+    MDSEmbedding,
+    PCAEmbedding,
+    PTREmbedding,
+    PTRHalfEmbedding,
+)
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+NUM_GROUPS = 16
+QUERIES = 60
+
+
+def build_sample():
+    full = make_dataset("KOSARAK", scale=0.002, seed=0)
+    return full.sample(400, random.Random(5))
+
+
+EMBEDDINGS = [
+    ("PTR", PTREmbedding),
+    ("PTR-half", PTRHalfEmbedding),
+    ("Binary", BinaryEncodingEmbedding),
+    ("PCA", lambda: PCAEmbedding(dim=16)),
+    ("MDS", lambda: MDSEmbedding(dim=16)),
+]
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_representation_comparison(report, benchmark):
+    dataset = build_sample()
+    queries = sample_queries(dataset, QUERIES, seed=6)
+
+    def evaluate_all():
+        results = []
+        for name, factory in EMBEDDINGS:
+            embedding = factory()
+            start = time.perf_counter()
+            embedding.fit(dataset)
+            embedding.transform_all(dataset)
+            embed_seconds = time.perf_counter() - start
+
+            l2p = L2PPartitioner(
+                embedding=factory().fit(dataset),
+                pairs_per_model=1_000,
+                epochs=3,
+                initial_groups=1,
+                min_group_size=6,
+                seed=0,
+            )
+            partition = l2p.partition(dataset, NUM_GROUPS)
+            tgm = TokenGroupMatrix(dataset, partition.groups)
+
+            start = time.perf_counter()
+            knn_candidates = 0
+            for query in queries:
+                knn_candidates += knn_search(dataset, tgm, query, 10).stats.candidates_verified
+            knn_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            range_candidates = 0
+            for query in queries:
+                range_candidates += range_search(
+                    dataset, tgm, query, 0.7
+                ).stats.candidates_verified
+            range_seconds = time.perf_counter() - start
+            results.append(
+                (name, embed_seconds, knn_seconds, range_seconds, knn_candidates, range_candidates)
+            )
+        return results
+
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            round(embed * 1000, 2),
+            round(knn * 1000, 1),
+            round(rng * 1000, 1),
+            knn_c,
+            rng_c,
+        ]
+        for name, embed, knn, rng, knn_c, rng_c in results
+    ]
+    report(
+        "fig8",
+        "Figure 8: representation construction and query cost (400-set sample)",
+        ["method", "embed ms", "kNN ms", "range ms", "kNN cands", "range cands"],
+        rows,
+    )
+
+    by_name = {name: row for name, *row in results}
+    # PTR constructs much faster than PCA and MDS (the gap widens with
+    # scale; at this 400-set sample it is ~10× and ~100× respectively).
+    assert by_name["PTR"][0] * 3 < by_name["PCA"][0]
+    assert by_name["PTR"][0] * 30 < by_name["MDS"][0]
+    # PTR's search is no worse than Binary Encoding's (content-blind) on candidates.
+    assert by_name["PTR"][3] <= by_name["Binary"][3] * 1.1

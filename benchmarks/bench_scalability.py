@@ -1,0 +1,89 @@
+"""Scalability sweep — how the Figure 12 picture moves with |D|.
+
+The paper's large-data claims (Section 7.6, FS/PMC) cannot be run at 10⁸
+sets in pure Python; instead this bench sweeps |D| over a factor of 8 and
+measures how each method's kNN cost *grows*:
+
+* LES3's filter cost grows with the group count (held at 1% of |D|) and its
+  verification with the surviving fraction — sublinear in |D| overall;
+* the brute force grows linearly by construction;
+* InvIdx's filtering grows with posting lengths (∝ |D|), which is the
+  asymptotic reason the paper's range-query crossover favours LES3 at
+  10⁶+ sets even though InvIdx wins at 10³ (see EXPERIMENTS.md).
+
+Asserted shape: LES3's cost ratio between the largest and smallest |D| is
+smaller than the brute force's ratio (sublinear vs linear growth).
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import BruteForceSearch, InvertedIndexSearch
+from repro.core import TokenGroupMatrix, knn_search
+from repro.datasets import powerlaw_similarity_dataset
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+SIZES = [1_000, 2_000, 4_000, 8_000]
+QUERIES = 30
+K = 10
+
+
+def build_stack(num_sets: int):
+    dataset = powerlaw_similarity_dataset(
+        num_sets, max(num_sets, 2_000), 10, alpha=1.5, num_templates=num_sets // 50, seed=22
+    )
+    l2p = L2PPartitioner(
+        pairs_per_model=1_200, epochs=3, initial_groups=8, min_group_size=8, seed=0
+    )
+    tgm = TokenGroupMatrix(dataset, l2p.partition(dataset, max(num_sets // 100, 8)).groups)
+    return dataset, tgm
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_knn(report, benchmark):
+    def sweep():
+        results = []
+        for num_sets in SIZES:
+            dataset, tgm = build_stack(num_sets)
+            queries = sample_queries(dataset, QUERIES, seed=23)
+            invidx = InvertedIndexSearch(dataset)
+            brute = BruteForceSearch(dataset)
+
+            start = time.perf_counter()
+            for query in queries:
+                knn_search(dataset, tgm, query, K)
+            les3_ms = (time.perf_counter() - start) / QUERIES * 1000
+
+            start = time.perf_counter()
+            for query in queries:
+                invidx.knn_search(query, K)
+            invidx_ms = (time.perf_counter() - start) / QUERIES * 1000
+
+            start = time.perf_counter()
+            for query in queries:
+                brute.knn_search(query, K)
+            brute_ms = (time.perf_counter() - start) / QUERIES * 1000
+            results.append((num_sets, les3_ms, invidx_ms, brute_ms))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [num_sets, round(les3, 3), round(invidx, 3), round(brute, 3)]
+        for num_sets, les3, invidx, brute in results
+    ]
+    report(
+        "scalability",
+        f"Scalability: mean kNN (k={K}) latency ms vs |D|",
+        ["|D|", "LES3", "InvIdx", "BruteForce"],
+        rows,
+    )
+    les3_growth = results[-1][1] / results[0][1]
+    brute_growth = results[-1][3] / results[0][3]
+    size_growth = SIZES[-1] / SIZES[0]
+    # LES3 grows sublinearly in |D|; the brute force tracks |D|.
+    assert les3_growth < brute_growth
+    assert les3_growth < size_growth
+    # At the largest size LES3 beats the linear scan comfortably.
+    assert results[-1][1] < results[-1][3]

@@ -1,0 +1,64 @@
+"""Table 2 — dataset statistics of the calibrated stand-ins.
+
+Regenerates the Table 2 row shape (|D|, max/min/avg set size, |T|) for each
+of the six datasets at benchmark scale and reports the target statistics of
+the real corpora alongside.  Benchmarks the generation of the KOSARAK
+stand-in itself.
+"""
+
+import pytest
+
+from repro.datasets import TABLE2_SPECS, dataset_names, make_dataset
+
+SCALES = {
+    "KOSARAK": 0.002,
+    "LIVEJ": 0.0006,
+    "DBLP": 0.0003,
+    "AOL": 0.0002,
+    "FS": 0.00003,
+    "PMC": 0.0000025,
+}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_statistics(report, benchmark):
+    def build_all():
+        rows = []
+        for name in dataset_names():
+            spec = TABLE2_SPECS[name]
+            dataset = make_dataset(name, scale=SCALES[name], seed=0)
+            stats = dataset.stats()
+            rows.append((spec, stats))
+        return rows
+
+    built = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    rows = []
+    for spec, stats in built:
+        rows.append(
+            [
+                spec.name,
+                stats.num_sets,
+                stats.max_set_size,
+                stats.min_set_size,
+                round(stats.avg_set_size, 1),
+                stats.universe_size,
+                f"(paper: |D|={spec.num_sets}, avg={spec.avg_size}, |T|={spec.universe_size})",
+            ]
+        )
+        # Shape assertions: min matches exactly, avg within a factor ~1.6.
+        assert stats.min_set_size >= spec.min_size
+        assert stats.avg_set_size == pytest.approx(spec.avg_size, rel=0.6)
+    report(
+        "table2",
+        "Table 2: dataset statistics (scaled stand-ins)",
+        ["dataset", "|D|", "max", "min", "avg", "|T|", "target"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="table2-generation")
+def test_generate_kosarak_like(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: make_dataset("KOSARAK", scale=0.002, seed=0), rounds=2, iterations=1
+    )
+    assert len(dataset) > 1_000

@@ -1,0 +1,51 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every ``bench_fig*.py`` module regenerates one table or figure of the
+paper's Section 7.  Besides the pytest-benchmark timings, each module
+prints a paper-style table (visible with ``-s``) and writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite concrete
+numbers from the last run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import make_dataset, powerlaw_similarity_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer: report(name, title, headers, rows) → prints + persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, title: str, headers, rows) -> None:
+        table = format_table(headers, rows)
+        text = f"== {title} ==\n{table}\n"
+        print("\n" + text)
+        path = RESULTS_DIR / f"{name}.txt"
+        existing = path.read_text() if path.exists() else ""
+        if f"== {title} ==" not in existing:
+            path.write_text(existing + text + "\n")
+
+    # Start each session with fresh files for the modules that run.
+    return write
+
+
+@pytest.fixture(scope="session")
+def kosarak_like():
+    """The KOSARAK stand-in at benchmark scale (~2 000 sets)."""
+    return make_dataset("KOSARAK", scale=0.002, seed=0)
+
+
+@pytest.fixture(scope="session")
+def clustered_bench_dataset():
+    """A clustered database where kNN pruning is meaningful (Figure 10/12/13)."""
+    return powerlaw_similarity_dataset(
+        num_sets=3_000, num_tokens=4_000, set_size=10, alpha=1.5, num_templates=60, seed=1
+    )

@@ -1,0 +1,69 @@
+"""Query refinement: suggest related search queries from a query log.
+
+Models the paper's AOL workload: each logged web query is a small token set
+(its words).  Given a user's query, set similarity search over the log
+surfaces reformulations — the "related searches" feature (Section 1 cites
+query refinement [57] as a motivating application).
+
+Run with::
+
+    python examples/query_refinement.py
+"""
+
+import random
+
+from repro import Dataset, LES3
+from repro.learn import L2PPartitioner
+
+TOPICS = {
+    "weather": ["weather", "forecast", "rain", "temperature", "today", "week", "radar"],
+    "recipes": ["recipe", "chicken", "pasta", "easy", "dinner", "quick", "healthy"],
+    "travel": ["flights", "cheap", "hotel", "paris", "tokyo", "deals", "booking"],
+    "sports": ["score", "game", "nba", "league", "playoffs", "schedule", "tonight"],
+    "tech": ["python", "error", "install", "windows", "fix", "update", "driver"],
+}
+
+
+def synthesize_log(num_queries: int, seed: int) -> list[list[str]]:
+    """Short keyword queries drawn from topic vocabularies (AOL-shaped)."""
+    rng = random.Random(seed)
+    topics = list(TOPICS.values())
+    log = []
+    for _ in range(num_queries):
+        vocabulary = rng.choice(topics)
+        length = rng.randint(2, 4)
+        log.append(rng.sample(vocabulary, length))
+    return log
+
+
+def main() -> None:
+    log = synthesize_log(num_queries=5_000, seed=3)
+    dataset = Dataset.from_token_lists(log)
+    print(f"query log: {dataset.stats()}")
+
+    engine = LES3.build(
+        dataset,
+        num_groups=32,
+        partitioner=L2PPartitioner(
+            pairs_per_model=1_500, epochs=3, initial_groups=8, min_group_size=20, seed=0
+        ),
+    )
+
+    for user_query in (["chicken", "recipe"], ["cheap", "flights", "paris"], ["nba", "score"]):
+        # Over-fetch (k=40), then keep the 5 best *distinct* reformulations —
+        # a query log contains each popular query many times.
+        result = engine.knn(user_query, k=40)
+        print(f"\nrelated searches for {' '.join(user_query)!r}:")
+        seen: set[tuple[str, ...]] = set()
+        for record_index, similarity in result.matches:
+            suggestion = tuple(sorted(engine.tokens_of(record_index)))
+            if suggestion in seen or similarity == 1.0:
+                continue
+            seen.add(suggestion)
+            print(f"  {' '.join(suggestion):40s} (similarity {similarity:.2f})")
+            if len(seen) >= 5:
+                break
+
+
+if __name__ == "__main__":
+    main()

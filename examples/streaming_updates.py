@@ -1,0 +1,84 @@
+"""Streaming updates: an open-universe index under continuous insertion.
+
+Section 6 of the paper: LES3 is the first exact set-similarity index that
+handles *previously unseen tokens* without a rebuild.  This example streams
+batches of new sets — variants of existing sets, half of them carrying new
+tokens — and tracks how pruning efficiency degrades relative to a
+from-scratch rebuild (the Figure 15 experiment, in miniature).
+
+Run with::
+
+    python examples/streaming_updates.py
+"""
+
+import random
+
+from repro import LES3
+from repro.core.metrics import knn_pruning_efficiency
+from repro.datasets import powerlaw_similarity_dataset
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+
+def average_pe(engine: LES3, k: int = 10, num_queries: int = 100, seed: int = 5) -> float:
+    queries = sample_queries(engine.dataset, num_queries, seed=seed)
+    total = 0.0
+    for query in queries:
+        stats = engine.knn_record(query, k).stats
+        total += knn_pruning_efficiency(len(engine.dataset), stats.candidates_verified, k)
+    return total / len(queries)
+
+
+def new_partitioner(seed: int = 0) -> L2PPartitioner:
+    return L2PPartitioner(
+        pairs_per_model=1_500, epochs=3, initial_groups=8, min_group_size=15, seed=seed
+    )
+
+
+def variant_of(engine: LES3, rng: random.Random, next_new_token: list[int]) -> list:
+    """A new set: an existing set with one token replaced.
+
+    Half the insertions swap in a brand-new token (open universe), half a
+    known one (closed universe) — the Figure 15 split.
+    """
+    base = engine.dataset.records[rng.randrange(len(engine.dataset))]
+    tokens = [engine.dataset.universe.token_of(t) for t in base.distinct]
+    position = rng.randrange(len(tokens))
+    if rng.random() < 0.5:
+        tokens[position] = f"new-token-{next_new_token[0]}"
+        next_new_token[0] += 1
+    else:
+        tokens[position] = engine.dataset.universe.token_of(
+            rng.randrange(len(engine.dataset.universe))
+        )
+    return tokens
+
+
+def main() -> None:
+    rng = random.Random(4)
+    base = powerlaw_similarity_dataset(
+        num_sets=2_000, num_tokens=2_500, set_size=10, alpha=1.5, seed=4
+    )
+    engine = LES3.build(base, num_groups=32, partitioner=new_partitioner())
+    print(f"initial: {engine}   PE = {average_pe(engine):.3f}")
+
+    next_new_token = [0]
+    for batch in range(1, 6):
+        for _ in range(200):
+            engine.insert(variant_of(engine, rng, next_new_token))
+
+        inserted_pe = average_pe(engine)
+        # A from-scratch rebuild on the grown database — the Figure 15 yardstick.
+        rebuilt = LES3.build(engine.dataset, num_groups=32, partitioner=new_partitioner(batch))
+        rebuild_pe = average_pe(rebuilt)
+        drop = (rebuild_pe - inserted_pe) / rebuild_pe if rebuild_pe else 0.0
+        print(
+            f"after batch {batch} (|D|={len(engine.dataset)}, |T|={len(engine.dataset.universe)}): "
+            f"insert-PE={inserted_pe:.3f}  rebuild-PE={rebuild_pe:.3f}  drop={drop:+.1%}"
+        )
+
+    print("\ninsertion PE tracks the rebuild PE closely — the Section 7.8 result.")
+
+
+if __name__ == "__main__":
+    main()

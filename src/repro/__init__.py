@@ -1,0 +1,48 @@
+"""LES3: Learning-based Exact Set Similarity Search — full reproduction.
+
+Public API quickstart::
+
+    from repro import Dataset, LES3
+
+    dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    engine = LES3.build(dataset, num_groups=2)
+    print(engine.knn(["a", "b"], k=1).matches)
+
+See README.md for the architecture overview and DESIGN.md for the paper
+mapping.
+"""
+
+from repro.core import (
+    LES3,
+    Dataset,
+    DatasetStats,
+    HierarchicalTGM,
+    JaccardSimilarity,
+    SearchResult,
+    SetRecord,
+    Similarity,
+    TokenGroupMatrix,
+    TokenUniverse,
+    get_measure,
+    knn_search,
+    range_search,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LES3",
+    "Dataset",
+    "DatasetStats",
+    "HierarchicalTGM",
+    "JaccardSimilarity",
+    "SearchResult",
+    "SetRecord",
+    "Similarity",
+    "TokenGroupMatrix",
+    "TokenUniverse",
+    "get_measure",
+    "knn_search",
+    "range_search",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Competing exact set-similarity search methods (Section 7.6)."""
+
+from repro.baselines.brute_force import BruteForceSearch
+from repro.baselines.dualtrans import DualTransSearch, bucket_vectors
+from repro.baselines.invidx import InvertedIndexSearch
+
+__all__ = [
+    "BruteForceSearch",
+    "DualTransSearch",
+    "bucket_vectors",
+    "InvertedIndexSearch",
+]

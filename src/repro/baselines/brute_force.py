@@ -1,0 +1,60 @@
+"""Brute-force baseline: verify every set (included in Figures 12/13).
+
+The paper's point of including it: for realistically low thresholds or large
+result sizes, heavy indexes lose to a plain scan; any useful index must beat
+this baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.dataset import Dataset
+from repro.core.metrics import QueryStats
+from repro.core.search import SearchResult
+from repro.core.sets import SetRecord
+from repro.core.similarity import Similarity, get_measure
+
+__all__ = ["BruteForceSearch"]
+
+
+class BruteForceSearch:
+    """Linear scan with exact verification of every record."""
+
+    def __init__(self, dataset: Dataset, measure: str | Similarity = "jaccard") -> None:
+        self.dataset = dataset
+        self.measure = get_measure(measure)
+
+    def range_search(self, query: SetRecord, threshold: float) -> SearchResult:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        stats = QueryStats()
+        matches = []
+        for record_index, record in enumerate(self.dataset.records):
+            similarity = self.measure(query, record)
+            stats.candidates_verified += 1
+            stats.similarity_computations += 1
+            if similarity >= threshold:
+                matches.append((record_index, similarity))
+        matches.sort(key=lambda pair: (-pair[1], pair[0]))
+        stats.result_size = len(matches)
+        return SearchResult(matches, stats)
+
+    def knn_search(self, query: SetRecord, k: int) -> SearchResult:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        stats = QueryStats()
+        heap: list[tuple[float, int]] = []
+        for record_index, record in enumerate(self.dataset.records):
+            similarity = self.measure(query, record)
+            stats.candidates_verified += 1
+            stats.similarity_computations += 1
+            entry = (similarity, -record_index)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+        matches = [(-neg, sim) for sim, neg in heap]
+        matches.sort(key=lambda pair: (-pair[1], pair[0]))
+        stats.result_size = len(matches)
+        return SearchResult(matches, stats)

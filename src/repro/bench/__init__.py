@@ -1,0 +1,5 @@
+"""Benchmark harness helpers shared by the ``benchmarks/`` modules."""
+
+from repro.bench.harness import Timer, format_table, geometric_mean, print_table, time_calls
+
+__all__ = ["Timer", "format_table", "geometric_mean", "print_table", "time_calls"]

@@ -1,0 +1,81 @@
+"""Benchmark harness utilities: timing helpers and paper-style tables.
+
+Every ``benchmarks/bench_fig*.py`` module uses these to print the same rows
+or series the corresponding paper table/figure reports, so the output can be
+compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Timer", "time_calls", "format_table", "print_table", "geometric_mean"]
+
+
+class Timer:
+    """Context-manager stopwatch; ``elapsed`` holds seconds after exit."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_calls(func: Callable[[], object], repeats: int = 1) -> float:
+    """Mean wall-clock seconds of ``repeats`` invocations of ``func``."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        func()
+    return (time.perf_counter() - start) / repeats
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero/negative inputs raise ``ValueError``."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain fixed-width table (no external deps)."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a titled table to stdout (shown with ``pytest -s``)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.001 or abs(value) >= 100_000):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,19 @@
+"""Roaring-style compressed bitmap substrate (stands in for Roaring [41])."""
+
+from repro.bitmap.containers import (
+    ARRAY_MAX,
+    ArrayContainer,
+    BitsetContainer,
+    Container,
+    RunContainer,
+)
+from repro.bitmap.roaring import RoaringBitmap
+
+__all__ = [
+    "ARRAY_MAX",
+    "ArrayContainer",
+    "BitsetContainer",
+    "Container",
+    "RunContainer",
+    "RoaringBitmap",
+]

@@ -1,0 +1,293 @@
+"""Containers for the Roaring-style compressed bitmap.
+
+A roaring bitmap splits the 32-bit value space into 2^16 chunks keyed by the
+high 16 bits; each non-empty chunk stores its low 16 bits in one of three
+container kinds, exactly as in the Roaring paper (Lemire et al., 2018):
+
+* :class:`ArrayContainer` — a sorted ``array('H')`` of values, used while the
+  chunk holds at most :data:`ARRAY_MAX` values.
+* :class:`BitsetContainer` — a fixed 1024-word uint64 bitset (8 KiB), used
+  for dense chunks.
+* :class:`RunContainer` — sorted ``(start, length)`` runs, used when run
+  encoding is smaller than the alternatives (``run_optimize``).
+
+Containers are value-immutable from the outside except through ``add``;
+set-algebra methods always return fresh containers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ARRAY_MAX",
+    "BITSET_WORDS",
+    "Container",
+    "ArrayContainer",
+    "BitsetContainer",
+    "RunContainer",
+    "container_from_sorted",
+]
+
+ARRAY_MAX = 4096
+BITSET_WORDS = 1 << 10  # 65536 bits / 64
+
+
+class Container:
+    """Interface shared by the three container kinds."""
+
+    def cardinality(self) -> int:
+        raise NotImplementedError
+
+    def contains(self, low: int) -> bool:
+        raise NotImplementedError
+
+    def add(self, low: int) -> "Container":
+        """Add a value; may return a different container kind."""
+        raise NotImplementedError
+
+    def values(self) -> Iterator[int]:
+        """Iterate low values in ascending order."""
+        raise NotImplementedError
+
+    def byte_size(self) -> int:
+        """Approximate serialized size in bytes."""
+        raise NotImplementedError
+
+    def to_bitset(self) -> "BitsetContainer":
+        bitset = BitsetContainer()
+        words = bitset.words
+        for low in self.values():
+            words[low >> 6] |= np.uint64(1 << (low & 63))
+        bitset._cardinality = self.cardinality()
+        return bitset
+
+    def to_array(self) -> "ArrayContainer":
+        return ArrayContainer(array("H", self.values()))
+
+    # Set algebra: implemented pairwise in subclasses via normalisation.
+
+    def intersection(self, other: "Container") -> "Container":
+        raise NotImplementedError
+
+    def union(self, other: "Container") -> "Container":
+        raise NotImplementedError
+
+    def intersection_cardinality(self, other: "Container") -> int:
+        return self.intersection(other).cardinality()
+
+
+class ArrayContainer(Container):
+    """Sorted array of 16-bit values (sparse chunks)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: array | None = None) -> None:
+        self.items: array = items if items is not None else array("H")
+
+    def cardinality(self) -> int:
+        return len(self.items)
+
+    def contains(self, low: int) -> bool:
+        items = self.items
+        lo, hi = 0, len(items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if items[mid] < low:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(items) and items[lo] == low
+
+    def add(self, low: int) -> Container:
+        items = self.items
+        lo, hi = 0, len(items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if items[mid] < low:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(items) and items[lo] == low:
+            return self
+        items.insert(lo, low)
+        if len(items) > ARRAY_MAX:
+            return self.to_bitset()
+        return self
+
+    def values(self) -> Iterator[int]:
+        return iter(self.items)
+
+    def byte_size(self) -> int:
+        return 2 * len(self.items) + 8
+
+    def intersection(self, other: Container) -> Container:
+        if isinstance(other, ArrayContainer):
+            a = np.frombuffer(self.items, dtype=np.uint16) if self.items else np.empty(0, np.uint16)
+            b = np.frombuffer(other.items, dtype=np.uint16) if other.items else np.empty(0, np.uint16)
+            common = np.intersect1d(a, b, assume_unique=True)
+            return ArrayContainer(array("H", common.tolist()))
+        if isinstance(other, BitsetContainer):
+            kept = array("H", (low for low in self.items if other.contains(low)))
+            return ArrayContainer(kept)
+        return other.intersection(self)
+
+    def union(self, other: Container) -> Container:
+        if isinstance(other, ArrayContainer):
+            a = np.frombuffer(self.items, dtype=np.uint16) if self.items else np.empty(0, np.uint16)
+            b = np.frombuffer(other.items, dtype=np.uint16) if other.items else np.empty(0, np.uint16)
+            merged = np.union1d(a, b)
+            if len(merged) > ARRAY_MAX:
+                result = ArrayContainer(array("H", merged.tolist()))
+                return result.to_bitset()
+            return ArrayContainer(array("H", merged.tolist()))
+        return other.union(self)
+
+    def intersection_cardinality(self, other: Container) -> int:
+        if isinstance(other, BitsetContainer):
+            return sum(1 for low in self.items if other.contains(low))
+        return super().intersection_cardinality(other)
+
+
+class BitsetContainer(Container):
+    """Fixed-size uint64 bitset (dense chunks)."""
+
+    __slots__ = ("words", "_cardinality")
+
+    def __init__(self, words: np.ndarray | None = None) -> None:
+        if words is None:
+            words = np.zeros(BITSET_WORDS, dtype=np.uint64)
+        self.words: np.ndarray = words
+        self._cardinality: int | None = None
+
+    def cardinality(self) -> int:
+        if self._cardinality is None:
+            self._cardinality = int(np.bitwise_count(self.words).sum())
+        return self._cardinality
+
+    def contains(self, low: int) -> bool:
+        return bool(self.words[low >> 6] & np.uint64(1 << (low & 63)))
+
+    def add(self, low: int) -> Container:
+        word = np.uint64(1 << (low & 63))
+        if not self.words[low >> 6] & word:
+            self.words[low >> 6] |= word
+            if self._cardinality is not None:
+                self._cardinality += 1
+        return self
+
+    def values(self) -> Iterator[int]:
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return iter(np.flatnonzero(bits).tolist())
+
+    def byte_size(self) -> int:
+        return BITSET_WORDS * 8
+
+    def intersection(self, other: Container) -> Container:
+        if isinstance(other, BitsetContainer):
+            words = self.words & other.words
+            result = BitsetContainer(words)
+            if result.cardinality() <= ARRAY_MAX:
+                return result.to_array()
+            return result
+        return other.intersection(self)
+
+    def union(self, other: Container) -> Container:
+        if isinstance(other, BitsetContainer):
+            return BitsetContainer(self.words | other.words)
+        merged = BitsetContainer(self.words.copy())
+        merged._cardinality = None
+        for low in other.values():
+            merged.words[low >> 6] |= np.uint64(1 << (low & 63))
+        return merged
+
+    def intersection_cardinality(self, other: Container) -> int:
+        if isinstance(other, BitsetContainer):
+            return int(np.bitwise_count(self.words & other.words).sum())
+        return other.intersection_cardinality(self)
+
+
+class RunContainer(Container):
+    """Run-length encoded container: sorted ``(start, length)`` pairs.
+
+    Produced only by ``run_optimize``; ``add`` converts back to an array or
+    bitset container first (runs are cheap to read, awkward to mutate).
+    """
+
+    __slots__ = ("runs",)
+
+    def __init__(self, runs: list[tuple[int, int]]) -> None:
+        self.runs = runs
+
+    @classmethod
+    def from_sorted(cls, values: Iterator[int]) -> "RunContainer":
+        runs: list[tuple[int, int]] = []
+        start = None
+        prev = None
+        for value in values:
+            if start is None:
+                start, prev = value, value
+            elif value == prev + 1:
+                prev = value
+            else:
+                runs.append((start, prev - start + 1))
+                start, prev = value, value
+        if start is not None:
+            runs.append((start, prev - start + 1))
+        return cls(runs)
+
+    def cardinality(self) -> int:
+        return sum(length for _, length in self.runs)
+
+    def contains(self, low: int) -> bool:
+        lo, hi = 0, len(self.runs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            start, length = self.runs[mid]
+            if start + length <= low:
+                lo = mid + 1
+            elif start > low:
+                hi = mid
+            else:
+                return True
+        return False
+
+    def add(self, low: int) -> Container:
+        if self.contains(low):
+            return self
+        expanded = self.to_array() if self.cardinality() < ARRAY_MAX else self.to_bitset()
+        return expanded.add(low)
+
+    def values(self) -> Iterator[int]:
+        for start, length in self.runs:
+            yield from range(start, start + length)
+
+    def byte_size(self) -> int:
+        return 4 * len(self.runs) + 8
+
+    def intersection(self, other: Container) -> Container:
+        if isinstance(other, RunContainer):
+            return self.to_array().intersection(other.to_array()) if (
+                self.cardinality() <= ARRAY_MAX and other.cardinality() <= ARRAY_MAX
+            ) else self.to_bitset().intersection(other.to_bitset())
+        kept = array("H", (low for low in self.values() if other.contains(low)))
+        if len(kept) > ARRAY_MAX:
+            return ArrayContainer(kept).to_bitset()
+        return ArrayContainer(kept)
+
+    def union(self, other: Container) -> Container:
+        base = self.to_array() if self.cardinality() <= ARRAY_MAX else self.to_bitset()
+        return base.union(other)
+
+
+def container_from_sorted(values: list[int]) -> Container:
+    """Build the most natural container for a sorted, duplicate-free chunk."""
+    if len(values) <= ARRAY_MAX:
+        return ArrayContainer(array("H", values))
+    container: Container = BitsetContainer()
+    for low in values:
+        container.add(low)
+    return container

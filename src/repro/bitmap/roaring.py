@@ -1,0 +1,191 @@
+"""Roaring-style compressed bitmap over 32-bit integers.
+
+The paper compresses the TGM with Roaring [41]; with no network access we
+implement the same design in pure Python/numpy: the value space is chunked by
+the high 16 bits, and each chunk stores its low 16 bits in an array, bitset,
+or run container (see :mod:`repro.bitmap.containers`).
+
+The subset of the Roaring API needed by the TGM and the index-size
+experiment is implemented: membership, insertion, union, intersection,
+intersection cardinality, run optimisation, and serialized-size accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.bitmap.containers import (
+    ArrayContainer,
+    BitsetContainer,
+    Container,
+    RunContainer,
+    container_from_sorted,
+)
+
+__all__ = ["RoaringBitmap"]
+
+
+class RoaringBitmap:
+    """A compressed set of 32-bit unsigned integers."""
+
+    __slots__ = ("_containers",)
+
+    def __init__(self, values: Iterable[int] = ()) -> None:
+        self._containers: dict[int, Container] = {}
+        values = sorted(set(values))
+        if values:
+            self._bulk_load(values)
+
+    def _bulk_load(self, values: list[int]) -> None:
+        chunk: list[int] = []
+        current_high = values[0] >> 16
+        for value in values:
+            self._check(value)
+            high = value >> 16
+            if high != current_high:
+                self._containers[current_high] = container_from_sorted(chunk)
+                chunk = []
+                current_high = high
+            chunk.append(value & 0xFFFF)
+        self._containers[current_high] = container_from_sorted(chunk)
+
+    @staticmethod
+    def _check(value: int) -> None:
+        if not 0 <= value < (1 << 32):
+            raise ValueError(f"value {value} outside the 32-bit unsigned range")
+
+    # -- basic set operations ------------------------------------------------
+
+    def add(self, value: int) -> None:
+        self._check(value)
+        high, low = value >> 16, value & 0xFFFF
+        container = self._containers.get(high)
+        if container is None:
+            container = ArrayContainer()
+            self._containers[high] = container
+        self._containers[high] = container.add(low)
+
+    def update(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __contains__(self, value: int) -> bool:
+        if not 0 <= value < (1 << 32):
+            return False
+        container = self._containers.get(value >> 16)
+        return container is not None and container.contains(value & 0xFFFF)
+
+    def __len__(self) -> int:
+        return sum(container.cardinality() for container in self._containers.values())
+
+    def __iter__(self) -> Iterator[int]:
+        for high in sorted(self._containers):
+            base = high << 16
+            for low in self._containers[high].values():
+                yield base | low
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoaringBitmap):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __repr__(self) -> str:
+        return f"RoaringBitmap(cardinality={len(self)}, chunks={len(self._containers)})"
+
+    # -- algebra ---------------------------------------------------------------
+
+    def intersection(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        result = RoaringBitmap()
+        small, large = (self, other) if len(self._containers) <= len(other._containers) else (other, self)
+        for high, container in small._containers.items():
+            other_container = large._containers.get(high)
+            if other_container is None:
+                continue
+            merged = container.intersection(other_container)
+            if merged.cardinality():
+                result._containers[high] = merged
+        return result
+
+    def union(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        result = RoaringBitmap()
+        for high, container in self._containers.items():
+            other_container = other._containers.get(high)
+            if other_container is None:
+                result._containers[high] = container
+            else:
+                result._containers[high] = container.union(other_container)
+        for high, container in other._containers.items():
+            if high not in self._containers:
+                result._containers[high] = container
+        return result
+
+    def intersection_cardinality(self, other: "RoaringBitmap") -> int:
+        total = 0
+        small, large = (self, other) if len(self._containers) <= len(other._containers) else (other, self)
+        for high, container in small._containers.items():
+            other_container = large._containers.get(high)
+            if other_container is not None:
+                total += container.intersection_cardinality(other_container)
+        return total
+
+    def difference(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """Values in self but not in other (and-not)."""
+        result = RoaringBitmap()
+        for high, container in self._containers.items():
+            other_container = other._containers.get(high)
+            if other_container is None:
+                result._containers[high] = container
+                continue
+            kept = [low for low in container.values() if not other_container.contains(low)]
+            if kept:
+                result._containers[high] = container_from_sorted(kept)
+        return result
+
+    def remove(self, value: int) -> None:
+        """Remove a value if present (no-op otherwise)."""
+        if not 0 <= value < (1 << 32):
+            return
+        high, low = value >> 16, value & 0xFFFF
+        container = self._containers.get(high)
+        if container is None or not container.contains(low):
+            return
+        kept = [v for v in container.values() if v != low]
+        if kept:
+            self._containers[high] = container_from_sorted(kept)
+        else:
+            del self._containers[high]
+
+    def __and__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self.intersection(other)
+
+    def __or__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self.union(other)
+
+    def __sub__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        return self.difference(other)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def run_optimize(self) -> None:
+        """Convert chunks to run containers where that shrinks them."""
+        for high, container in list(self._containers.items()):
+            run = RunContainer.from_sorted(container.values())
+            if run.byte_size() < container.byte_size():
+                self._containers[high] = run
+
+    def byte_size(self) -> int:
+        """Approximate serialized size in bytes (containers + chunk keys)."""
+        overhead = 4 * len(self._containers) + 16
+        return overhead + sum(container.byte_size() for container in self._containers.values())
+
+    def container_kinds(self) -> dict[str, int]:
+        """Count containers by kind (diagnostics and tests)."""
+        kinds = {"array": 0, "bitset": 0, "run": 0}
+        for container in self._containers.values():
+            if isinstance(container, ArrayContainer):
+                kinds["array"] += 1
+            elif isinstance(container, BitsetContainer):
+                kinds["bitset"] += 1
+            elif isinstance(container, RunContainer):
+                kinds["run"] += 1
+        return kinds

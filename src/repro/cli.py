@@ -1,0 +1,175 @@
+"""Command-line interface: build, query, validate, and inspect indexes.
+
+Usage::
+
+    python -m repro build data.txt index_dir --groups 64
+    python -m repro knn index_dir --query "a b c" -k 10
+    python -m repro range index_dir --query "a b c" --threshold 0.7
+    python -m repro stats data.txt
+    python -m repro validate index_dir
+
+``data.txt`` is the standard one-set-per-line, whitespace-separated token
+format used by the public set-similarity benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.dataset import Dataset
+from repro.core.engine import LES3
+from repro.core.persistence import load_engine, save_engine
+from repro.core.validation import validate_tgm
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LES3: learning-based exact set similarity search",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="partition a dataset and persist the index")
+    build.add_argument("data", help="dataset file (one set per line)")
+    build.add_argument("index", help="output index directory")
+    build.add_argument("--groups", type=int, default=0, help="group count (default 0.5%% of |D|)")
+    build.add_argument("--measure", default="jaccard", help="similarity measure")
+    build.add_argument("--backend", default="dense", choices=["dense", "roaring"])
+    build.add_argument("--pairs", type=int, default=40_000, help="training pairs per model")
+    build.add_argument("--epochs", type=int, default=3)
+    build.add_argument("--workers", type=int, default=1, help="parallel model training threads")
+    build.add_argument("--seed", type=int, default=0)
+
+    knn = commands.add_parser("knn", help="k nearest neighbours of a query set")
+    knn.add_argument("index", help="index directory")
+    knn.add_argument("--query", required=True, help="space-separated query tokens")
+    knn.add_argument("-k", type=int, default=10)
+
+    range_cmd = commands.add_parser("range", help="all sets within a similarity threshold")
+    range_cmd.add_argument("index", help="index directory")
+    range_cmd.add_argument("--query", required=True, help="space-separated query tokens")
+    range_cmd.add_argument("--threshold", type=float, required=True)
+
+    stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
+    stats.add_argument("data", help="dataset file")
+
+    validate = commands.add_parser("validate", help="check index integrity")
+    validate.add_argument("index", help="index directory")
+    return parser
+
+
+def _cmd_build(args) -> int:
+    dataset = Dataset.load(args.data)
+    if not len(dataset):
+        print("error: dataset is empty", file=sys.stderr)
+        return 1
+    num_groups = args.groups if args.groups > 0 else max(int(0.005 * len(dataset)), 2)
+    from repro.learn.cascade import L2PPartitioner
+
+    partitioner = L2PPartitioner(
+        measure=args.measure,
+        pairs_per_model=args.pairs,
+        epochs=args.epochs,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    engine = LES3.build(
+        dataset,
+        num_groups=num_groups,
+        partitioner=partitioner,
+        measure=args.measure,
+        backend=args.backend,
+    )
+    elapsed = time.perf_counter() - start
+    save_engine(engine, args.index)
+    print(
+        f"built {engine.tgm.num_groups} groups over {len(dataset)} sets "
+        f"in {elapsed:.2f}s; index at {args.index} ({engine.index_bytes()} bytes)"
+    )
+    return 0
+
+
+def _print_matches(engine: LES3, matches) -> None:
+    for record_index, similarity in matches:
+        tokens = " ".join(str(t) for t in engine.tokens_of(record_index))
+        print(f"{similarity:.4f}\t#{record_index}\t{tokens}")
+
+
+def _cmd_knn(args) -> int:
+    engine = load_engine(args.index)
+    if not args.query.split():
+        print("error: query must contain at least one token", file=sys.stderr)
+        return 1
+    if args.k <= 0:
+        print("error: k must be positive", file=sys.stderr)
+        return 1
+    result = engine.knn(args.query.split(), k=args.k)
+    _print_matches(engine, result.matches)
+    print(
+        f"# verified {result.stats.candidates_verified}/{len(engine.dataset)} sets, "
+        f"pruned {result.stats.groups_pruned}/{engine.tgm.num_groups} groups",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_range(args) -> int:
+    engine = load_engine(args.index)
+    if not args.query.split():
+        print("error: query must contain at least one token", file=sys.stderr)
+        return 1
+    if not 0.0 <= args.threshold <= 1.0:
+        print("error: threshold must be in [0, 1]", file=sys.stderr)
+        return 1
+    result = engine.range(args.query.split(), threshold=args.threshold)
+    _print_matches(engine, result.matches)
+    print(
+        f"# {len(result)} matches; verified "
+        f"{result.stats.candidates_verified}/{len(engine.dataset)} sets",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    stats = Dataset.load(args.data).stats()
+    print(f"sets:      {stats.num_sets}")
+    print(f"max size:  {stats.max_set_size}")
+    print(f"min size:  {stats.min_set_size}")
+    print(f"avg size:  {stats.avg_set_size:.1f}")
+    print(f"universe:  {stats.universe_size}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    try:
+        engine = load_engine(args.index)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"index CORRUPT: {error}")
+        return 2
+    report = validate_tgm(engine.dataset, engine.tgm)
+    print(report.summary())
+    return 0 if report.ok else 2
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "knn": _cmd_knn,
+    "range": _cmd_range,
+    "stats": _cmd_stats,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

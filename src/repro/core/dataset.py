@@ -1,0 +1,141 @@
+"""Dataset container: a collection of set records over a token universe.
+
+This is the ``D`` of the paper.  It owns the :class:`TokenUniverse` and the
+list of :class:`SetRecord` instances, exposes the statistics reported in
+Table 2, and offers persistence in the standard "one set per line,
+space-separated tokens" format used by the public set-similarity benchmarks
+(KOSARAK et al.).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.core.sets import SetRecord
+from repro.core.tokens import TokenUniverse
+
+__all__ = ["Dataset", "DatasetStats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The per-dataset statistics the paper reports in Table 2."""
+
+    num_sets: int
+    max_set_size: int
+    min_set_size: int
+    avg_set_size: float
+    universe_size: int
+
+    def as_row(self) -> tuple[int, int, int, float, int]:
+        """Return the Table 2 row ``(|D|, max, min, avg, |T|)``."""
+        return (
+            self.num_sets,
+            self.max_set_size,
+            self.min_set_size,
+            round(self.avg_set_size, 1),
+            self.universe_size,
+        )
+
+
+class Dataset:
+    """A database of sets ``D`` with its token universe ``T``."""
+
+    def __init__(
+        self,
+        records: Iterable[SetRecord] = (),
+        universe: TokenUniverse | None = None,
+    ) -> None:
+        self.universe = universe if universe is not None else TokenUniverse()
+        self.records: list[SetRecord] = list(records)
+        self._validate()
+
+    def _validate(self) -> None:
+        universe_size = len(self.universe)
+        for index, record in enumerate(self.records):
+            if record.tokens and record.tokens[-1] >= universe_size:
+                raise ValueError(
+                    f"record {index} references token id {record.tokens[-1]} "
+                    f"outside the universe of size {universe_size}"
+                )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_token_lists(
+        cls,
+        token_lists: Iterable[Sequence[Hashable]],
+        universe: TokenUniverse | None = None,
+    ) -> "Dataset":
+        """Build a dataset from raw token sequences, interning tokens."""
+        universe = universe if universe is not None else TokenUniverse()
+        records = [SetRecord(universe.intern_all(tokens)) for tokens in token_lists]
+        return cls(records, universe)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Dataset":
+        """Load the one-set-per-line whitespace-separated token format."""
+        universe = TokenUniverse()
+        records = []
+        with open(path) as handle:
+            for line in handle:
+                tokens = line.split()
+                if tokens:
+                    records.append(SetRecord(universe.intern_all(tokens)))
+        return cls(records, universe)
+
+    def save(self, path: str | Path) -> None:
+        """Write the dataset in the one-set-per-line token format."""
+        with open(path, "w") as handle:
+            for record in self.records:
+                line = " ".join(str(self.universe.token_of(t)) for t in record.tokens)
+                handle.write(line + "\n")
+
+    # -- collection protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SetRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> SetRecord:
+        return self.records[index]
+
+    def append(self, record: SetRecord) -> int:
+        """Add a record (token ids must already be interned); return its index."""
+        if record.tokens[-1] >= len(self.universe):
+            raise ValueError(
+                f"token id {record.tokens[-1]} outside universe of size {len(self.universe)}"
+            )
+        self.records.append(record)
+        return len(self.records) - 1
+
+    # -- statistics and sampling -------------------------------------------
+
+    def stats(self) -> DatasetStats:
+        """Compute the Table 2 statistics for this dataset."""
+        if not self.records:
+            return DatasetStats(0, 0, 0, 0.0, len(self.universe))
+        sizes = [len(record) for record in self.records]
+        return DatasetStats(
+            num_sets=len(self.records),
+            max_set_size=max(sizes),
+            min_set_size=min(sizes),
+            avg_set_size=sum(sizes) / len(sizes),
+            universe_size=len(self.universe),
+        )
+
+    def sample_indices(self, count: int, rng: random.Random) -> list[int]:
+        """Sample ``count`` distinct record indices (all of them if fewer)."""
+        if count >= len(self.records):
+            return list(range(len(self.records)))
+        return rng.sample(range(len(self.records)), count)
+
+    def sample(self, count: int, rng: random.Random) -> "Dataset":
+        """Sample a sub-dataset sharing this dataset's universe."""
+        indices = self.sample_indices(count, rng)
+        return Dataset([self.records[i] for i in indices], self.universe)

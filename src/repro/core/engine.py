@@ -1,0 +1,140 @@
+"""LES3 — the end-to-end engine (partition → TGM → search → update).
+
+This is the public facade most applications use::
+
+    from repro import LES3, Dataset
+    dataset = Dataset.from_token_lists(token_lists)
+    engine = LES3.build(dataset, num_groups=64)
+    result = engine.knn(query_tokens, k=10)
+    result = engine.range(query_tokens, threshold=0.7)
+    engine.insert(new_tokens)
+
+``build`` accepts any :class:`repro.partitioning.Partitioner`; the default
+is the paper's L2P cascade (imported lazily to keep the core free of the
+learning stack).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.search import SearchResult, knn_search, range_search
+from repro.core.sets import SetRecord
+from repro.core.similarity import Similarity
+from repro.core.tgm import TokenGroupMatrix
+from repro.core.updates import insert_set, remove_set
+
+__all__ = ["LES3", "suggest_num_groups"]
+
+
+def suggest_num_groups(database_size: int) -> int:
+    """The paper's Section 7.5 rule of thumb: ``n ≈ 0.5% · |D|``."""
+    return max(int(0.005 * database_size), 2)
+
+
+class LES3:
+    """Learning-based exact set similarity search engine."""
+
+    def __init__(self, dataset: Dataset, tgm: TokenGroupMatrix) -> None:
+        self.dataset = dataset
+        self.tgm = tgm
+
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        num_groups: int | None = None,
+        partitioner=None,
+        measure: str | Similarity = "jaccard",
+        backend: str = "dense",
+        seed: int = 0,
+    ) -> "LES3":
+        """Partition the dataset and build the TGM.
+
+        Parameters
+        ----------
+        dataset:
+            The database of sets.
+        num_groups:
+            Target group count; defaults to the paper's rule of thumb
+            ``n ≈ 0.005 · |D|`` (Section 7.5) via
+            :func:`suggest_num_groups`.
+        partitioner:
+            Any :class:`repro.partitioning.Partitioner`; defaults to the L2P
+            cascade with PTR representations.
+        measure:
+            Similarity measure used for bounds and verification.
+        backend:
+            TGM storage backend, ``"dense"`` or ``"roaring"``.
+        seed:
+            Seed for the default partitioner.
+        """
+        if num_groups is None:
+            num_groups = suggest_num_groups(len(dataset))
+        if partitioner is None:
+            from repro.learn.cascade import L2PPartitioner
+
+            partitioner = L2PPartitioner(measure=measure, seed=seed)
+        partition = partitioner.partition(dataset, num_groups)
+        tgm = TokenGroupMatrix(dataset, partition.groups, measure, backend)
+        return cls(dataset, tgm)
+
+    @property
+    def measure(self) -> Similarity:
+        return self.tgm.measure
+
+    def _as_record(self, query_tokens: Sequence[Hashable]) -> SetRecord:
+        """Map external query tokens to a SetRecord without growing the universe.
+
+        Unseen tokens get synthetic ids beyond the universe so they count
+        towards ``|Q|`` but match nothing (Section 3.1).
+        """
+        universe = self.dataset.universe
+        phantom = len(universe)
+        token_ids = []
+        phantom_map: dict[Hashable, int] = {}
+        for token in query_tokens:
+            token_id = universe.get_id(token)
+            if token_id is None:
+                if token not in phantom_map:
+                    phantom_map[token] = phantom
+                    phantom += 1
+                token_id = phantom_map[token]
+            token_ids.append(token_id)
+        return SetRecord(token_ids)
+
+    def knn(self, query_tokens: Sequence[Hashable], k: int) -> SearchResult:
+        """kNN search over external tokens."""
+        return knn_search(self.dataset, self.tgm, self._as_record(query_tokens), k)
+
+    def range(self, query_tokens: Sequence[Hashable], threshold: float) -> SearchResult:
+        """Range search over external tokens."""
+        return range_search(self.dataset, self.tgm, self._as_record(query_tokens), threshold)
+
+    def knn_record(self, query: SetRecord, k: int) -> SearchResult:
+        """kNN search with a pre-interned query record."""
+        return knn_search(self.dataset, self.tgm, query, k)
+
+    def range_record(self, query: SetRecord, threshold: float) -> SearchResult:
+        """Range search with a pre-interned query record."""
+        return range_search(self.dataset, self.tgm, query, threshold)
+
+    def insert(self, tokens: Sequence[Hashable]) -> tuple[int, int]:
+        """Insert a new set (open universe); returns (record index, group id)."""
+        return insert_set(self.dataset, self.tgm, tokens)
+
+    def remove(self, record_index: int) -> int:
+        """Logically delete a set; searches no longer return it."""
+        return remove_set(self.tgm, record_index)
+
+    def tokens_of(self, record_index: int) -> list[Hashable]:
+        """External tokens of a stored record (for presenting results)."""
+        record = self.dataset.records[record_index]
+        return [self.dataset.universe.token_of(token_id) for token_id in record.tokens]
+
+    def index_bytes(self) -> int:
+        return self.tgm.byte_size()
+
+    def __repr__(self) -> str:
+        return f"LES3(|D|={len(self.dataset)}, groups={self.tgm.num_groups}, measure={self.measure.name!r})"

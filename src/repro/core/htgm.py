@@ -1,0 +1,244 @@
+"""HTGM — hierarchical token-group matrix (Sections 5.2 and 7.7).
+
+The cascade framework produces partitions at every level; HTGM stacks a TGM
+per chosen level, coarse to fine.  A fine group is only scored when its
+coarse ancestor survived pruning, so on mostly-dissimilar data the small
+coarse matrices eliminate work before the wide fine matrix is touched.
+
+Cost accounting matches the paper's two Figure 14 metrics: *columns visited*
+(index access cost — one column per query token per scored group) and
+*similarity computations* (verification cost).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.metrics import QueryStats
+from repro.core.search import SearchResult, prepare_query
+from repro.core.sets import SetRecord
+from repro.core.similarity import Similarity, get_measure
+from repro.core.tgm import TokenGroupMatrix
+
+__all__ = ["HierarchicalTGM"]
+
+
+class HierarchicalTGM:
+    """A stack of TGMs over nested partitions, coarse first.
+
+    Parameters
+    ----------
+    dataset:
+        The database.
+    level_groups:
+        One group list per level, ordered coarse → fine.  Every fine group
+        must be fully contained in exactly one group of each coarser level
+        (which is what the cascade framework produces).
+    measure:
+        Similarity measure shared by all levels.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        level_groups: Sequence[Sequence[Sequence[int]]],
+        measure: str | Similarity = "jaccard",
+        backend: str = "dense",
+    ) -> None:
+        if not level_groups:
+            raise ValueError("HTGM needs at least one level")
+        self.measure = get_measure(measure)
+        self.levels = [
+            TokenGroupMatrix(dataset, groups, self.measure, backend) for groups in level_groups
+        ]
+        self._children = self._link_levels(level_groups)
+
+    @staticmethod
+    def _link_levels(
+        level_groups: Sequence[Sequence[Sequence[int]]],
+    ) -> list[list[list[int]]]:
+        """For each level ``i < last``, map group id → child group ids at ``i+1``."""
+        links: list[list[list[int]]] = []
+        for coarse_level in range(len(level_groups) - 1):
+            coarse = level_groups[coarse_level]
+            fine = level_groups[coarse_level + 1]
+            owner: dict[int, int] = {}
+            for group_id, group in enumerate(coarse):
+                for record_index in group:
+                    owner[record_index] = group_id
+            children: list[list[int]] = [[] for _ in coarse]
+            for fine_id, group in enumerate(fine):
+                parents = {owner[record_index] for record_index in group}
+                if len(parents) != 1:
+                    raise ValueError(
+                        f"fine group {fine_id} spans {len(parents)} coarse groups; "
+                        "levels must be nested"
+                    )
+                children[parents.pop()].append(fine_id)
+            links.append(children)
+        return links
+
+    @classmethod
+    def from_cascade(
+        cls,
+        dataset: Dataset,
+        partitioner,
+        level_group_counts: Sequence[int],
+        measure: str | Similarity = "jaccard",
+        backend: str = "dense",
+    ) -> "HierarchicalTGM":
+        """Build an HTGM from an already-run L2P cascade.
+
+        ``partitioner`` must expose ``level_partitions_`` (an
+        :class:`repro.learn.cascade.L2PPartitioner` after ``partition()``);
+        the levels whose group counts match ``level_group_counts`` are
+        stacked coarse → fine.  Raises if a requested count was never
+        produced by the cascade.
+        """
+        available = {p.num_groups: p for p in partitioner.level_partitions_}
+        chosen = []
+        for count in sorted(level_group_counts):
+            partition = available.get(count)
+            if partition is None:
+                produced = sorted(available)
+                raise ValueError(
+                    f"cascade produced no level with {count} groups; available: {produced}"
+                )
+            chosen.append(partition.groups)
+        return cls(dataset, chosen, measure, backend)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def byte_size(self) -> int:
+        return sum(level.byte_size() for level in self.levels)
+
+    # -- search ------------------------------------------------------------
+
+    def _surviving_fine_groups(
+        self,
+        known: list[int],
+        weights: list[int],
+        query_size: int,
+        threshold: float,
+        stats: QueryStats,
+    ) -> tuple[list[int], np.ndarray]:
+        """Drill down the levels, pruning subtrees whose bound < threshold.
+
+        Returns the surviving group ids of the finest level together with the
+        finest level's bounds (NaN for groups never scored).
+        """
+        survivors = list(range(self.levels[0].num_groups))
+        fine_bounds = np.full(self.levels[-1].num_groups, np.nan)
+        for level_index, tgm in enumerate(self.levels):
+            bounds = tgm.upper_bounds(known, query_size, weights)
+            stats.columns_visited += len(known) * len(survivors)
+            stats.groups_scored += len(survivors)
+            kept = [g for g in survivors if bounds[g] >= threshold]
+            stats.groups_pruned += len(survivors) - len(kept)
+            if level_index == len(self.levels) - 1:
+                for g in kept:
+                    fine_bounds[g] = bounds[g]
+                return kept, fine_bounds
+            next_survivors: list[int] = []
+            for g in kept:
+                next_survivors.extend(self._children[level_index][g])
+            survivors = next_survivors
+        return [], fine_bounds  # pragma: no cover - loop always returns
+
+    def range_search(
+        self, dataset: Dataset, query: SetRecord, threshold: float
+    ) -> SearchResult:
+        """Exact range search with hierarchical pruning."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        known, weights, query_size = prepare_query(query, self.levels[-1].universe_size)
+        stats = QueryStats()
+        survivors, _ = self._surviving_fine_groups(
+            known, weights, query_size, threshold, stats
+        )
+        fine = self.levels[-1]
+        matches: list[tuple[int, float]] = []
+        for group_id in survivors:
+            for record_index in fine.group_members[group_id]:
+                similarity = self.measure(query, dataset.records[record_index])
+                stats.candidates_verified += 1
+                stats.similarity_computations += 1
+                if similarity >= threshold:
+                    matches.append((record_index, similarity))
+        matches.sort(key=lambda pair: (-pair[1], pair[0]))
+        stats.result_size = len(matches)
+        return SearchResult(matches, stats)
+
+    def knn_search(self, dataset: Dataset, query: SetRecord, k: int) -> SearchResult:
+        """Exact kNN with hierarchical pruning.
+
+        Coarse levels are used with the running kth-similarity threshold:
+        the drill-down is re-evaluated lazily — groups are visited finest
+        level best-first, but a fine group inherits ``min(bound, parent
+        bound)`` so a weak coarse bound prunes all its descendants at once.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        known, weights, query_size = prepare_query(query, self.levels[-1].universe_size)
+        stats = QueryStats()
+
+        # Score every level top-down, but only score a fine group if its
+        # parent might still be useful (bound > 0).  The effective bound of a
+        # fine group is capped by its ancestors' bounds.
+        fine = self.levels[-1]
+        effective = np.zeros(fine.num_groups)
+        survivors = list(range(self.levels[0].num_groups))
+        parent_cap: dict[int, float] = {g: 1.0 for g in survivors}
+        for level_index, tgm in enumerate(self.levels):
+            bounds = tgm.upper_bounds(known, query_size, weights)
+            stats.columns_visited += len(known) * len(survivors)
+            stats.groups_scored += len(survivors)
+            capped = {g: min(bounds[g], parent_cap[g]) for g in survivors}
+            if level_index == len(self.levels) - 1:
+                for g, bound in capped.items():
+                    effective[g] = bound
+                break
+            keep = [g for g in survivors if capped[g] > 0.0]
+            stats.groups_pruned += len(survivors) - len(keep)
+            parent_cap = {}
+            next_survivors = []
+            for g in keep:
+                for child in self._children[level_index][g]:
+                    parent_cap[child] = capped[g]
+                    next_survivors.append(child)
+            survivors = next_survivors
+
+        order = np.argsort(-effective, kind="stable")
+        heap: list[tuple[float, int]] = []
+        visited = 0
+        for group_id in order:
+            bound = effective[int(group_id)]
+            if len(heap) >= k and bound < heap[0][0]:
+                break
+            if len(heap) >= k and bound == heap[0][0] == 0.0:
+                break
+            members = fine.group_members[int(group_id)]
+            if not members:
+                continue
+            visited += 1
+            for record_index in members:
+                similarity = self.measure(query, dataset.records[record_index])
+                stats.candidates_verified += 1
+                stats.similarity_computations += 1
+                entry = (similarity, -record_index)
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+        stats.groups_pruned += fine.num_groups - visited
+
+        matches = [(-neg, sim) for sim, neg in heap]
+        matches.sort(key=lambda pair: (-pair[1], pair[0]))
+        stats.result_size = len(matches)
+        return SearchResult(matches, stats)

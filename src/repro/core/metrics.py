@@ -1,0 +1,54 @@
+"""Query-cost accounting and the pruning-efficiency metric (Definition 2.3).
+
+Every search records a :class:`QueryStats`; the PE formulas match the paper:
+
+* kNN:   ``PE = (|D| - (|S_Q| - k)) / |D|``
+* range: ``PE = (|D| - (|S_Q| - |R|)) / |D|``
+
+where ``S_Q`` is the candidate collection whose similarities were actually
+computed and ``R`` the result collection.  A perfect filter verifies only
+the answers, giving ``PE = 1``; the brute force verifies everything, giving
+``PE = k / |D|`` (resp. ``|R| / |D|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats", "knn_pruning_efficiency", "range_pruning_efficiency"]
+
+
+@dataclass
+class QueryStats:
+    """Cost counters accumulated while answering one query."""
+
+    candidates_verified: int = 0
+    similarity_computations: int = 0
+    groups_scored: int = 0
+    groups_pruned: int = 0
+    columns_visited: int = 0
+    result_size: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters into this one."""
+        self.candidates_verified += other.candidates_verified
+        self.similarity_computations += other.similarity_computations
+        self.groups_scored += other.groups_scored
+        self.groups_pruned += other.groups_pruned
+        self.columns_visited += other.columns_visited
+        self.result_size += other.result_size
+
+
+def knn_pruning_efficiency(database_size: int, candidates: int, k: int) -> float:
+    """PE for a kNN query per Definition 2.3."""
+    if database_size <= 0:
+        return 1.0
+    return (database_size - (candidates - k)) / database_size
+
+
+def range_pruning_efficiency(database_size: int, candidates: int, result_size: int) -> float:
+    """PE for a range query per Definition 2.3."""
+    if database_size <= 0:
+        return 1.0
+    return (database_size - (candidates - result_size)) / database_size

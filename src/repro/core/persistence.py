@@ -1,0 +1,72 @@
+"""Saving and loading a built LES3 engine.
+
+Partitioning (model training) is the expensive build step; persisting the
+result makes the index reusable across processes.  The on-disk layout is a
+directory of human-auditable files — no pickling:
+
+    <dir>/
+      manifest.json    # measure, backend, universe size, format version
+      dataset.txt      # one set per line (external tokens)
+      groups.json      # record-index lists per group
+
+The TGM is rebuilt from the groups at load time (cheaper than
+serialising bitmaps, and immune to backend format drift).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.dataset import Dataset
+from repro.core.engine import LES3
+from repro.core.similarity import get_measure
+from repro.core.tgm import TokenGroupMatrix
+
+__all__ = ["save_engine", "load_engine"]
+
+_FORMAT_VERSION = 1
+
+
+def save_engine(engine: LES3, directory: str | Path) -> None:
+    """Persist a built engine to ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    engine.dataset.save(directory / "dataset.txt")
+    with open(directory / "groups.json", "w") as handle:
+        json.dump(engine.tgm.group_members, handle)
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "measure": engine.measure.name,
+        "backend": engine.tgm.backend,
+        "num_records": len(engine.dataset),
+        "universe_size": len(engine.dataset.universe),
+    }
+    with open(directory / "manifest.json", "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_engine(directory: str | Path) -> LES3:
+    """Load an engine persisted by :func:`save_engine`."""
+    directory = Path(directory)
+    with open(directory / "manifest.json") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format version {manifest.get('format_version')!r}"
+        )
+    dataset = Dataset.load(directory / "dataset.txt")
+    if len(dataset) != manifest["num_records"]:
+        raise ValueError(
+            f"dataset.txt holds {len(dataset)} records, manifest says "
+            f"{manifest['num_records']} — index directory is corrupt"
+        )
+    with open(directory / "groups.json") as handle:
+        groups = json.load(handle)
+    assigned = sorted(index for group in groups for index in group)
+    if assigned != list(range(len(dataset))):
+        raise ValueError("groups.json does not cover the dataset exactly once")
+    tgm = TokenGroupMatrix(
+        dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
+    )
+    return LES3(dataset, tgm)

@@ -1,0 +1,143 @@
+"""Query processing over the TGM: range search and kNN search (Section 6).
+
+Both searches are *exact*: groups are only skipped when the TGM upper bound
+proves no member can qualify, and every surviving member is verified with
+the exact similarity.
+
+kNN uses best-first group visiting: groups are scored once
+(``O(n · |Q|)``), sorted by descending bound, and visited until the next
+bound cannot beat the current kth similarity.  Ties on similarity are broken
+by record index so results are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.metrics import QueryStats
+from repro.core.sets import SetRecord
+from repro.core.similarity import Similarity
+from repro.core.tgm import TokenGroupMatrix
+
+__all__ = ["SearchResult", "range_search", "knn_search", "prepare_query"]
+
+
+class SearchResult:
+    """Matches plus the cost counters of the query that produced them."""
+
+    __slots__ = ("matches", "stats")
+
+    def __init__(self, matches: list[tuple[int, float]], stats: QueryStats) -> None:
+        self.matches = matches
+        self.stats = stats
+
+    def indices(self) -> list[int]:
+        return [index for index, _ in self.matches]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+
+def prepare_query(
+    query: SetRecord, universe_size: int
+) -> tuple[list[int], list[int], int]:
+    """Split a query into (known token ids, their multiplicities, full |Q|).
+
+    Token ids at or beyond ``universe_size`` are unseen (Section 3.1): they
+    contribute nothing to any group bound but still count towards ``|Q|``.
+    Multiplicities matter for multiset queries: a group covering token ``t``
+    may contain a set carrying ``t`` at full query multiplicity, so the
+    bound must credit ``count_Q(t)``, not 1.
+    """
+    known: list[int] = []
+    weights: list[int] = []
+    for token, count in query.counts().items():
+        if token < universe_size:
+            known.append(token)
+            weights.append(count)
+    return known, weights, len(query)
+
+
+def range_search(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    query: SetRecord,
+    threshold: float,
+    measure: Similarity | None = None,
+) -> SearchResult:
+    """All sets with ``Sim(Q, S) >= threshold`` (Definition 2.2)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    measure = measure if measure is not None else tgm.measure
+    known, weights, query_size = prepare_query(query, tgm.universe_size)
+    bounds = tgm.upper_bounds(known, query_size, weights)
+
+    stats = QueryStats()
+    stats.groups_scored = tgm.num_groups
+    stats.columns_visited = len(known) * tgm.num_groups
+
+    matches: list[tuple[int, float]] = []
+    for group_id in np.flatnonzero(bounds >= threshold):
+        for record_index in tgm.group_members[group_id]:
+            similarity = measure(query, dataset.records[record_index])
+            stats.candidates_verified += 1
+            stats.similarity_computations += 1
+            if similarity >= threshold:
+                matches.append((record_index, similarity))
+    stats.groups_pruned = tgm.num_groups - int((bounds >= threshold).sum())
+    matches.sort(key=lambda pair: (-pair[1], pair[0]))
+    stats.result_size = len(matches)
+    return SearchResult(matches, stats)
+
+
+def knn_search(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    query: SetRecord,
+    k: int,
+    measure: Similarity | None = None,
+) -> SearchResult:
+    """The ``k`` most similar sets (Definition 2.1), best-first over groups."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    measure = measure if measure is not None else tgm.measure
+    known, weights, query_size = prepare_query(query, tgm.universe_size)
+    bounds = tgm.upper_bounds(known, query_size, weights)
+
+    stats = QueryStats()
+    stats.groups_scored = tgm.num_groups
+    stats.columns_visited = len(known) * tgm.num_groups
+
+    order = np.argsort(-bounds, kind="stable")
+    # Top-k heap of (similarity, -record_index): the root is the weakest
+    # current answer; -index makes ties prefer *smaller* record indices.
+    heap: list[tuple[float, int]] = []
+    visited_groups = 0
+    for group_id in order:
+        bound = bounds[group_id]
+        if len(heap) >= k and bound < heap[0][0]:
+            break
+        if len(heap) >= k and bound == heap[0][0] == 0.0:
+            break  # remaining groups share no token with the query
+        visited_groups += 1
+        for record_index in tgm.group_members[int(group_id)]:
+            similarity = measure(query, dataset.records[record_index])
+            stats.candidates_verified += 1
+            stats.similarity_computations += 1
+            entry = (similarity, -record_index)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+    stats.groups_pruned = tgm.num_groups - visited_groups
+
+    matches = [(-neg_index, similarity) for similarity, neg_index in heap]
+    matches.sort(key=lambda pair: (-pair[1], pair[0]))
+    stats.result_size = len(matches)
+    return SearchResult(matches, stats)

@@ -1,0 +1,105 @@
+"""Set records: the unit of storage in the database.
+
+The paper supports both sets and multisets (Section 2).  A
+:class:`SetRecord` stores token ids as a sorted integer tuple (multiset
+semantics: duplicates preserved) together with the distinct-token frozenset
+used for fast intersection.  Most of the evaluation uses plain sets; the
+multiset paths are exercised by dedicated tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+__all__ = ["SetRecord", "overlap", "distinct_overlap"]
+
+
+class SetRecord:
+    """An immutable (multi)set of integer token ids.
+
+    Parameters
+    ----------
+    tokens:
+        Iterable of integer token ids.  Duplicates are preserved (multiset
+        semantics).
+    """
+
+    __slots__ = ("_tokens", "_distinct", "_counts")
+
+    def __init__(self, tokens: Iterable[int]) -> None:
+        ordered = tuple(sorted(tokens))
+        if not ordered:
+            raise ValueError("a set record must contain at least one token")
+        self._tokens: tuple[int, ...] = ordered
+        self._distinct: frozenset[int] = frozenset(ordered)
+        self._counts: Counter[int] | None = None
+        if len(self._distinct) != len(ordered):
+            self._counts = Counter(ordered)
+
+    @property
+    def tokens(self) -> tuple[int, ...]:
+        """All token ids in sorted order (with duplicates)."""
+        return self._tokens
+
+    @property
+    def distinct(self) -> frozenset[int]:
+        """The distinct token ids."""
+        return self._distinct
+
+    @property
+    def is_multiset(self) -> bool:
+        """True when the record contains duplicate tokens."""
+        return self._counts is not None
+
+    def counts(self) -> Counter[int]:
+        """Multiplicity of each token (computed lazily for plain sets)."""
+        if self._counts is None:
+            return Counter(self._tokens)
+        return self._counts
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._tokens)
+
+    def __contains__(self, token_id: int) -> bool:
+        return token_id in self._distinct
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetRecord):
+            return NotImplemented
+        return self._tokens == other._tokens
+
+    def __hash__(self) -> int:
+        return hash(self._tokens)
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(t) for t in self._tokens[:8])
+        suffix = ", ..." if len(self._tokens) > 8 else ""
+        return f"SetRecord({{{body}{suffix}}})"
+
+    def min_token(self) -> int:
+        """Smallest token id; used by the min-token initial partitioner."""
+        return self._tokens[0]
+
+
+def distinct_overlap(a: SetRecord, b: SetRecord) -> int:
+    """Number of *distinct* tokens shared by ``a`` and ``b``."""
+    small, large = (a.distinct, b.distinct) if len(a.distinct) <= len(b.distinct) else (b.distinct, a.distinct)
+    return sum(1 for token in small if token in large)
+
+
+def overlap(a: SetRecord, b: SetRecord) -> int:
+    """Multiset overlap: ``Σ_t min(count_a(t), count_b(t))``.
+
+    Falls back to the distinct overlap when neither record is a multiset
+    (the common case), avoiding Counter construction.
+    """
+    if not a.is_multiset and not b.is_multiset:
+        return distinct_overlap(a, b)
+    counts_a, counts_b = a.counts(), b.counts()
+    if len(counts_a) > len(counts_b):
+        counts_a, counts_b = counts_b, counts_a
+    return sum(min(count, counts_b[token]) for token, count in counts_a.items() if token in counts_b)

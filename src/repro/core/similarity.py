@@ -1,0 +1,194 @@
+"""Set similarity measures and their TGM group upper bounds.
+
+Theorem 3.1 (the *TGM Applicability Property*) says the TGM can serve a
+measure ``Sim`` whenever, for ``R = Q ∩ S``:
+
+1. ``Sim(Q, R) >= Sim(Q, S)``, and
+2. ``Sim(Q, R) >= Sim(Q, R')`` for every ``R' ⊂ R``.
+
+For such measures the group bound is ``Sim(Q, R*)`` where
+``R* = Q ∩ GS_g`` is the portion of the query covered by the group's
+vocabulary.  Because ``R* ⊆ Q``, the bound only depends on ``|R*|`` and
+``|Q|``; each measure implements it as :meth:`Similarity.group_upper_bound`.
+
+All measures work on multisets too: ``overlap`` is the multiset overlap
+``Σ_t min(count_Q(t), count_S(t))`` and sizes count duplicates.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.core.sets import SetRecord, overlap
+
+__all__ = [
+    "Similarity",
+    "JaccardSimilarity",
+    "DiceSimilarity",
+    "CosineSimilarity",
+    "OverlapCoefficient",
+    "ContainmentSimilarity",
+    "get_measure",
+    "MEASURES",
+]
+
+
+class Similarity(ABC):
+    """A set similarity measure usable with the TGM.
+
+    Subclasses implement :meth:`from_overlap` (similarity given the overlap
+    and the two set sizes) and :meth:`group_upper_bound` (the Theorem 3.1
+    bound).  ``__call__`` computes the exact similarity of two records.
+    """
+
+    name: str = "abstract"
+
+    def __call__(self, a: SetRecord, b: SetRecord) -> float:
+        return self.from_overlap(overlap(a, b), len(a), len(b))
+
+    @abstractmethod
+    def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
+        """Similarity of two sets given their overlap and sizes."""
+
+    @abstractmethod
+    def group_upper_bound(self, covered: int, query_size: int) -> float:
+        """Upper bound on ``Sim(Q, S)`` for any ``S`` in a group.
+
+        Parameters
+        ----------
+        covered:
+            ``|Q ∩ GS_g|`` — how many query tokens the group's vocabulary
+            covers.
+        query_size:
+            ``|Q|``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class JaccardSimilarity(Similarity):
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` (Equation 2 bound)."""
+
+    name = "jaccard"
+
+    def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
+        union = size_a + size_b - shared
+        if union <= 0:
+            return 0.0
+        return shared / union
+
+    def group_upper_bound(self, covered: int, query_size: int) -> float:
+        if query_size <= 0:
+            return 0.0
+        # Best possible S is R itself: Jaccard(Q, R) = |R| / |Q| for R ⊆ Q.
+        return covered / query_size
+
+
+class DiceSimilarity(Similarity):
+    """Dice coefficient ``2|A ∩ B| / (|A| + |B|)``."""
+
+    name = "dice"
+
+    def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
+        total = size_a + size_b
+        if total <= 0:
+            return 0.0
+        return 2.0 * shared / total
+
+    def group_upper_bound(self, covered: int, query_size: int) -> float:
+        if query_size <= 0 or covered <= 0:
+            return 0.0
+        # Dice(Q, R) = 2|R| / (|Q| + |R|) for R ⊆ Q, increasing in |R|.
+        return 2.0 * covered / (query_size + covered)
+
+
+class CosineSimilarity(Similarity):
+    """Cosine similarity ``|A ∩ B| / sqrt(|A| * |B|)``.
+
+    Does not satisfy the triangle inequality, but satisfies the TGM
+    Applicability Property (the example in Section 3.2: bound is
+    ``sqrt(|R| / |Q|)``).
+    """
+
+    name = "cosine"
+
+    def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
+        if size_a <= 0 or size_b <= 0:
+            return 0.0
+        return shared / math.sqrt(size_a * size_b)
+
+    def group_upper_bound(self, covered: int, query_size: int) -> float:
+        if query_size <= 0 or covered <= 0:
+            return 0.0
+        # Cosine(Q, R) = |R| / sqrt(|Q||R|) = sqrt(|R| / |Q|) for R ⊆ Q.
+        return math.sqrt(covered / query_size)
+
+
+class OverlapCoefficient(Similarity):
+    """Overlap coefficient ``|A ∩ B| / min(|A|, |B|)``.
+
+    Satisfies the applicability property, but its group bound is the
+    trivial 1.0 whenever a single query token is covered
+    (``Sim(Q, R) = |R| / min(|Q|, |R|) = 1``), so TGM pruning is weak.
+    Included deliberately: it demonstrates that applicability does not
+    imply *effective* pruning.
+    """
+
+    name = "overlap"
+
+    def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
+        smallest = min(size_a, size_b)
+        if smallest <= 0:
+            return 0.0
+        return shared / smallest
+
+    def group_upper_bound(self, covered: int, query_size: int) -> float:
+        if query_size <= 0 or covered <= 0:
+            return 0.0
+        return 1.0
+
+
+class ContainmentSimilarity(Similarity):
+    """Query containment ``|Q ∩ S| / |Q|`` (asymmetric).
+
+    The measure behind containment search ("find sets covering most of my
+    query").  Satisfies the applicability property with the same bound as
+    Jaccard: for ``R ⊆ Q``, ``C(Q, R) = |R| / |Q|``.
+    """
+
+    name = "containment"
+
+    def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
+        if size_a <= 0:
+            return 0.0
+        return shared / size_a
+
+    def group_upper_bound(self, covered: int, query_size: int) -> float:
+        if query_size <= 0:
+            return 0.0
+        return covered / query_size
+
+
+MEASURES: dict[str, Similarity] = {
+    measure.name: measure
+    for measure in (
+        JaccardSimilarity(),
+        DiceSimilarity(),
+        CosineSimilarity(),
+        OverlapCoefficient(),
+        ContainmentSimilarity(),
+    )
+}
+
+
+def get_measure(name: str | Similarity) -> Similarity:
+    """Resolve a measure by name (or pass a measure through unchanged)."""
+    if isinstance(name, Similarity):
+        return name
+    try:
+        return MEASURES[name]
+    except KeyError:
+        known = ", ".join(sorted(MEASURES))
+        raise ValueError(f"unknown similarity measure {name!r}; known: {known}") from None

@@ -1,0 +1,88 @@
+"""Token universe management.
+
+A *token* is the atomic element of a set.  Externally tokens may be arbitrary
+hashable values (strings, integers, ...); internally every token is interned
+to a dense integer id so that sets can be stored as sorted integer arrays and
+the TGM can be a plain matrix indexed by token id.
+
+The :class:`TokenUniverse` is *growable*: Section 6 of the paper explicitly
+supports an open universe where previously unseen tokens appear after the
+index is built.  Interning a new token simply appends a new id.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["TokenUniverse"]
+
+
+class TokenUniverse:
+    """Bidirectional mapping between external tokens and dense integer ids.
+
+    Ids are assigned in first-seen order, starting at 0, and are never
+    recycled.  The universe only grows (tokens are never removed), matching
+    the paper's update model where new tokens extend the TGM with new rows.
+    """
+
+    def __init__(self, tokens: Iterable[Hashable] = ()) -> None:
+        self._token_to_id: dict[Hashable, int] = {}
+        self._id_to_token: list[Hashable] = []
+        for token in tokens:
+            self.intern(token)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: Hashable) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._id_to_token)
+
+    def intern(self, token: Hashable) -> int:
+        """Return the id of ``token``, assigning a fresh id if unseen."""
+        token_id = self._token_to_id.get(token)
+        if token_id is None:
+            token_id = len(self._id_to_token)
+            self._token_to_id[token] = token_id
+            self._id_to_token.append(token)
+        return token_id
+
+    def intern_all(self, tokens: Iterable[Hashable]) -> list[int]:
+        """Intern every token in ``tokens`` and return their ids in order."""
+        return [self.intern(token) for token in tokens]
+
+    def id_of(self, token: Hashable) -> int:
+        """Return the id of a known token; raise ``KeyError`` if unseen."""
+        return self._token_to_id[token]
+
+    def get_id(self, token: Hashable) -> int | None:
+        """Return the id of ``token`` or ``None`` if unseen (no interning)."""
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> Hashable:
+        """Return the external token for a given id."""
+        return self._id_to_token[token_id]
+
+    def ids_of_known(self, tokens: Iterable[Hashable]) -> list[int]:
+        """Map tokens to ids, silently dropping unseen tokens.
+
+        Used for query sets: per Section 3.1 a query token outside the
+        universe contributes 0 to every group's bound, so it can simply be
+        ignored during bound computation (but still counts towards |Q|; the
+        caller is responsible for tracking the original query size).
+        """
+        result = []
+        for token in tokens:
+            token_id = self._token_to_id.get(token)
+            if token_id is not None:
+                result.append(token_id)
+        return result
+
+    def copy(self) -> "TokenUniverse":
+        """Return an independent copy of this universe."""
+        clone = TokenUniverse()
+        clone._token_to_id = dict(self._token_to_id)
+        clone._id_to_token = list(self._id_to_token)
+        return clone

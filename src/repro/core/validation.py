@@ -1,0 +1,87 @@
+"""Index integrity validation.
+
+An index whose bits drifted from its data silently returns *wrong answers*
+(the bound stops being an upper bound), which for an exact method is the
+worst possible failure.  ``validate_tgm`` checks the three invariants that
+make the TGM sound and reports every violation found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import Dataset
+from repro.core.tgm import TokenGroupMatrix
+
+__all__ = ["ValidationReport", "validate_tgm"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of an integrity check; ``ok`` iff no violations."""
+
+    missing_bits: list[tuple[int, int]] = field(default_factory=list)
+    orphan_records: list[int] = field(default_factory=list)
+    duplicate_records: list[int] = field(default_factory=list)
+    out_of_range_members: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.missing_bits
+            or self.orphan_records
+            or self.duplicate_records
+            or self.out_of_range_members
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return "index OK"
+        parts = []
+        if self.missing_bits:
+            parts.append(f"{len(self.missing_bits)} missing token bits")
+        if self.orphan_records:
+            parts.append(f"{len(self.orphan_records)} records in no group")
+        if self.duplicate_records:
+            parts.append(f"{len(self.duplicate_records)} records in multiple groups")
+        if self.out_of_range_members:
+            parts.append(f"{len(self.out_of_range_members)} out-of-range member ids")
+        return "index CORRUPT: " + ", ".join(parts)
+
+
+def validate_tgm(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    removed: frozenset[int] | set[int] = frozenset(),
+) -> ValidationReport:
+    """Check soundness invariants of a TGM against its dataset.
+
+    1. **Completeness** — every token of every member has its bit set
+       (a missing bit breaks the upper-bound property → wrong answers).
+    2. **Coverage** — every record belongs to exactly one group, except
+       those in ``removed`` (logical deletions), which must belong to none.
+    3. **Range** — member ids reference existing records.
+
+    False *extra* bits are not flagged: they only weaken pruning, never
+    correctness, and legitimately arise after deletions or re-grouping.
+    """
+    report = ValidationReport()
+    seen: dict[int, int] = {}
+    for group_id, members in enumerate(tgm.group_members):
+        for record_index in members:
+            if not 0 <= record_index < len(dataset):
+                report.out_of_range_members.append((group_id, record_index))
+                continue
+            if record_index in seen:
+                report.duplicate_records.append(record_index)
+            seen[record_index] = group_id
+            for token in dataset.records[record_index].distinct:
+                if not tgm.contains(group_id, token):
+                    report.missing_bits.append((group_id, token))
+    for record_index in range(len(dataset)):
+        if record_index not in seen and record_index not in removed:
+            report.orphan_records.append(record_index)
+    for record_index in removed:
+        if record_index in seen:
+            report.duplicate_records.append(record_index)
+    return report

@@ -1,0 +1,18 @@
+"""Dataset generators: synthetic models and Table 2 calibrated stand-ins."""
+
+from repro.datasets.real_like import TABLE2_SPECS, DatasetSpec, dataset_names, make_dataset
+from repro.datasets.synthetic import (
+    powerlaw_similarity_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "TABLE2_SPECS",
+    "DatasetSpec",
+    "dataset_names",
+    "make_dataset",
+    "powerlaw_similarity_dataset",
+    "uniform_dataset",
+    "zipf_dataset",
+]

@@ -1,0 +1,153 @@
+"""Synthetic dataset generators.
+
+Three families:
+
+* :func:`uniform_dataset` — the Section 4.1 model: every token equally and
+  independently likely.  Used to test the balance/coherence theory.
+* :func:`zipf_dataset` — Zipf-distributed token frequencies, the shape real
+  set-similarity benchmarks exhibit.
+* :func:`powerlaw_similarity_dataset` — the Section 7.7 generator: a
+  database whose pairwise-similarity distribution has tail
+  ``P[sim = v] ∼ v^−α``.  Implemented as a planted-template model: sets are
+  noisy copies of cluster templates, with the copy fidelity drawn so larger
+  α yields overwhelmingly dissimilar pairs (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+from repro.core.tokens import TokenUniverse
+
+__all__ = [
+    "uniform_dataset",
+    "zipf_dataset",
+    "powerlaw_similarity_dataset",
+]
+
+
+def _universe(num_tokens: int) -> TokenUniverse:
+    return TokenUniverse(range(num_tokens))
+
+
+def uniform_dataset(
+    num_sets: int,
+    num_tokens: int,
+    set_size: int | tuple[int, int],
+    seed: int = 0,
+) -> Dataset:
+    """Sets drawn uniformly without replacement from the token universe.
+
+    ``set_size`` may be a fixed int or an inclusive ``(low, high)`` range.
+    """
+    if num_sets <= 0 or num_tokens <= 0:
+        raise ValueError("num_sets and num_tokens must be positive")
+    rng = random.Random(seed)
+    low, high = (set_size, set_size) if isinstance(set_size, int) else set_size
+    if low < 1 or high > num_tokens or low > high:
+        raise ValueError(f"invalid set size range ({low}, {high}) for {num_tokens} tokens")
+    records = []
+    for _ in range(num_sets):
+        size = rng.randint(low, high)
+        records.append(SetRecord(rng.sample(range(num_tokens), size)))
+    return Dataset(records, _universe(num_tokens))
+
+
+def _zipf_weights(num_tokens: int, exponent: float) -> list[float]:
+    return [1.0 / (rank**exponent) for rank in range(1, num_tokens + 1)]
+
+
+def zipf_dataset(
+    num_sets: int,
+    num_tokens: int,
+    set_size: int | tuple[int, int],
+    exponent: float = 1.0,
+    seed: int = 0,
+) -> Dataset:
+    """Sets whose tokens follow a Zipf distribution (id 0 most frequent).
+
+    Token ids are assigned in frequency order, which makes the min-token
+    initial partitioner meaningful, matching the common preprocessing of
+    the public set-similarity benchmarks.
+    """
+    if num_sets <= 0 or num_tokens <= 0:
+        raise ValueError("num_sets and num_tokens must be positive")
+    rng = random.Random(seed)
+    low, high = (set_size, set_size) if isinstance(set_size, int) else set_size
+    # Cumulative weights make each draw O(log |T|) instead of O(|T|).
+    cumulative = []
+    total = 0.0
+    for weight in _zipf_weights(num_tokens, exponent):
+        total += weight
+        cumulative.append(total)
+    population = range(num_tokens)
+    records = []
+    for _ in range(num_sets):
+        size = rng.randint(low, high)
+        chosen: set[int] = set()
+        # Rejection loop: weighted sampling without replacement.
+        while len(chosen) < size:
+            chosen.update(
+                rng.choices(population, cum_weights=cumulative, k=size - len(chosen))
+            )
+        records.append(SetRecord(chosen))
+    return Dataset(records, _universe(num_tokens))
+
+
+def powerlaw_similarity_dataset(
+    num_sets: int = 20_000,
+    num_tokens: int = 20_000,
+    set_size: int = 12,
+    alpha: float = 2.0,
+    num_templates: int | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Database whose pairwise similarity tail follows ``P[sim=v] ∼ v^−α``.
+
+    Planted-template construction: ``num_templates`` disjoint template sets
+    are drawn; each record copies a template, keeping each template token
+    with probability ``f`` and replacing the rest with random background
+    tokens.  The fidelity ``f`` is sampled per record from the density
+    ``∝ f^{−α}`` on ``[f_min, 1]``: within a cluster the typical pairwise
+    similarity scales with ``f², so large α concentrates fidelity near
+    ``f_min`` and almost all pairs become dissimilar — the exact regime
+    sweep of Figure 14.
+    """
+    if alpha < 1.0:
+        raise ValueError("alpha must be >= 1 (paper sweeps alpha in [1, inf))")
+    rng = random.Random(seed)
+    if num_templates is None:
+        num_templates = max(num_sets // 100, 1)
+    template_pool = list(range(num_tokens))
+    rng.shuffle(template_pool)
+    templates: list[list[int]] = []
+    cursor = 0
+    for _ in range(num_templates):
+        if cursor + set_size > num_tokens:
+            cursor = 0
+        templates.append(template_pool[cursor : cursor + set_size])
+        cursor += set_size
+
+    f_min = 0.05
+    records = []
+    for _ in range(num_sets):
+        template = templates[rng.randrange(num_templates)]
+        # Inverse-CDF sample of density ∝ f^-α on [f_min, 1].
+        u = rng.random()
+        if abs(alpha - 1.0) < 1e-9:
+            fidelity = f_min ** (1.0 - u)
+        else:
+            a = 1.0 - alpha
+            fidelity = (f_min**a + u * (1.0 - f_min**a)) ** (1.0 / a)
+        kept = [t for t in template if rng.random() < fidelity]
+        needed = set_size - len(kept)
+        chosen = set(kept)
+        while needed > 0:
+            token = rng.randrange(num_tokens)
+            if token not in chosen:
+                chosen.add(token)
+                needed -= 1
+        records.append(SetRecord(chosen))
+    return Dataset(records, _universe(num_tokens))

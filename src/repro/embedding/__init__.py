@@ -1,0 +1,19 @@
+"""Set representations: PTR (the paper's) and the Section 7.3 baselines."""
+
+from repro.embedding.base import Embedding
+from repro.embedding.binary import BinaryEncodingEmbedding
+from repro.embedding.mds import MDSEmbedding, distance_matrix
+from repro.embedding.pca import PCAEmbedding, nhot_matrix
+from repro.embedding.ptr import PTREmbedding, PTRHalfEmbedding, build_path_table
+
+__all__ = [
+    "Embedding",
+    "BinaryEncodingEmbedding",
+    "MDSEmbedding",
+    "distance_matrix",
+    "PCAEmbedding",
+    "nhot_matrix",
+    "PTREmbedding",
+    "PTRHalfEmbedding",
+    "build_path_table",
+]

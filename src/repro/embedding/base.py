@@ -1,0 +1,46 @@
+"""Embedding interface: sets → fixed-dimension vectors for the Siamese nets."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+
+__all__ = ["Embedding"]
+
+
+class Embedding(ABC):
+    """Transforms set records into real vectors.
+
+    ``fit`` learns whatever global state the embedding needs (the token
+    tree for PTR, principal axes for PCA, ...); ``transform`` maps a single
+    record and ``transform_all`` a whole dataset (vectorised when possible).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def fit(self, dataset: Dataset) -> "Embedding":
+        """Learn embedding parameters from the dataset; returns self."""
+
+    @abstractmethod
+    def transform(self, record: SetRecord) -> np.ndarray:
+        """Embed one record as a 1-D float vector."""
+
+    @property
+    @abstractmethod
+    def dim(self) -> int:
+        """Output dimensionality (valid after ``fit``)."""
+
+    def transform_all(self, dataset: Dataset) -> np.ndarray:
+        """Embed every record; default loops over :meth:`transform`."""
+        out = np.empty((len(dataset), self.dim), dtype=np.float64)
+        for i, record in enumerate(dataset.records):
+            out[i] = self.transform(record)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,50 @@
+"""Binary Encoding baseline (Section 7.3, [28]).
+
+Assigns each *distinct set* a unique id and represents it as the id's binary
+expansion — representations are unique but carry no information about token
+composition, so no Set Separation-Friendly Property holds.  Unseen records
+are mapped through a hash, preserving determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+from repro.embedding.base import Embedding
+
+__all__ = ["BinaryEncodingEmbedding"]
+
+
+class BinaryEncodingEmbedding(Embedding):
+    """Set-id binary expansion; content-blind by construction."""
+
+    name = "binary"
+
+    def __init__(self) -> None:
+        self._ids: dict[SetRecord, int] = {}
+        self._bits: int = 0
+
+    def fit(self, dataset: Dataset) -> "BinaryEncodingEmbedding":
+        self._ids = {}
+        for record in dataset.records:
+            if record not in self._ids:
+                self._ids[record] = len(self._ids)
+        self._bits = max(int(np.ceil(np.log2(max(len(self._ids), 2)))), 1)
+        return self
+
+    @property
+    def dim(self) -> int:
+        if not self._bits:
+            raise RuntimeError("fit() must be called first")
+        return self._bits
+
+    def transform(self, record: SetRecord) -> np.ndarray:
+        if not self._bits:
+            raise RuntimeError("fit() must be called first")
+        set_id = self._ids.get(record)
+        if set_id is None:
+            set_id = hash(record) % (1 << self._bits)
+        shifts = np.arange(self._bits - 1, -1, -1)
+        return ((set_id >> shifts) & 1).astype(np.float64)

@@ -1,0 +1,95 @@
+"""Classical (Torgerson) MDS embedding baseline (Section 7.3, [12]).
+
+Builds the full pairwise distance matrix ``D[x, y] = 1 − Sim(S_x, S_y)``,
+double-centres it, and keeps the top-``d`` eigenvectors.  Cost is
+``Θ(|D|²)`` similarity computations plus a dense eigendecomposition — the
+quadratic blow-up that makes MDS inapplicable beyond small samples, which is
+precisely the Figure 8 story.
+
+Out-of-sample records are embedded by landmark triangulation against the
+fitted records (De Silva & Tenenbaum's landmark MDS extension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import eigh
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+from repro.core.similarity import Similarity, get_measure
+from repro.embedding.base import Embedding
+
+__all__ = ["MDSEmbedding", "distance_matrix"]
+
+
+def distance_matrix(dataset: Dataset, measure: Similarity) -> np.ndarray:
+    """Dense pairwise distance matrix ``1 − Sim`` (symmetric, zero diagonal)."""
+    n = len(dataset)
+    distances = np.zeros((n, n))
+    records = dataset.records
+    for i in range(n):
+        record_i = records[i]
+        for j in range(i + 1, n):
+            d = 1.0 - measure(record_i, records[j])
+            distances[i, j] = d
+            distances[j, i] = d
+    return distances
+
+
+class MDSEmbedding(Embedding):
+    """Classical MDS on the ``1 − Sim`` distance matrix."""
+
+    name = "mds"
+
+    def __init__(self, dim: int = 16, measure: str | Similarity = "jaccard") -> None:
+        self._requested_dim = dim
+        self.measure = get_measure(measure)
+        self._coords: np.ndarray | None = None
+        self._fit_records: list[SetRecord] | None = None
+        self._mean_sq_dist: np.ndarray | None = None
+        self._pinv: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "MDSEmbedding":
+        if len(dataset) < 2:
+            raise ValueError("MDS needs at least two records")
+        distances = distance_matrix(dataset, self.measure)
+        squared = distances**2
+        n = len(dataset)
+        centering = np.eye(n) - np.full((n, n), 1.0 / n)
+        gram = -0.5 * centering @ squared @ centering
+        d = max(min(self._requested_dim, n - 1), 1)
+        eigenvalues, eigenvectors = eigh(gram, subset_by_index=(n - d, n - 1))
+        eigenvalues = np.clip(eigenvalues[::-1], 0.0, None)
+        eigenvectors = eigenvectors[:, ::-1]
+        self._coords = eigenvectors * np.sqrt(eigenvalues)[None, :]
+        self._fit_records = list(dataset.records)
+        self._mean_sq_dist = squared.mean(axis=0)
+        self._pinv = np.linalg.pinv(self._coords)
+        return self
+
+    @property
+    def dim(self) -> int:
+        if self._coords is None:
+            raise RuntimeError("fit() must be called first")
+        return self._coords.shape[1]
+
+    def transform(self, record: SetRecord) -> np.ndarray:
+        if self._coords is None:
+            raise RuntimeError("fit() must be called first")
+        for index, fitted in enumerate(self._fit_records):
+            if fitted == record:
+                return self._coords[index].copy()
+        # Landmark extension: triangulate from distances to fitted records.
+        squared = np.array(
+            [(1.0 - self.measure(record, fitted)) ** 2 for fitted in self._fit_records]
+        )
+        return -0.5 * (self._pinv @ (squared - self._mean_sq_dist))
+
+    def transform_all(self, dataset: Dataset) -> np.ndarray:
+        if self._coords is not None and self._fit_records is not None:
+            if len(dataset) == len(self._fit_records) and all(
+                a == b for a, b in zip(dataset.records, self._fit_records)
+            ):
+                return self._coords.copy()
+        return super().transform_all(dataset)

@@ -1,0 +1,91 @@
+"""PTR — path-table representation (Section 5.3).
+
+Tokens are the leaves of a balanced binary tree of height
+``h = ⌈log2 |T|⌉``; the edge to a left child is marked 1, to a right child 0.
+A token's path is therefore ``h`` bits; the path table has ``2h`` columns —
+the path bits followed by their complements (Equation 16) — and a set's
+representation sums its tokens' path-table rows (Equation 17).
+
+With tokens placed left-to-right in id order, the path of token ``t`` is the
+bitwise complement of the ``h``-bit binary encoding of ``t`` (MSB first):
+id 0 is the leftmost leaf, reached by all-left = all-ones, reproducing the
+paper's Table 1 exactly for T = {A, B, C, D}.
+
+Multisets are differentiated naturally: ``Rep({A}) = [1,1,0,0]`` while
+``Rep({A,A}) = [2,2,0,0]``.
+
+``PTRHalfEmbedding`` keeps only the first ``h`` columns — the ablation of
+Section 7.3 that loses injectivity (``{A}`` and ``{B, C}`` collide).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+from repro.embedding.base import Embedding
+
+__all__ = ["build_path_table", "PTREmbedding", "PTRHalfEmbedding"]
+
+
+def build_path_table(universe_size: int) -> np.ndarray:
+    """The ``|T| × 2h`` path table of Equation 16 (float64 for the nets)."""
+    if universe_size <= 0:
+        raise ValueError("universe_size must be positive")
+    height = max(int(np.ceil(np.log2(universe_size))), 1)
+    ids = np.arange(universe_size, dtype=np.int64)
+    shifts = np.arange(height - 1, -1, -1, dtype=np.int64)
+    bits = (ids[:, None] >> shifts[None, :]) & 1
+    paths = 1 - bits  # left edges are 1; id 0 is the leftmost (all-left) leaf
+    return np.concatenate([paths, 1 - paths], axis=1).astype(np.float64)
+
+
+class PTREmbedding(Embedding):
+    """Full path-table representation (dimension ``2h``)."""
+
+    name = "ptr"
+
+    def __init__(self) -> None:
+        self._table: np.ndarray | None = None
+
+    def fit(self, dataset: Dataset) -> "PTREmbedding":
+        self._table = build_path_table(max(len(dataset.universe), 1))
+        return self
+
+    @property
+    def dim(self) -> int:
+        if self._table is None:
+            raise RuntimeError("fit() must be called first")
+        return self._table.shape[1]
+
+    @property
+    def table(self) -> np.ndarray:
+        if self._table is None:
+            raise RuntimeError("fit() must be called first")
+        return self._table
+
+    def transform(self, record: SetRecord) -> np.ndarray:
+        table = self.table
+        known = [t for t in record.tokens if t < table.shape[0]]
+        if not known:
+            return np.zeros(table.shape[1])
+        return table[known].sum(axis=0)
+
+    def transform_all(self, dataset: Dataset) -> np.ndarray:
+        table = self.table
+        out = np.empty((len(dataset), table.shape[1]), dtype=np.float64)
+        for i, record in enumerate(dataset.records):
+            out[i] = table[list(record.tokens)].sum(axis=0)
+        return out
+
+
+class PTRHalfEmbedding(PTREmbedding):
+    """PTR truncated to the first ``h`` columns (Section 7.3 ablation)."""
+
+    name = "ptr-half"
+
+    def fit(self, dataset: Dataset) -> "PTRHalfEmbedding":
+        full = build_path_table(max(len(dataset.universe), 1))
+        self._table = full[:, : full.shape[1] // 2].copy()
+        return self

@@ -1,0 +1,6 @@
+"""Graph substrate: weighted graphs and multilevel balanced partitioning."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import bisect, partition_graph
+
+__all__ = ["Graph", "bisect", "partition_graph"]

@@ -1,0 +1,61 @@
+"""A small weighted undirected graph used by the balanced partitioner.
+
+Vertices are integers ``0 .. n-1`` with integer weights (coarsened vertices
+accumulate weight); edges carry float weights and are stored symmetrically
+in per-vertex adjacency dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Adjacency-map graph with vertex and edge weights."""
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self.adjacency: list[dict[int, float]] = [{} for _ in range(num_vertices)]
+        self.vertex_weight: list[int] = [1] * num_vertices
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.adjacency)
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or accumulate) an undirected edge; self-loops are ignored."""
+        if u == v:
+            return
+        self.adjacency[u][v] = self.adjacency[u].get(v, 0.0) + weight
+        self.adjacency[v][u] = self.adjacency[v].get(u, 0.0) + weight
+
+    def neighbors(self, u: int) -> Iterator[tuple[int, float]]:
+        return iter(self.adjacency[u].items())
+
+    def degree(self, u: int) -> int:
+        return len(self.adjacency[u])
+
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self.adjacency) // 2
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        for u, adj in enumerate(self.adjacency):
+            for v, weight in adj.items():
+                if u < v:
+                    yield u, v, weight
+
+    def total_vertex_weight(self) -> int:
+        return sum(self.vertex_weight)
+
+    def cut_weight(self, side: Iterable[int]) -> float:
+        """Total weight of edges crossing the given vertex subset."""
+        side_set = set(side)
+        total = 0.0
+        for u in side_set:
+            for v, weight in self.adjacency[u].items():
+                if v not in side_set:
+                    total += weight
+        return total

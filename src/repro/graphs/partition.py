@@ -1,0 +1,203 @@
+"""Multilevel balanced graph partitioning (stands in for PaToH [9]).
+
+Used by PAR-G (Section 4.3.1): partition the kNN similarity graph into ``n``
+balanced parts minimising the cut.  The classic multilevel recipe:
+
+1. **Coarsen** by heavy-edge matching until the graph is small.
+2. **Bisect** the coarsest graph by greedy region growth from a random seed.
+3. **Refine** with a bounded Fiduccia–Mattheyses pass while uncoarsening.
+4. **Recurse** on each half until the target part count is reached.
+
+Balance is enforced on vertex weight with a configurable tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.graph import Graph
+
+__all__ = ["bisect", "partition_graph"]
+
+_COARSEST_SIZE = 64
+
+
+def _heavy_edge_matching(graph: Graph, rng: random.Random) -> tuple[Graph, list[int]]:
+    """One coarsening level; returns (coarse graph, fine→coarse map)."""
+    n = graph.num_vertices
+    order = list(range(n))
+    rng.shuffle(order)
+    match = [-1] * n
+    for u in order:
+        if match[u] != -1:
+            continue
+        best, best_weight = -1, -1.0
+        for v, weight in graph.neighbors(u):
+            if match[v] == -1 and weight > best_weight:
+                best, best_weight = v, weight
+        if best != -1:
+            match[u], match[best] = best, u
+        else:
+            match[u] = u
+    coarse_id = [-1] * n
+    next_id = 0
+    for u in range(n):
+        if coarse_id[u] == -1:
+            coarse_id[u] = next_id
+            coarse_id[match[u]] = next_id
+            next_id += 1
+    coarse = Graph(next_id)
+    for u in range(n):
+        cu = coarse_id[u]
+        if match[u] == u or u < match[u]:
+            coarse.vertex_weight[cu] = graph.vertex_weight[u] + (
+                graph.vertex_weight[match[u]] if match[u] != u else 0
+            )
+    for u in range(n):
+        cu = coarse_id[u]
+        for v, weight in graph.neighbors(u):
+            cv = coarse_id[v]
+            if cu < cv:
+                coarse.add_edge(cu, cv, weight)
+    return coarse, coarse_id
+
+
+def _greedy_bisection(graph: Graph, rng: random.Random) -> list[int]:
+    """Grow part 0 from a random seed until it holds half the vertex weight."""
+    n = graph.num_vertices
+    side = [1] * n
+    if n == 0:
+        return side
+    target = graph.total_vertex_weight() / 2
+    seed = rng.randrange(n)
+    side[seed] = 0
+    grown = graph.vertex_weight[seed]
+    frontier: dict[int, float] = dict(graph.neighbors(seed))
+    while grown < target:
+        if frontier:
+            pick = max(frontier, key=lambda v: frontier[v])
+            frontier.pop(pick)
+        else:
+            remaining = [v for v in range(n) if side[v] == 1]
+            if not remaining:
+                break
+            pick = rng.choice(remaining)
+        if side[pick] == 0:
+            continue
+        side[pick] = 0
+        grown += graph.vertex_weight[pick]
+        for v, weight in graph.neighbors(pick):
+            if side[v] == 1:
+                frontier[v] = frontier.get(v, 0.0) + weight
+    return side
+
+
+def _fm_refine(graph: Graph, side: list[int], tolerance: float, passes: int, rng: random.Random) -> None:
+    """Bounded Fiduccia–Mattheyses refinement of a bisection, in place."""
+    n = graph.num_vertices
+    total = graph.total_vertex_weight()
+    max_side = total / 2 * (1 + tolerance)
+
+    def gain(u: int) -> float:
+        external = internal = 0.0
+        for v, weight in graph.neighbors(u):
+            if side[v] == side[u]:
+                internal += weight
+            else:
+                external += weight
+        return external - internal
+
+    for _ in range(passes):
+        weights = [sum(graph.vertex_weight[u] for u in range(n) if side[u] == s) for s in (0, 1)]
+        locked = [False] * n
+        moves: list[int] = []
+        gains: list[float] = []
+        current_gain = 0.0
+        best_gain, best_prefix = 0.0, 0
+        for _ in range(n):
+            best_vertex, best_vertex_gain = -1, float("-inf")
+            for u in range(n):
+                if locked[u]:
+                    continue
+                target_side = 1 - side[u]
+                if weights[target_side] + graph.vertex_weight[u] > max_side:
+                    continue
+                g = gain(u)
+                if g > best_vertex_gain:
+                    best_vertex, best_vertex_gain = u, g
+            if best_vertex == -1:
+                break
+            u = best_vertex
+            weights[side[u]] -= graph.vertex_weight[u]
+            side[u] = 1 - side[u]
+            weights[side[u]] += graph.vertex_weight[u]
+            locked[u] = True
+            moves.append(u)
+            current_gain += best_vertex_gain
+            gains.append(current_gain)
+            if current_gain > best_gain:
+                best_gain, best_prefix = current_gain, len(moves)
+        # Roll back moves past the best prefix.
+        for u in moves[best_prefix:]:
+            side[u] = 1 - side[u]
+        if best_gain <= 0:
+            break
+
+
+def bisect(graph: Graph, tolerance: float = 0.1, seed: int = 0) -> list[int]:
+    """Balanced bisection via the multilevel scheme; returns 0/1 sides."""
+    rng = random.Random(seed)
+    hierarchy: list[tuple[Graph, list[int]]] = []
+    current = graph
+    while current.num_vertices > _COARSEST_SIZE:
+        coarse, mapping = _heavy_edge_matching(current, rng)
+        if coarse.num_vertices >= current.num_vertices:
+            break  # matching made no progress (e.g. no edges)
+        hierarchy.append((current, mapping))
+        current = coarse
+    side = _greedy_bisection(current, rng)
+    _fm_refine(current, side, tolerance, passes=4, rng=rng)
+    for fine_graph, mapping in reversed(hierarchy):
+        side = [side[mapping[u]] for u in range(fine_graph.num_vertices)]
+        if fine_graph.num_vertices <= 2000:
+            _fm_refine(fine_graph, side, tolerance, passes=2, rng=rng)
+    return side
+
+
+def partition_graph(
+    graph: Graph, num_parts: int, tolerance: float = 0.1, seed: int = 0
+) -> list[int]:
+    """Recursive balanced bisection into ``num_parts`` parts.
+
+    Part counts need not be powers of two: each split allocates parts
+    proportionally to the two sides.
+    """
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    assignment = [0] * graph.num_vertices
+
+    def recurse(vertices: list[int], parts: int, part_offset: int, depth: int) -> None:
+        if parts == 1 or len(vertices) <= 1:
+            for u in vertices:
+                assignment[u] = part_offset
+            return
+        sub = Graph(len(vertices))
+        local = {u: i for i, u in enumerate(vertices)}
+        for i, u in enumerate(vertices):
+            sub.vertex_weight[i] = graph.vertex_weight[u]
+            for v, weight in graph.neighbors(u):
+                j = local.get(v)
+                if j is not None and i < j:
+                    sub.add_edge(i, j, weight)
+        left_parts = parts // 2
+        side = bisect(sub, tolerance, seed=seed + depth)
+        left = [vertices[i] for i in range(len(vertices)) if side[i] == 0]
+        right = [vertices[i] for i in range(len(vertices)) if side[i] == 1]
+        if not left or not right:  # degenerate; force a split
+            half = max(len(vertices) // 2, 1)
+            left, right = vertices[:half], vertices[half:]
+        recurse(left, left_parts, part_offset, depth * 2 + 1)
+        recurse(right, parts - left_parts, part_offset + left_parts, depth * 2 + 2)
+
+    recurse(list(range(graph.num_vertices)), num_parts, 0, 0)
+    return assignment

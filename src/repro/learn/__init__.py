@@ -1,0 +1,12 @@
+"""L2P learning stack: numpy NN substrate, Siamese networks, the cascade."""
+
+from repro.learn.cascade import CascadeStats, L2PPartitioner
+from repro.learn.siamese import SiameseNetwork, hard_pair_loss, surrogate_pair_loss
+
+__all__ = [
+    "CascadeStats",
+    "L2PPartitioner",
+    "SiameseNetwork",
+    "hard_pair_loss",
+    "surrogate_pair_loss",
+]

@@ -1,0 +1,7 @@
+"""Pure-numpy neural-network substrate (substitute for PyTorch)."""
+
+from repro.learn.nn.adam import Adam
+from repro.learn.nn.layers import Layer, Linear, Sigmoid
+from repro.learn.nn.mlp import MLP, build_l2p_network
+
+__all__ = ["Adam", "Layer", "Linear", "Sigmoid", "MLP", "build_l2p_network"]

@@ -1,0 +1,51 @@
+"""Adam optimizer (Kingma & Ba) over the layer substrate's gradient buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with bias-corrected first/second moments.
+
+    Parameters and gradient buffers are parallel lists of arrays; ``step``
+    applies one update in place and zeroes the gradients.
+    """
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must align")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update and clear the gradient buffers."""
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self.parameters, self.gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            grad.fill(0.0)

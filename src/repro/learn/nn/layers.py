@@ -1,0 +1,89 @@
+"""Minimal feed-forward layers with manual backpropagation.
+
+This is the pure-numpy substitute for the paper's PyTorch models.  Only what
+L2P needs is implemented: dense (linear) layers and the sigmoid activation.
+Layers cache their forward inputs; ``backward`` consumes the upstream
+gradient and accumulates parameter gradients in ``grad_*`` buffers, which an
+optimizer consumes and zeroes.
+
+Shapes follow the batch-first convention: inputs are ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer", "Linear", "Sigmoid"]
+
+
+class Layer:
+    """Base class: forward caches, backward returns the input gradient."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable arrays (shared with gradients by position)."""
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient buffers aligned with :meth:`parameters`."""
+        return []
+
+    def zero_grad(self) -> None:
+        for grad in self.gradients():
+            grad.fill(0.0)
+
+
+class Linear(Layer):
+    """Dense layer ``y = x W + b`` with Xavier/Glorot initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = rng.uniform(-limit, limit, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._last_input: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._last_input = inputs
+        return inputs @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward() before forward()")
+        self.grad_weight += self._last_input.T @ grad_output
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class Sigmoid(Layer):
+    """Elementwise logistic activation."""
+
+    def __init__(self) -> None:
+        self._last_output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        # Numerically stable split on sign.
+        out = np.empty_like(inputs, dtype=np.float64)
+        positive = inputs >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
+        exp_x = np.exp(inputs[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._last_output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_output is None:
+            raise RuntimeError("backward() before forward()")
+        return grad_output * self._last_output * (1.0 - self._last_output)

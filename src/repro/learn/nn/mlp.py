@@ -1,0 +1,56 @@
+"""Multi-layer perceptron assembled from the layer substrate.
+
+The paper's network (Section 7.1): two hidden layers of eight neurons each,
+sigmoid activations, one sigmoid output neuron.  :func:`build_l2p_network`
+constructs exactly that; :class:`MLP` is generic over widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.nn.layers import Layer, Linear, Sigmoid
+
+__all__ = ["MLP", "build_l2p_network"]
+
+
+class MLP:
+    """A stack of Linear+Sigmoid blocks."""
+
+    def __init__(self, widths: list[int], rng: np.random.Generator) -> None:
+        if len(widths) < 2:
+            raise ValueError("need at least input and output widths")
+        self.layers: list[Layer] = []
+        for in_width, out_width in zip(widths[:-1], widths[1:]):
+            self.layers.append(Linear(in_width, out_width, rng))
+            self.layers.append(Sigmoid())
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+def build_l2p_network(input_dim: int, rng: np.random.Generator, hidden: tuple[int, int] = (8, 8)) -> MLP:
+    """The Section 7.1 architecture: ``input → 8 → 8 → 1``, all sigmoid."""
+    return MLP([input_dim, hidden[0], hidden[1], 1], rng)

@@ -1,0 +1,38 @@
+"""Partitioning strategies: the GPO objective and the Section 4.3 heuristics."""
+
+from repro.partitioning.base import Partition, Partitioner
+from repro.partitioning.objective import (
+    balance,
+    expected_pruning_efficiency,
+    f_value,
+    gpo,
+    gpo_sampled,
+    group_phi,
+    ilp_objective,
+    summed_vocabulary,
+)
+from repro.partitioning.par_a import ParAPartitioner
+from repro.partitioning.par_c import ParCPartitioner
+from repro.partitioning.par_d import ParDPartitioner
+from repro.partitioning.par_g import ParGPartitioner
+from repro.partitioning.simple import MinTokenPartitioner, RandomPartitioner, chunk_evenly
+
+__all__ = [
+    "Partition",
+    "Partitioner",
+    "balance",
+    "expected_pruning_efficiency",
+    "f_value",
+    "gpo",
+    "gpo_sampled",
+    "group_phi",
+    "ilp_objective",
+    "summed_vocabulary",
+    "ParAPartitioner",
+    "ParCPartitioner",
+    "ParDPartitioner",
+    "ParGPartitioner",
+    "MinTokenPartitioner",
+    "RandomPartitioner",
+    "chunk_evenly",
+]

@@ -1,0 +1,92 @@
+"""Partition representation and the partitioner interface.
+
+A :class:`Partition` is the output of every partitioning strategy (Section 4
+algorithmic methods, Section 5 L2P): an assignment of each record index of a
+dataset to one of ``n`` disjoint groups.  The TGM is built directly from a
+partition; the partitioning objective functions evaluate one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+from repro.core.dataset import Dataset
+
+__all__ = ["Partition", "Partitioner"]
+
+
+class Partition:
+    """A disjoint grouping of record indices ``0 .. len(dataset) - 1``.
+
+    Parameters
+    ----------
+    groups:
+        One list of record indices per group.  Empty groups are dropped.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[int]]) -> None:
+        self.groups: list[list[int]] = [list(group) for group in groups if len(group)]
+        self._assignments: dict[int, int] = {}
+        for group_id, group in enumerate(self.groups):
+            for record_index in group:
+                if record_index in self._assignments:
+                    raise ValueError(f"record {record_index} assigned to more than one group")
+                self._assignments[record_index] = group_id
+
+    @classmethod
+    def from_assignments(cls, assignments: Sequence[int]) -> "Partition":
+        """Build from a per-record group-id vector (ids need not be dense)."""
+        by_group: dict[int, list[int]] = {}
+        for record_index, group_id in enumerate(assignments):
+            by_group.setdefault(group_id, []).append(record_index)
+        return cls([by_group[g] for g in sorted(by_group)])
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.groups)
+
+    def __getitem__(self, group_id: int) -> list[int]:
+        return self.groups[group_id]
+
+    def group_of(self, record_index: int) -> int:
+        """Group id of a record; raises ``KeyError`` for unassigned records."""
+        return self._assignments[record_index]
+
+    def num_records(self) -> int:
+        return len(self._assignments)
+
+    def covers(self, dataset_size: int) -> bool:
+        """True when every record index ``< dataset_size`` is assigned."""
+        return len(self._assignments) == dataset_size and (
+            not self._assignments or max(self._assignments) == dataset_size - 1
+        )
+
+    def group_sizes(self) -> list[int]:
+        return [len(group) for group in self.groups]
+
+    def assign(self, record_index: int, group_id: int) -> None:
+        """Assign a *new* record to an existing group (used for updates)."""
+        if record_index in self._assignments:
+            raise ValueError(f"record {record_index} is already assigned")
+        if not 0 <= group_id < len(self.groups):
+            raise IndexError(f"group id {group_id} out of range")
+        self.groups[group_id].append(record_index)
+        self._assignments[record_index] = group_id
+
+
+class Partitioner(ABC):
+    """A strategy that splits a dataset into ``n`` groups."""
+
+    @abstractmethod
+    def partition(self, dataset: Dataset, num_groups: int) -> Partition:
+        """Partition ``dataset`` into at most ``num_groups`` groups."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,6 @@
+"""R-tree substrate (STR bulk load, bound-driven exact search)."""
+
+from repro.rtree.node import Node
+from repro.rtree.rtree import RTree
+
+__all__ = ["Node", "RTree"]

@@ -1,0 +1,52 @@
+"""R-tree nodes: minimum bounding rectangles over d-dimensional vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Node"]
+
+
+class Node:
+    """An R-tree node (leaf or internal).
+
+    Leaves hold ``entries`` — (record_index, vector) pairs; internal nodes
+    hold ``children`` — other nodes.  ``mbr_min``/``mbr_max`` bound all
+    vectors beneath the node.
+    """
+
+    __slots__ = ("mbr_min", "mbr_max", "children", "entries")
+
+    def __init__(self) -> None:
+        self.mbr_min: np.ndarray | None = None
+        self.mbr_max: np.ndarray | None = None
+        self.children: list["Node"] = []
+        self.entries: list[tuple[int, np.ndarray]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def recompute_mbr(self) -> None:
+        """Recompute the bounding rectangle from children or entries."""
+        if self.is_leaf:
+            if not self.entries:
+                raise ValueError("cannot bound an empty leaf")
+            vectors = np.stack([vector for _, vector in self.entries])
+            self.mbr_min = vectors.min(axis=0)
+            self.mbr_max = vectors.max(axis=0)
+        else:
+            self.mbr_min = np.min(np.stack([c.mbr_min for c in self.children]), axis=0)
+            self.mbr_max = np.max(np.stack([c.mbr_max for c in self.children]), axis=0)
+
+    def count_nodes(self) -> int:
+        """Total node count of the subtree (this node included)."""
+        if self.is_leaf:
+            return 1
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+    def depth(self) -> int:
+        """Height of the subtree (a lone leaf has depth 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children)

@@ -1,0 +1,277 @@
+"""R-tree with STR bulk loading and bound-driven search.
+
+The substrate behind the DualTrans baseline (Section 7.6 / [73]): vectors
+are organised into an R-tree built with Sort-Tile-Recursive packing; queries
+traverse the tree best-first using a caller-supplied *bound function* that
+maps a node's MBR to an upper bound of the query's similarity to anything
+beneath the node.  This keeps the tree generic: it knows rectangles, not
+similarity measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.rtree.node import Node
+
+__all__ = ["RTree"]
+
+BoundFunction = Callable[[np.ndarray, np.ndarray], float]
+
+
+class RTree:
+    """Static R-tree over (record_index, vector) pairs."""
+
+    def __init__(self, leaf_capacity: int = 32, fanout: int = 8) -> None:
+        if leaf_capacity < 2 or fanout < 2:
+            raise ValueError("leaf_capacity and fanout must be at least 2")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.root: Node | None = None
+        self._dim: int | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    def bulk_load(self, vectors: np.ndarray, indices: Sequence[int] | None = None) -> "RTree":
+        """Sort-Tile-Recursive packing of ``vectors`` (rows)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or not len(vectors):
+            raise ValueError("vectors must be a non-empty 2-D array")
+        self._dim = vectors.shape[1]
+        if indices is None:
+            indices = range(len(vectors))
+        entries = [(int(index), vectors[i]) for i, index in enumerate(indices)]
+        leaves = self._pack_leaves(entries)
+        self.root = self._pack_upwards(leaves)
+        return self
+
+    def _pack_leaves(self, entries: list[tuple[int, np.ndarray]]) -> list[Node]:
+        groups = self._str_tiles(entries, self.leaf_capacity, key=lambda e: e[1])
+        leaves = []
+        for group in groups:
+            leaf = Node()
+            leaf.entries = group
+            leaf.recompute_mbr()
+            leaves.append(leaf)
+        return leaves
+
+    def _pack_upwards(self, nodes: list[Node]) -> Node:
+        while len(nodes) > 1:
+            groups = self._str_tiles(nodes, self.fanout, key=lambda n: (n.mbr_min + n.mbr_max) / 2)
+            parents = []
+            for group in groups:
+                parent = Node()
+                parent.children = group
+                parent.recompute_mbr()
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    def _str_tiles(self, items: list, capacity: int, key) -> list[list]:
+        """One STR pass: sort by dim 0, slice, sort slices by dim 1, chunk.
+
+        Generalises to d dimensions by recursive slicing over dimensions;
+        two levels suffice in practice for the dimensionalities used here.
+        """
+        count = len(items)
+        num_groups = math.ceil(count / capacity)
+        slices = math.ceil(math.sqrt(num_groups))
+        by_first = sorted(items, key=lambda item: key(item)[0])
+        slice_size = math.ceil(count / slices)
+        groups = []
+        for start in range(0, count, slice_size):
+            chunk = by_first[start : start + slice_size]
+            chunk.sort(key=lambda item: tuple(key(item)[1:]) if len(key(item)) > 1 else 0)
+            for inner in range(0, len(chunk), capacity):
+                groups.append(chunk[inner : inner + capacity])
+        return groups
+
+    # -- dynamic insertion (Guttman's ChooseLeaf + quadratic split) -------------
+
+    def insert(self, record_index: int, vector: np.ndarray) -> None:
+        """Insert one entry into a built tree (Guttman's algorithm).
+
+        Used by the DualTrans baseline to support the update workloads the
+        TGM handles natively — and to exhibit the MBR-growth cost the paper
+        attributes to tree maintenance.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if self.root is None:
+            self._dim = len(vector)
+            leaf = Node()
+            leaf.entries = [(int(record_index), vector)]
+            leaf.recompute_mbr()
+            self.root = leaf
+            return
+        if self._dim is not None and len(vector) != self._dim:
+            raise ValueError(f"vector has dimension {len(vector)}, tree has {self._dim}")
+        split = self._insert_into(self.root, int(record_index), vector)
+        if split is not None:
+            new_root = Node()
+            new_root.children = [self.root, split]
+            new_root.recompute_mbr()
+            self.root = new_root
+
+    def _insert_into(self, node: Node, record_index: int, vector: np.ndarray) -> Node | None:
+        """Recursive insert; returns the sibling node if ``node`` split."""
+        if node.is_leaf:
+            node.entries.append((record_index, vector))
+            if len(node.entries) > self.leaf_capacity:
+                return self._split_node(node, is_leaf=True)
+            node.recompute_mbr()
+            return None
+        child = self._choose_child(node, vector)
+        split = self._insert_into(child, record_index, vector)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.fanout:
+                return self._split_node(node, is_leaf=False)
+        node.recompute_mbr()
+        return None
+
+    @staticmethod
+    def _choose_child(node: Node, vector: np.ndarray) -> Node:
+        """Child whose MBR needs the least enlargement (ties: smallest area)."""
+
+        def enlargement(child: Node) -> tuple[float, float]:
+            new_min = np.minimum(child.mbr_min, vector)
+            new_max = np.maximum(child.mbr_max, vector)
+            old_extent = float(np.prod(child.mbr_max - child.mbr_min + 1e-12))
+            new_extent = float(np.prod(new_max - new_min + 1e-12))
+            return new_extent - old_extent, old_extent
+
+        return min(node.children, key=enlargement)
+
+    def _split_node(self, node: Node, is_leaf: bool) -> Node:
+        """Quadratic split; ``node`` keeps one half, the returned node the other."""
+        if is_leaf:
+            items = node.entries
+            positions = [vector for _, vector in items]
+        else:
+            items = node.children
+            positions = [(child.mbr_min + child.mbr_max) / 2 for child in items]
+        # Seeds: the pair with the largest separation.
+        seed_a, seed_b, worst = 0, 1, -1.0
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                distance = float(np.abs(positions[i] - positions[j]).sum())
+                if distance > worst:
+                    seed_a, seed_b, worst = i, j, distance
+        group_a, group_b = [items[seed_a]], [items[seed_b]]
+        center_a, center_b = positions[seed_a], positions[seed_b]
+        for index, item in enumerate(items):
+            if index in (seed_a, seed_b):
+                continue
+            to_a = float(np.abs(positions[index] - center_a).sum())
+            to_b = float(np.abs(positions[index] - center_b).sum())
+            # Keep both halves non-degenerate.
+            if len(group_a) * 2 > len(items):
+                group_b.append(item)
+            elif len(group_b) * 2 > len(items):
+                group_a.append(item)
+            elif to_a <= to_b:
+                group_a.append(item)
+            else:
+                group_b.append(item)
+        sibling = Node()
+        if is_leaf:
+            node.entries = group_a
+            sibling.entries = group_b
+        else:
+            node.children = group_a
+            sibling.children = group_b
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    # -- queries ---------------------------------------------------------------
+
+    def range_query(
+        self, bound: BoundFunction, threshold: float
+    ) -> tuple[list[tuple[int, np.ndarray]], int]:
+        """All leaf entries in subtrees whose bound reaches ``threshold``.
+
+        Returns ``(entries, nodes_visited)``; the caller verifies entries
+        exactly.  The bound function must upper-bound the similarity of the
+        query to any vector inside the rectangle, so skipping a subtree is
+        always safe.
+        """
+        if self.root is None:
+            return [], 0
+        results: list[tuple[int, np.ndarray]] = []
+        nodes_visited = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes_visited += 1
+            if bound(node.mbr_min, node.mbr_max) < threshold:
+                continue
+            if node.is_leaf:
+                results.extend(node.entries)
+            else:
+                stack.extend(node.children)
+        return results, nodes_visited
+
+    def knn_traverse(
+        self,
+        bound: BoundFunction,
+        score: Callable[[int, np.ndarray], float],
+        k: int,
+    ) -> tuple[list[tuple[int, float]], int, int]:
+        """Best-first kNN: returns (matches, nodes_visited, entries_scored).
+
+        ``score`` computes the exact similarity of a leaf entry (given its
+        record index and vector); ``bound`` upper-bounds whole subtrees.
+        """
+        if self.root is None or k <= 0:
+            return [], 0, 0
+        counter = itertools.count()
+        queue = [(-bound(self.root.mbr_min, self.root.mbr_max), next(counter), self.root)]
+        top: list[tuple[float, int]] = []
+        nodes_visited = 0
+        entries_scored = 0
+        while queue:
+            negative_bound, _, node = heapq.heappop(queue)
+            if len(top) >= k and -negative_bound < top[0][0]:
+                break
+            nodes_visited += 1
+            if node.is_leaf:
+                for record_index, vector in node.entries:
+                    similarity = score(record_index, vector)
+                    entries_scored += 1
+                    entry = (similarity, -record_index)
+                    if len(top) < k:
+                        heapq.heappush(top, entry)
+                    elif entry > top[0]:
+                        heapq.heapreplace(top, entry)
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        queue,
+                        (-bound(child.mbr_min, child.mbr_max), next(counter), child),
+                    )
+        matches = [(-neg, sim) for sim, neg in top]
+        matches.sort(key=lambda pair: (-pair[1], pair[0]))
+        return matches, nodes_visited, entries_scored
+
+    def num_nodes(self) -> int:
+        return self.root.count_nodes() if self.root else 0
+
+    def byte_size(self, bytes_per_float: int = 8) -> int:
+        """Approximate index size: two MBR vectors per node + child pointers."""
+        if self.root is None or self._dim is None:
+            return 0
+
+        def node_bytes(node: Node) -> int:
+            own = 2 * self._dim * bytes_per_float + 8 * max(len(node.children), 1)
+            if node.is_leaf:
+                own += len(node.entries) * (8 + self._dim * bytes_per_float)
+                return own
+            return own + sum(node_bytes(child) for child in node.children)
+
+        return node_bytes(self.root)

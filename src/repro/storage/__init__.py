@@ -1,0 +1,29 @@
+"""Simulated storage layer for the disk-based evaluation (Figure 13)."""
+
+from repro.storage.disk import (
+    HDD_5400RPM,
+    SSD_SATA,
+    DiskProfile,
+    DiskStats,
+    SimulatedDisk,
+)
+from repro.storage.layout import (
+    DiskBruteForce,
+    DiskDualTrans,
+    DiskInvertedIndex,
+    DiskLES3,
+    record_bytes,
+)
+
+__all__ = [
+    "HDD_5400RPM",
+    "SSD_SATA",
+    "DiskProfile",
+    "DiskStats",
+    "SimulatedDisk",
+    "DiskBruteForce",
+    "DiskDualTrans",
+    "DiskInvertedIndex",
+    "DiskLES3",
+    "record_bytes",
+]

@@ -1,0 +1,5 @@
+"""Query workloads for the experiments."""
+
+from repro.workloads.queries import sample_queries, perturbed_queries
+
+__all__ = ["sample_queries", "perturbed_queries"]

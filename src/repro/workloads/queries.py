@@ -1,0 +1,43 @@
+"""Query workload construction (Section 7.1: queries sampled from the data)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+
+__all__ = ["sample_queries", "perturbed_queries"]
+
+
+def sample_queries(dataset: Dataset, count: int, seed: int = 0) -> list[SetRecord]:
+    """The paper's workload: ``count`` sets sampled from the database."""
+    rng = random.Random(seed)
+    indices = dataset.sample_indices(count, rng)
+    return [dataset.records[i] for i in indices]
+
+
+def perturbed_queries(
+    dataset: Dataset,
+    count: int,
+    replace_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[SetRecord]:
+    """Out-of-database queries: sampled sets with a fraction of tokens replaced.
+
+    Exercises the path where the query is not an exact member — important
+    for the exactness tests (no accidental self-match shortcuts).
+    """
+    if not 0.0 <= replace_fraction <= 1.0:
+        raise ValueError("replace_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    universe_size = len(dataset.universe)
+    queries = []
+    for index in dataset.sample_indices(count, rng):
+        tokens = set(dataset.records[index].distinct)
+        num_replace = max(int(len(tokens) * replace_fraction), 0)
+        for _ in range(num_replace):
+            tokens.discard(next(iter(tokens)))
+            tokens.add(rng.randrange(universe_size))
+        queries.append(SetRecord(tokens))
+    return queries

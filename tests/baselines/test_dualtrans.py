@@ -1,0 +1,93 @@
+"""DualTrans-specific behaviour: bucket vectors, MBR bounds, the d trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DualTransSearch, bucket_vectors
+from repro.core import Dataset
+from repro.core.sets import SetRecord
+
+
+class TestBucketVectors:
+    def test_row_sums_are_set_sizes(self, zipf_small):
+        vectors = bucket_vectors(zipf_small, 8)
+        sizes = np.array([len(r) for r in zipf_small.records], dtype=float)
+        np.testing.assert_allclose(vectors.sum(axis=1), sizes)
+
+    def test_multiset_counts(self):
+        dataset = Dataset.from_token_lists([["a", "a", "b"]])
+        vectors = bucket_vectors(dataset, 2)
+        assert vectors.sum() == 3.0
+
+    def test_invalid_dim(self, zipf_small):
+        with pytest.raises(ValueError):
+            bucket_vectors(zipf_small, 0)
+
+
+class TestBoundSoundness:
+    def test_root_bound_dominates_all_similarities(self, zipf_small):
+        search = DualTransSearch(zipf_small, dim=8)
+        query = zipf_small.records[0]
+        query_vector = search._query_vector(query)
+        bound = search._bound_function(query_vector, len(query))
+        root = search.tree.root
+        root_bound = bound(root.mbr_min, root.mbr_max)
+        for record in zipf_small.records:
+            assert root_bound >= search.measure(query, record) - 1e-12
+
+    @pytest.mark.parametrize("dim", [2, 8, 32])
+    def test_exact_at_any_dimensionality(self, zipf_small, dim):
+        from repro.baselines import BruteForceSearch
+
+        search = DualTransSearch(zipf_small, dim=dim)
+        brute = BruteForceSearch(zipf_small)
+        for i in (0, 17, 99):
+            query = zipf_small.records[i]
+            assert (
+                search.range_search(query, 0.6).matches
+                == brute.range_search(query, 0.6).matches
+            )
+
+
+class TestDimensionTradeOff:
+    def test_large_d_inflates_tree_scan_cost(self, zipf_small):
+        """Section 7.6: large d → more MBR overlap → more nodes scanned."""
+        from repro.workloads import sample_queries
+
+        queries = sample_queries(zipf_small, 30, seed=8)
+        small = DualTransSearch(zipf_small, dim=2)
+        large = DualTransSearch(zipf_small, dim=64)
+        small_nodes = sum(
+            small.range_search(q, 0.7).stats.extra["nodes_visited"] for q in queries
+        )
+        large_nodes = sum(
+            large.range_search(q, 0.7).stats.extra["nodes_visited"] for q in queries
+        )
+        assert large_nodes > small_nodes
+
+    def test_nodes_visited_recorded(self, zipf_small):
+        search = DualTransSearch(zipf_small, dim=8)
+        result = search.range_search(zipf_small.records[0], 0.5)
+        assert result.stats.extra["nodes_visited"] >= 1
+
+    def test_index_bytes_grow_with_dim(self, zipf_small):
+        small = DualTransSearch(zipf_small, dim=4).index_bytes()
+        large = DualTransSearch(zipf_small, dim=64).index_bytes()
+        assert large > small
+
+
+class TestEdgeCases:
+    def test_unseen_query_tokens(self, zipf_small):
+        from repro.baselines import BruteForceSearch
+
+        search = DualTransSearch(zipf_small, dim=8)
+        brute = BruteForceSearch(zipf_small)
+        query = SetRecord(list(zipf_small.records[0].distinct) + [99_999])
+        assert search.range_search(query, 0.3).matches == brute.range_search(query, 0.3).matches
+
+    def test_invalid_inputs(self, zipf_small):
+        search = DualTransSearch(zipf_small, dim=4)
+        with pytest.raises(ValueError):
+            search.range_search(zipf_small.records[0], 2.0)
+        with pytest.raises(ValueError):
+            search.knn_search(zipf_small.records[0], -1)

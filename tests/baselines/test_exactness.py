@@ -1,0 +1,97 @@
+"""The exactness contract: every method returns the brute-force answer.
+
+This is the load-bearing test of the whole reproduction — LES3, InvIdx and
+DualTrans are all *exact* methods, so on any dataset, any query, any
+threshold or k, their answers must coincide with a linear scan.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BruteForceSearch, DualTransSearch, InvertedIndexSearch
+from repro.core import TokenGroupMatrix, knn_search, range_search
+from repro.core.sets import SetRecord
+from repro.learn import L2PPartitioner
+from repro.workloads import perturbed_queries, sample_queries
+
+
+@pytest.fixture(scope="module")
+def stack(zipf_small):
+    l2p = L2PPartitioner(
+        pairs_per_model=800, epochs=2, initial_groups=4, min_group_size=8, seed=0
+    )
+    tgm = TokenGroupMatrix(zipf_small, l2p.partition(zipf_small, 16).groups)
+    return {
+        "dataset": zipf_small,
+        "brute": BruteForceSearch(zipf_small),
+        "invidx": InvertedIndexSearch(zipf_small),
+        "dualtrans": DualTransSearch(zipf_small, dim=12),
+        "tgm": tgm,
+    }
+
+
+QUERY_SEEDS = [13, 31]
+
+
+class TestRangeAgreement:
+    @pytest.mark.parametrize("threshold", [0.1, 0.4, 0.7, 0.95])
+    @pytest.mark.parametrize("seed", QUERY_SEEDS)
+    def test_all_methods_agree(self, stack, threshold, seed):
+        queries = sample_queries(stack["dataset"], 8, seed) + perturbed_queries(
+            stack["dataset"], 8, seed=seed + 1
+        )
+        for query in queries:
+            expected = stack["brute"].range_search(query, threshold).matches
+            assert stack["invidx"].range_search(query, threshold).matches == expected
+            assert stack["dualtrans"].range_search(query, threshold).matches == expected
+            assert (
+                range_search(stack["dataset"], stack["tgm"], query, threshold).matches
+                == expected
+            )
+
+
+class TestKnnAgreement:
+    @pytest.mark.parametrize("k", [1, 3, 10, 40])
+    @pytest.mark.parametrize("seed", QUERY_SEEDS)
+    def test_similarity_multisets_agree(self, stack, k, seed):
+        queries = sample_queries(stack["dataset"], 6, seed) + perturbed_queries(
+            stack["dataset"], 6, seed=seed + 1
+        )
+        for query in queries:
+            expected = sorted(s for _, s in stack["brute"].knn_search(query, k).matches)
+            for method in ("invidx", "dualtrans"):
+                actual = sorted(s for _, s in getattr(stack[method], "knn_search")(query, k).matches)
+                assert actual == pytest.approx(expected), method
+            actual = sorted(
+                s for _, s in knn_search(stack["dataset"], stack["tgm"], query, k).matches
+            )
+            assert actual == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tokens=st.sets(st.integers(min_value=0, max_value=249), min_size=1, max_size=15),
+    threshold=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_range_agreement(stack, tokens, threshold):
+    query = SetRecord(tokens)
+    expected = stack["brute"].range_search(query, threshold).matches
+    assert stack["invidx"].range_search(query, threshold).matches == expected
+    assert stack["dualtrans"].range_search(query, threshold).matches == expected
+    assert range_search(stack["dataset"], stack["tgm"], query, threshold).matches == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    tokens=st.sets(st.integers(min_value=0, max_value=249), min_size=1, max_size=15),
+    k=st.integers(min_value=1, max_value=25),
+)
+def test_property_knn_agreement(stack, tokens, k):
+    query = SetRecord(tokens)
+    expected = sorted(s for _, s in stack["brute"].knn_search(query, k).matches)
+    for method in ("invidx", "dualtrans"):
+        actual = sorted(s for _, s in getattr(stack[method], "knn_search")(query, k).matches)
+        assert actual == pytest.approx(expected), method
+    actual = sorted(s for _, s in knn_search(stack["dataset"], stack["tgm"], query, k).matches)
+    assert actual == pytest.approx(expected)

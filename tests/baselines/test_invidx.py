@@ -1,0 +1,76 @@
+"""InvIdx-specific behaviour: prefix/length filtering, δ-descending kNN."""
+
+import pytest
+
+from repro.baselines import BruteForceSearch, InvertedIndexSearch
+from repro.core import Dataset
+from repro.core.sets import SetRecord
+
+
+@pytest.fixture(scope="module")
+def index(zipf_small):
+    return InvertedIndexSearch(zipf_small)
+
+
+class TestFiltering:
+    def test_high_threshold_verifies_fewer_candidates(self, index, zipf_small):
+        query = zipf_small.records[0]
+        strict = index.range_search(query, 0.9).stats.candidates_verified
+        loose = index.range_search(query, 0.2).stats.candidates_verified
+        assert strict <= loose
+
+    def test_filter_is_effective(self, index, zipf_small):
+        query = zipf_small.records[0]
+        stats = index.range_search(query, 0.8).stats
+        assert stats.candidates_verified < len(zipf_small)
+
+    def test_threshold_zero_verifies_everything(self, index, zipf_small):
+        query = zipf_small.records[0]
+        stats = index.range_search(query, 0.0).stats
+        assert stats.candidates_verified == len(zipf_small)
+
+    def test_posting_entries_counted(self, index, zipf_small):
+        stats = index.range_search(zipf_small.records[0], 0.5).stats
+        assert stats.columns_visited > 0
+
+
+class TestKnnDeltaLoop:
+    def test_step_size_trades_work(self, zipf_small):
+        index = InvertedIndexSearch(zipf_small)
+        query = zipf_small.records[10]
+        coarse = index.knn_search(query, 5, step=0.5).stats.candidates_verified
+        fine = index.knn_search(query, 5, step=0.02).stats.candidates_verified
+        # A fine step stops earlier (tighter final δ) → fewer verifications.
+        assert fine <= coarse
+
+    def test_invalid_step(self, index, zipf_small):
+        with pytest.raises(ValueError):
+            index.knn_search(zipf_small.records[0], 5, step=0.0)
+
+    def test_k_larger_than_database(self, index, zipf_small):
+        result = index.knn_search(zipf_small.records[0], len(zipf_small) + 5)
+        assert len(result) == len(zipf_small)
+
+    def test_agrees_with_brute_force_on_duplicates(self):
+        dataset = Dataset.from_token_lists([["a", "b"]] * 5 + [["c", "d"]])
+        index = InvertedIndexSearch(dataset)
+        brute = BruteForceSearch(dataset)
+        query = SetRecord([0, 1])
+        expected = sorted(s for _, s in brute.knn_search(query, 3).matches)
+        actual = sorted(s for _, s in index.knn_search(query, 3).matches)
+        assert actual == pytest.approx(expected)
+
+
+class TestNonJaccardMeasures:
+    def test_cosine_stays_exact_with_conservative_prefix(self, zipf_small):
+        index = InvertedIndexSearch(zipf_small, measure="cosine")
+        brute = BruteForceSearch(zipf_small, measure="cosine")
+        query = zipf_small.records[3]
+        assert (
+            index.range_search(query, 0.6).matches == brute.range_search(query, 0.6).matches
+        )
+
+    def test_unseen_query_tokens_handled(self, index, zipf_small):
+        query = SetRecord(list(zipf_small.records[0].distinct) + [10_000])
+        brute = BruteForceSearch(zipf_small)
+        assert index.range_search(query, 0.3).matches == brute.range_search(query, 0.3).matches

@@ -1,0 +1,61 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench import Timer, format_table, geometric_mean, time_calls
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0
+
+
+class TestTimeCalls:
+    def test_mean_of_repeats(self):
+        calls = []
+        elapsed = time_calls(lambda: calls.append(1), repeats=5)
+        assert len(calls) == 5
+        assert elapsed >= 0
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_calls(lambda: None, repeats=0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPrintTable:
+    def test_prints_title_and_rows(self, capsys):
+        from repro.bench import print_table
+
+        print_table("demo", ["a", "b"], [[1, 2.5]])
+        out = capsys.readouterr().out
+        assert "== demo ==" in out
+        assert "2.5" in out
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+        assert "2.5" in lines[3]
+
+    def test_scientific_for_tiny_floats(self):
+        table = format_table(["x"], [[0.0000123]])
+        assert "e-" in table
+
+    def test_zero_renders_plainly(self):
+        assert "0" in format_table(["x"], [[0.0]])

@@ -1,0 +1,115 @@
+"""Unit tests for the individual roaring containers."""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.containers import (
+    ARRAY_MAX,
+    ArrayContainer,
+    BitsetContainer,
+    RunContainer,
+    container_from_sorted,
+)
+
+lows = st.lists(st.integers(min_value=0, max_value=65535), max_size=150)
+
+
+class TestArrayContainer:
+    def test_add_keeps_sorted_unique(self):
+        container = ArrayContainer()
+        for value in [5, 1, 5, 3]:
+            container = container.add(value)
+        assert list(container.values()) == [1, 3, 5]
+        assert container.cardinality() == 3
+
+    def test_contains_binary_search(self):
+        container = ArrayContainer(array("H", [1, 5, 9]))
+        assert container.contains(5)
+        assert not container.contains(4)
+        assert not container.contains(10)
+
+    def test_promotes_to_bitset_beyond_max(self):
+        container = ArrayContainer(array("H", range(ARRAY_MAX)))
+        promoted = container.add(ARRAY_MAX)
+        assert isinstance(promoted, BitsetContainer)
+        assert promoted.cardinality() == ARRAY_MAX + 1
+
+
+class TestBitsetContainer:
+    def test_add_and_cardinality_cache(self):
+        container = BitsetContainer()
+        container.add(7)
+        assert container.cardinality() == 1
+        container.add(7)
+        assert container.cardinality() == 1
+        container.add(63)
+        container.add(64)
+        assert container.cardinality() == 3
+
+    def test_values_sorted(self):
+        container = BitsetContainer()
+        for value in [100, 3, 65535]:
+            container.add(value)
+        assert list(container.values()) == [3, 100, 65535]
+
+    def test_intersection_demotes_to_array_when_sparse(self):
+        a = BitsetContainer()
+        b = BitsetContainer()
+        for value in range(ARRAY_MAX + 50):
+            a.add(value)
+        b.add(10)
+        result = a.intersection(b)
+        assert isinstance(result, (ArrayContainer, BitsetContainer))
+        assert list(result.values()) == [10]
+
+
+class TestRunContainer:
+    def test_from_sorted_builds_runs(self):
+        container = RunContainer.from_sorted(iter([1, 2, 3, 7, 8, 20]))
+        assert container.runs == [(1, 3), (7, 2), (20, 1)]
+        assert container.cardinality() == 6
+
+    def test_contains(self):
+        container = RunContainer([(10, 5), (100, 1)])
+        assert container.contains(10) and container.contains(14)
+        assert not container.contains(15)
+        assert container.contains(100)
+        assert not container.contains(99)
+
+    def test_byte_size_favours_long_runs(self):
+        run = RunContainer.from_sorted(iter(range(4000)))
+        plain = ArrayContainer(array("H", range(4000)))
+        assert run.byte_size() < plain.byte_size()
+
+    @settings(max_examples=40)
+    @given(lows)
+    def test_roundtrip_through_runs(self, values):
+        expected = sorted(set(values))
+        container = RunContainer.from_sorted(iter(expected))
+        assert list(container.values()) == expected
+
+
+class TestContainerFromSorted:
+    def test_small_input_gives_array(self):
+        assert isinstance(container_from_sorted([1, 2, 3]), ArrayContainer)
+
+    def test_large_input_gives_bitset(self):
+        container = container_from_sorted(list(range(ARRAY_MAX + 1)))
+        assert isinstance(container, BitsetContainer)
+
+    @settings(max_examples=40)
+    @given(lows, lows)
+    def test_cross_kind_algebra(self, a, b):
+        """Intersection/union agree with set semantics across kinds."""
+        set_a, set_b = sorted(set(a)), sorted(set(b))
+        kinds_a = [container_from_sorted(set_a), RunContainer.from_sorted(iter(set_a))]
+        kinds_b = [container_from_sorted(set_b), RunContainer.from_sorted(iter(set_b))]
+        for container_a in kinds_a:
+            for container_b in kinds_b:
+                got_and = sorted(container_a.intersection(container_b).values())
+                got_or = sorted(container_a.union(container_b).values())
+                assert got_and == sorted(set(set_a) & set(set_b))
+                assert got_or == sorted(set(set_a) | set(set_b))

@@ -1,0 +1,125 @@
+"""Property and unit tests for the Roaring-style bitmap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import ARRAY_MAX, RoaringBitmap
+
+small_values = st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200)
+
+
+class TestBasics:
+    def test_empty(self):
+        bitmap = RoaringBitmap()
+        assert len(bitmap) == 0
+        assert list(bitmap) == []
+        assert 5 not in bitmap
+
+    def test_add_and_contains(self):
+        bitmap = RoaringBitmap()
+        bitmap.add(42)
+        bitmap.add(42)
+        assert 42 in bitmap
+        assert len(bitmap) == 1
+
+    def test_values_cross_chunk_boundary(self):
+        values = [1, 65535, 65536, 65537, 1 << 20]
+        bitmap = RoaringBitmap(values)
+        assert list(bitmap) == sorted(values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RoaringBitmap([-1])
+        with pytest.raises(ValueError):
+            RoaringBitmap().add(1 << 32)
+
+    def test_negative_contains_is_false(self):
+        assert -3 not in RoaringBitmap([1])
+
+    def test_equality(self):
+        assert RoaringBitmap([1, 2]) == RoaringBitmap([2, 1])
+        assert RoaringBitmap([1]) != RoaringBitmap([2])
+
+
+class TestContainers:
+    def test_dense_chunk_promotes_to_bitset(self):
+        bitmap = RoaringBitmap(range(ARRAY_MAX + 10))
+        assert bitmap.container_kinds()["bitset"] == 1
+        assert len(bitmap) == ARRAY_MAX + 10
+
+    def test_incremental_adds_promote(self):
+        bitmap = RoaringBitmap()
+        for value in range(ARRAY_MAX + 5):
+            bitmap.add(value * 2)  # same chunk until 32768... keep in-chunk
+        assert len(bitmap) == ARRAY_MAX + 5
+
+    def test_run_optimize_shrinks_consecutive_runs(self):
+        bitmap = RoaringBitmap(range(10_000))
+        before = bitmap.byte_size()
+        bitmap.run_optimize()
+        assert bitmap.container_kinds()["run"] >= 1
+        assert bitmap.byte_size() < before
+        assert len(bitmap) == 10_000
+        assert 9_999 in bitmap and 10_000 not in bitmap
+
+    def test_run_container_add_converts_back(self):
+        bitmap = RoaringBitmap(range(100))
+        bitmap.run_optimize()
+        bitmap.add(500)
+        assert 500 in bitmap
+        assert len(bitmap) == 101
+
+
+class TestAlgebra:
+    @settings(max_examples=60)
+    @given(small_values, small_values)
+    def test_union_matches_set_semantics(self, a, b):
+        assert list(RoaringBitmap(a) | RoaringBitmap(b)) == sorted(set(a) | set(b))
+
+    @settings(max_examples=60)
+    @given(small_values, small_values)
+    def test_intersection_matches_set_semantics(self, a, b):
+        assert list(RoaringBitmap(a) & RoaringBitmap(b)) == sorted(set(a) & set(b))
+
+    @settings(max_examples=60)
+    @given(small_values, small_values)
+    def test_intersection_cardinality(self, a, b):
+        assert RoaringBitmap(a).intersection_cardinality(RoaringBitmap(b)) == len(
+            set(a) & set(b)
+        )
+
+    @settings(max_examples=30)
+    @given(small_values)
+    def test_iteration_sorted_unique(self, values):
+        assert list(RoaringBitmap(values)) == sorted(set(values))
+
+    def test_dense_with_sparse_intersection(self):
+        dense = RoaringBitmap(range(ARRAY_MAX + 100))
+        sparse = RoaringBitmap([10, 20, 1 << 18])
+        assert list(dense & sparse) == [10, 20]
+        assert dense.intersection_cardinality(sparse) == 2
+
+    def test_dense_union_dense(self):
+        a = RoaringBitmap(range(0, 2 * ARRAY_MAX, 2))
+        b = RoaringBitmap(range(1, 2 * ARRAY_MAX, 2))
+        assert len(a | b) == 2 * ARRAY_MAX
+
+    def test_run_containers_in_algebra(self):
+        a = RoaringBitmap(range(1000))
+        a.run_optimize()
+        b = RoaringBitmap(range(500, 1500))
+        assert list(a & b) == list(range(500, 1000))
+        assert len(a | b) == 1500
+
+
+class TestSizeAccounting:
+    def test_sparse_much_smaller_than_dense_bound(self):
+        bitmap = RoaringBitmap([1, 100_000, 4_000_000])
+        # Three values must cost far less than three full bitset containers.
+        assert bitmap.byte_size() < 3 * 8192
+
+    def test_size_grows_with_content(self):
+        small = RoaringBitmap(range(10))
+        large = RoaringBitmap(range(2000))
+        assert small.byte_size() < large.byte_size()

@@ -1,0 +1,52 @@
+"""Tests for roaring difference and removal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import RoaringBitmap
+
+values = st.lists(st.integers(min_value=0, max_value=1 << 18), max_size=120)
+
+
+class TestDifference:
+    @settings(max_examples=50)
+    @given(values, values)
+    def test_matches_set_semantics(self, a, b):
+        assert list(RoaringBitmap(a) - RoaringBitmap(b)) == sorted(set(a) - set(b))
+
+    def test_disjoint_chunks_kept_whole(self):
+        a = RoaringBitmap([1, 2, 1 << 17])
+        b = RoaringBitmap([5])
+        assert list(a - b) == [1, 2, 1 << 17]
+
+    def test_difference_with_self_is_empty(self):
+        a = RoaringBitmap(range(100))
+        assert len(a - a) == 0
+
+
+class TestRemove:
+    def test_remove_present(self):
+        bitmap = RoaringBitmap([1, 2, 3])
+        bitmap.remove(2)
+        assert list(bitmap) == [1, 3]
+
+    def test_remove_absent_noop(self):
+        bitmap = RoaringBitmap([1])
+        bitmap.remove(99)
+        bitmap.remove(-5)
+        bitmap.remove(1 << 40)
+        assert list(bitmap) == [1]
+
+    def test_remove_last_value_drops_chunk(self):
+        bitmap = RoaringBitmap([1 << 17])
+        bitmap.remove(1 << 17)
+        assert len(bitmap) == 0
+        assert (1 << 17) not in bitmap
+
+    @settings(max_examples=40)
+    @given(values, st.integers(min_value=0, max_value=1 << 18))
+    def test_remove_matches_set_semantics(self, contents, victim):
+        bitmap = RoaringBitmap(contents)
+        bitmap.remove(victim)
+        expected = set(contents) - {victim}
+        assert list(bitmap) == sorted(expected)

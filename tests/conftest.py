@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dataset
+from repro.datasets import uniform_dataset, zipf_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """The worked example family: six sets over tokens A..D plus extras."""
+    return Dataset.from_token_lists(
+        [
+            ["A", "B"],
+            ["A", "C"],
+            ["B", "C", "D"],
+            ["D"],
+            ["A", "B", "C"],
+            ["C", "D"],
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def zipf_small() -> Dataset:
+    """A 300-set Zipfian dataset used by many exactness tests."""
+    return zipf_dataset(300, 250, (2, 10), seed=11)
+
+
+@pytest.fixture(scope="session")
+def uniform_small() -> Dataset:
+    """A 200-set uniform dataset (the Section 4.1 model)."""
+    return uniform_dataset(200, 150, (3, 8), seed=7)

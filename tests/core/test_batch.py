@@ -1,0 +1,75 @@
+"""Tests for batched query processing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TokenGroupMatrix,
+    batch_covered_counts,
+    batch_knn_search,
+    batch_range_search,
+    knn_search,
+    range_search,
+)
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+
+@pytest.fixture(scope="module")
+def indexed(zipf_small):
+    partition = MinTokenPartitioner().partition(zipf_small, 10)
+    return zipf_small, TokenGroupMatrix(zipf_small, partition.groups)
+
+
+class TestBatchCoveredCounts:
+    def test_matches_per_query_counts(self, indexed):
+        dataset, tgm = indexed
+        queries = sample_queries(dataset, 20, seed=30)
+        batched = batch_covered_counts(tgm, queries)
+        for i, query in enumerate(queries):
+            known = [t for t in query.distinct if t < tgm.universe_size]
+            np.testing.assert_array_equal(batched[i], tgm.covered_counts(known))
+
+    def test_empty_batch(self, indexed):
+        _, tgm = indexed
+        assert batch_covered_counts(tgm, []).shape == (0, tgm.num_groups)
+
+    def test_roaring_backend_fallback(self, zipf_small):
+        partition = MinTokenPartitioner().partition(zipf_small, 6)
+        dense = TokenGroupMatrix(zipf_small, partition.groups, backend="dense")
+        roaring = TokenGroupMatrix(zipf_small, partition.groups, backend="roaring")
+        queries = sample_queries(zipf_small, 5, seed=31)
+        np.testing.assert_array_equal(
+            batch_covered_counts(dense, queries), batch_covered_counts(roaring, queries)
+        )
+
+
+class TestBatchSearch:
+    def test_batch_range_equals_sequential(self, indexed):
+        dataset, tgm = indexed
+        queries = sample_queries(dataset, 15, seed=32)
+        batched = batch_range_search(dataset, tgm, queries, 0.5)
+        for query, result in zip(queries, batched):
+            assert result.matches == range_search(dataset, tgm, query, 0.5).matches
+
+    def test_batch_knn_equals_sequential(self, indexed):
+        dataset, tgm = indexed
+        queries = sample_queries(dataset, 10, seed=33)
+        batched = batch_knn_search(dataset, tgm, queries, 7)
+        for query, result in zip(queries, batched):
+            expected = sorted(s for _, s in knn_search(dataset, tgm, query, 7).matches)
+            assert sorted(s for _, s in result.matches) == pytest.approx(expected)
+
+    def test_stats_populated(self, indexed):
+        dataset, tgm = indexed
+        queries = sample_queries(dataset, 5, seed=34)
+        for result in batch_range_search(dataset, tgm, queries, 0.8):
+            assert result.stats.groups_scored == tgm.num_groups
+            assert result.stats.groups_pruned >= 0
+
+    def test_invalid_parameters(self, indexed):
+        dataset, tgm = indexed
+        with pytest.raises(ValueError):
+            batch_range_search(dataset, tgm, [], 1.5)
+        with pytest.raises(ValueError):
+            batch_knn_search(dataset, tgm, [], 0)

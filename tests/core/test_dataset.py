@@ -1,0 +1,88 @@
+"""Tests for the Dataset container: construction, stats, persistence."""
+
+import random
+
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+from repro.core.tokens import TokenUniverse
+
+
+class TestConstruction:
+    def test_from_token_lists_interns(self, tiny_dataset):
+        assert len(tiny_dataset) == 6
+        assert len(tiny_dataset.universe) == 4
+
+    def test_records_share_universe_ids(self, tiny_dataset):
+        a_id = tiny_dataset.universe.id_of("A")
+        assert a_id in tiny_dataset.records[0].distinct
+        assert a_id in tiny_dataset.records[1].distinct
+
+    def test_out_of_universe_record_rejected(self):
+        with pytest.raises(ValueError, match="outside the universe"):
+            Dataset([SetRecord([5])], TokenUniverse(["a"]))
+
+    def test_append_and_getitem(self):
+        dataset = Dataset.from_token_lists([["a", "b"]])
+        index = dataset.append(SetRecord([0]))
+        assert index == 1
+        assert dataset[1] == SetRecord([0])
+
+    def test_append_rejects_unknown_token_id(self):
+        dataset = Dataset.from_token_lists([["a"]])
+        with pytest.raises(ValueError):
+            dataset.append(SetRecord([9]))
+
+
+class TestStats:
+    def test_table2_row(self, tiny_dataset):
+        stats = tiny_dataset.stats()
+        assert stats.num_sets == 6
+        assert stats.max_set_size == 3
+        assert stats.min_set_size == 1
+        assert stats.avg_set_size == pytest.approx(13 / 6)
+        assert stats.universe_size == 4
+        assert stats.as_row() == (6, 3, 1, round(13 / 6, 1), 4)
+
+    def test_empty_dataset_stats(self):
+        stats = Dataset().stats()
+        assert stats.num_sets == 0
+        assert stats.avg_set_size == 0.0
+
+
+class TestSampling:
+    def test_sample_indices_distinct(self, zipf_small):
+        indices = zipf_small.sample_indices(50, random.Random(0))
+        assert len(indices) == 50
+        assert len(set(indices)) == 50
+
+    def test_sample_more_than_size_returns_all(self, tiny_dataset):
+        assert tiny_dataset.sample_indices(100, random.Random(0)) == list(range(6))
+
+    def test_sample_shares_universe(self, zipf_small):
+        sub = zipf_small.sample(10, random.Random(1))
+        assert sub.universe is zipf_small.universe
+        assert len(sub) == 10
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "sets.txt"
+        tiny_dataset.save(path)
+        loaded = Dataset.load(path)
+        assert len(loaded) == len(tiny_dataset)
+        originals = [
+            {tiny_dataset.universe.token_of(t) for t in record.distinct}
+            for record in tiny_dataset.records
+        ]
+        reloaded = [
+            {loaded.universe.token_of(t) for t in record.distinct} for record in loaded.records
+        ]
+        assert originals == reloaded
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("a b\n\nc\n")
+        loaded = Dataset.load(path)
+        assert len(loaded) == 2

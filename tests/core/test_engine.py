@@ -1,0 +1,83 @@
+"""Tests for the LES3 facade."""
+
+import pytest
+
+from repro.core import LES3, Dataset
+from repro.partitioning import MinTokenPartitioner, RandomPartitioner
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = Dataset.from_token_lists(
+        [
+            ["apple", "banana", "cherry"],
+            ["banana", "cherry", "date"],
+            ["x", "y"],
+            ["x", "y", "z"],
+            ["apple", "banana"],
+            ["y", "z"],
+        ]
+    )
+    return LES3.build(dataset, num_groups=2, partitioner=MinTokenPartitioner())
+
+
+class TestBuild:
+    def test_default_partitioner_is_l2p(self):
+        dataset = Dataset.from_token_lists([[str(i), str(i + 1)] for i in range(60)])
+        engine = LES3.build(dataset, num_groups=4, seed=1)
+        assert engine.tgm.num_groups <= 4
+        assert engine.tgm.num_groups >= 1
+
+    def test_build_with_custom_partitioner_and_measure(self):
+        dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["c", "d"]])
+        engine = LES3.build(
+            dataset, num_groups=3, partitioner=RandomPartitioner(), measure="cosine"
+        )
+        assert engine.measure.name == "cosine"
+
+    def test_roaring_backend(self):
+        dataset = Dataset.from_token_lists([["a", "b"], ["c", "d"]])
+        engine = LES3.build(
+            dataset, num_groups=2, partitioner=MinTokenPartitioner(), backend="roaring"
+        )
+        assert engine.index_bytes() > 0
+
+
+class TestQueries:
+    def test_knn_external_tokens(self, engine):
+        result = engine.knn(["apple", "banana"], k=2)
+        top_index, top_similarity = result.matches[0]
+        assert top_similarity == 1.0
+        assert set(engine.tokens_of(top_index)) == {"apple", "banana"}
+
+    def test_range_external_tokens(self, engine):
+        result = engine.range(["x", "y"], threshold=0.5)
+        returned = {frozenset(engine.tokens_of(i)) for i in result.indices()}
+        assert frozenset({"x", "y"}) in returned
+        assert frozenset({"x", "y", "z"}) in returned
+
+    def test_unknown_query_tokens_dilute_similarity(self, engine):
+        exact = engine.knn(["apple", "banana"], k=1).matches[0][1]
+        diluted = engine.knn(["apple", "banana", "from-mars"], k=1).matches[0][1]
+        assert diluted < exact
+
+    def test_fully_unknown_query_matches_nothing_above_zero(self, engine):
+        result = engine.range(["q1", "q2"], threshold=0.1)
+        assert result.matches == []
+
+    def test_duplicate_unknown_tokens_single_phantom(self, engine):
+        # The same unseen token twice is one multiset token id, |Q| = 3.
+        result = engine.knn(["apple", "banana", "ghost", "ghost"], k=1)
+        assert result.matches[0][1] == pytest.approx(0.5)
+
+
+class TestInsert:
+    def test_insert_then_query(self):
+        dataset = Dataset.from_token_lists([["a", "b"], ["c", "d"]])
+        engine = LES3.build(dataset, num_groups=2, partitioner=MinTokenPartitioner())
+        index, _ = engine.insert(["a", "b", "new-token"])
+        result = engine.knn(["a", "b", "new-token"], k=1)
+        assert result.matches[0] == (index, 1.0)
+
+    def test_repr(self, engine):
+        assert "LES3" in repr(engine)

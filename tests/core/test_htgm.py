@@ -1,0 +1,148 @@
+"""Tests for the hierarchical TGM (nesting, exactness, cost accounting)."""
+
+import pytest
+
+from repro.baselines import BruteForceSearch
+from repro.core import HierarchicalTGM, TokenGroupMatrix, range_search
+from repro.datasets import powerlaw_similarity_dataset
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+
+def nested_levels(dataset, coarse_n, fine_n):
+    """Build nested partitions by splitting each coarse group evenly."""
+    coarse = MinTokenPartitioner().partition(dataset, coarse_n).groups
+    per_group = max(fine_n // max(len(coarse), 1), 1)
+    fine = []
+    for group in coarse:
+        chunk = max(len(group) // per_group, 1)
+        for start in range(0, len(group), chunk):
+            fine.append(group[start : start + chunk])
+    return [coarse, fine]
+
+
+@pytest.fixture(scope="module")
+def dissimilar_dataset():
+    return powerlaw_similarity_dataset(300, 500, 8, alpha=3.5, seed=9)
+
+
+class TestConstruction:
+    def test_rejects_non_nested_levels(self, tiny_dataset):
+        with pytest.raises(ValueError, match="nested"):
+            HierarchicalTGM(tiny_dataset, [[[0, 1], [2, 3, 4, 5]], [[0, 2], [1, 3, 4, 5]]])
+
+    def test_rejects_empty_levels(self, tiny_dataset):
+        with pytest.raises(ValueError, match="at least one level"):
+            HierarchicalTGM(tiny_dataset, [])
+
+    def test_num_levels_and_size(self, dissimilar_dataset):
+        levels = nested_levels(dissimilar_dataset, 4, 16)
+        htgm = HierarchicalTGM(dissimilar_dataset, levels)
+        assert htgm.num_levels == 2
+        assert htgm.byte_size() == sum(level.byte_size() for level in htgm.levels)
+
+
+class TestFromCascade:
+    def test_builds_from_level_partitions(self, dissimilar_dataset):
+        from repro.learn import L2PPartitioner
+
+        l2p = L2PPartitioner(
+            pairs_per_model=400, epochs=2, initial_groups=4, min_group_size=4, seed=0
+        )
+        l2p.partition(dissimilar_dataset, 16)
+        htgm = HierarchicalTGM.from_cascade(dissimilar_dataset, l2p, [4, 16])
+        assert htgm.num_levels == 2
+        brute = BruteForceSearch(dissimilar_dataset)
+        query = dissimilar_dataset.records[0]
+        assert (
+            htgm.range_search(dissimilar_dataset, query, 0.7).matches
+            == brute.range_search(query, 0.7).matches
+        )
+
+    def test_unavailable_level_rejected(self, dissimilar_dataset):
+        from repro.learn import L2PPartitioner
+
+        l2p = L2PPartitioner(
+            pairs_per_model=400, epochs=2, initial_groups=4, min_group_size=4, seed=0
+        )
+        l2p.partition(dissimilar_dataset, 16)
+        with pytest.raises(ValueError, match="no level with 7 groups"):
+            HierarchicalTGM.from_cascade(dissimilar_dataset, l2p, [7, 16])
+
+
+class TestExactness:
+    @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+    def test_range_matches_brute_force(self, dissimilar_dataset, threshold):
+        htgm = HierarchicalTGM(dissimilar_dataset, nested_levels(dissimilar_dataset, 4, 16))
+        brute = BruteForceSearch(dissimilar_dataset)
+        for query in sample_queries(dissimilar_dataset, 10, seed=1):
+            assert (
+                htgm.range_search(dissimilar_dataset, query, threshold).matches
+                == brute.range_search(query, threshold).matches
+            )
+
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_knn_matches_brute_force(self, dissimilar_dataset, k):
+        htgm = HierarchicalTGM(dissimilar_dataset, nested_levels(dissimilar_dataset, 4, 16))
+        brute = BruteForceSearch(dissimilar_dataset)
+        for query in sample_queries(dissimilar_dataset, 10, seed=2):
+            expected = sorted(s for _, s in brute.knn_search(query, k).matches)
+            actual = sorted(s for _, s in htgm.knn_search(dissimilar_dataset, query, k).matches)
+            assert actual == pytest.approx(expected)
+
+    def test_invalid_inputs(self, dissimilar_dataset):
+        htgm = HierarchicalTGM(dissimilar_dataset, nested_levels(dissimilar_dataset, 2, 4))
+        with pytest.raises(ValueError):
+            htgm.range_search(dissimilar_dataset, dissimilar_dataset.records[0], -0.1)
+        with pytest.raises(ValueError):
+            htgm.knn_search(dissimilar_dataset, dissimilar_dataset.records[0], 0)
+
+
+class TestCostAccounting:
+    def test_hierarchy_saves_columns_on_dissimilar_data(self, dissimilar_dataset):
+        """Section 7.7: HTGM wins when most sets are dissimilar (large α)."""
+        levels = nested_levels(dissimilar_dataset, 4, 32)
+        htgm = HierarchicalTGM(dissimilar_dataset, levels)
+        flat = TokenGroupMatrix(dissimilar_dataset, levels[-1])
+        htgm_columns = 0
+        flat_columns = 0
+        for query in sample_queries(dissimilar_dataset, 20, seed=3):
+            htgm_columns += htgm.range_search(dissimilar_dataset, query, 0.8).stats.columns_visited
+            flat_columns += range_search(
+                dissimilar_dataset, flat, query, 0.8
+            ).stats.columns_visited
+        assert htgm_columns < flat_columns
+
+    def test_three_level_htgm_exact_and_cheaper(self, dissimilar_dataset):
+        """A 2+8+32 stack stays exact and saves columns over the flat TGM."""
+        coarse = MinTokenPartitioner().partition(dissimilar_dataset, 2).groups
+        middle = []
+        for group in coarse:
+            third = max(len(group) // 4, 1)
+            middle.extend(group[i : i + third] for i in range(0, len(group), third))
+        fine = []
+        for group in middle:
+            chunk = max(len(group) // 4, 1)
+            fine.extend(group[i : i + chunk] for i in range(0, len(group), chunk))
+        htgm = HierarchicalTGM(dissimilar_dataset, [coarse, middle, fine])
+        assert htgm.num_levels == 3
+        flat = TokenGroupMatrix(dissimilar_dataset, fine)
+        brute = BruteForceSearch(dissimilar_dataset)
+        htgm_columns = flat_columns = 0
+        for query in sample_queries(dissimilar_dataset, 10, seed=4):
+            h = htgm.range_search(dissimilar_dataset, query, 0.8)
+            f = range_search(dissimilar_dataset, flat, query, 0.8)
+            assert h.matches == brute.range_search(query, 0.8).matches == f.matches
+            htgm_columns += h.stats.columns_visited
+            flat_columns += f.stats.columns_visited
+        assert htgm_columns < flat_columns
+
+    def test_single_level_htgm_equals_tgm_costs(self, dissimilar_dataset):
+        levels = nested_levels(dissimilar_dataset, 4, 16)
+        htgm = HierarchicalTGM(dissimilar_dataset, [levels[-1]])
+        flat = TokenGroupMatrix(dissimilar_dataset, levels[-1])
+        query = dissimilar_dataset.records[0]
+        a = htgm.range_search(dissimilar_dataset, query, 0.5).stats
+        b = range_search(dissimilar_dataset, flat, query, 0.5).stats
+        assert a.similarity_computations == b.similarity_computations
+        assert a.columns_visited == b.columns_visited

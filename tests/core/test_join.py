@@ -1,0 +1,88 @@
+"""Tests for the TGM-accelerated similarity self-join."""
+
+import pytest
+
+from repro.core import Dataset, TokenGroupMatrix, similarity_self_join
+from repro.partitioning import MinTokenPartitioner
+
+
+def brute_force_join(dataset, threshold, measure):
+    pairs = []
+    records = dataset.records
+    for x in range(len(records)):
+        for y in range(x + 1, len(records)):
+            similarity = measure(records[x], records[y])
+            if similarity >= threshold:
+                pairs.append((x, y, similarity))
+    return sorted(pairs)
+
+
+@pytest.fixture(scope="module")
+def indexed(zipf_small):
+    partition = MinTokenPartitioner().partition(zipf_small, 12)
+    return zipf_small, TokenGroupMatrix(zipf_small, partition.groups)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+    def test_matches_brute_force(self, indexed, threshold):
+        dataset, tgm = indexed
+        result = similarity_self_join(dataset, tgm, threshold)
+        expected = brute_force_join(dataset, threshold, tgm.measure)
+        assert result.pairs == expected
+
+    def test_cosine_join(self, zipf_small):
+        partition = MinTokenPartitioner().partition(zipf_small, 8)
+        tgm = TokenGroupMatrix(zipf_small, partition.groups, measure="cosine")
+        result = similarity_self_join(zipf_small, tgm, 0.8)
+        assert result.pairs == brute_force_join(zipf_small, 0.8, tgm.measure)
+
+    def test_duplicates_found(self):
+        dataset = Dataset.from_token_lists([["a", "b"], ["a", "b"], ["c", "d"]])
+        tgm = TokenGroupMatrix(dataset, [[0, 2], [1]])
+        result = similarity_self_join(dataset, tgm, 1.0)
+        assert result.pairs == [(0, 1, 1.0)]
+
+
+class TestPruning:
+    def test_group_pairs_pruned_on_clustered_data(self):
+        """Group-pair pruning works when cross-group vocabularies barely
+        overlap (token-disjoint clusters); on heavy-tailed data the bound
+        is weak and the per-pair size filter carries the pruning."""
+        import random
+
+        rng = random.Random(6)
+        lists = []
+        for cluster in range(4):
+            base = cluster * 40
+            for _ in range(20):
+                lists.append([str(t) for t in rng.sample(range(base, base + 30), 6)])
+        dataset = Dataset.from_token_lists(lists)
+        tgm = TokenGroupMatrix(
+            dataset, [list(range(c * 20, (c + 1) * 20)) for c in range(4)]
+        )
+        result = similarity_self_join(dataset, tgm, 0.4)
+        assert result.stats.groups_pruned > 0
+        total_pairs = len(dataset) * (len(dataset) - 1) // 2
+        assert result.stats.candidates_verified < total_pairs
+        assert result.pairs == brute_force_join(dataset, 0.4, tgm.measure)
+
+    def test_higher_threshold_verifies_less(self, indexed):
+        dataset, tgm = indexed
+        loose = similarity_self_join(dataset, tgm, 0.5).stats.candidates_verified
+        strict = similarity_self_join(dataset, tgm, 0.95).stats.candidates_verified
+        assert strict <= loose
+
+
+class TestValidation:
+    def test_invalid_threshold(self, indexed):
+        dataset, tgm = indexed
+        with pytest.raises(ValueError):
+            similarity_self_join(dataset, tgm, 0.0)
+        with pytest.raises(ValueError):
+            similarity_self_join(dataset, tgm, 1.5)
+
+    def test_result_iterable_and_sized(self, indexed):
+        dataset, tgm = indexed
+        result = similarity_self_join(dataset, tgm, 0.9)
+        assert len(result) == len(list(result))

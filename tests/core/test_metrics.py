@@ -1,0 +1,53 @@
+"""Tests for Definition 2.3 pruning efficiency and QueryStats."""
+
+import pytest
+
+from repro.core.metrics import (
+    QueryStats,
+    knn_pruning_efficiency,
+    range_pruning_efficiency,
+)
+
+
+class TestKnnPE:
+    def test_perfect_filter(self):
+        # Candidates == k → PE = 1.
+        assert knn_pruning_efficiency(1000, candidates=10, k=10) == 1.0
+
+    def test_brute_force(self):
+        # Candidates == |D| → PE = k / |D|.
+        assert knn_pruning_efficiency(1000, candidates=1000, k=10) == pytest.approx(0.01)
+
+    def test_empty_database(self):
+        assert knn_pruning_efficiency(0, 0, 5) == 1.0
+
+
+class TestRangePE:
+    def test_perfect_filter(self):
+        assert range_pruning_efficiency(1000, candidates=7, result_size=7) == 1.0
+
+    def test_brute_force(self):
+        assert range_pruning_efficiency(100, candidates=100, result_size=4) == pytest.approx(
+            0.04
+        )
+
+    def test_monotone_in_candidates(self):
+        tighter = range_pruning_efficiency(100, 10, 5)
+        looser = range_pruning_efficiency(100, 50, 5)
+        assert tighter > looser
+
+
+class TestQueryStats:
+    def test_merge_accumulates(self):
+        a = QueryStats(candidates_verified=3, similarity_computations=3, result_size=1)
+        b = QueryStats(candidates_verified=2, similarity_computations=2, groups_pruned=4)
+        a.merge(b)
+        assert a.candidates_verified == 5
+        assert a.similarity_computations == 5
+        assert a.groups_pruned == 4
+        assert a.result_size == 1
+
+    def test_extra_dict_is_per_instance(self):
+        a, b = QueryStats(), QueryStats()
+        a.extra["x"] = 1
+        assert b.extra == {}

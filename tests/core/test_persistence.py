@@ -1,0 +1,91 @@
+"""Tests for engine persistence (save/load round trips, corruption checks)."""
+
+import json
+
+import pytest
+
+from repro.core import LES3, Dataset, load_engine, save_engine
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+
+@pytest.fixture()
+def engine(zipf_small):
+    dataset = Dataset(list(zipf_small.records), zipf_small.universe.copy())
+    return LES3.build(dataset, num_groups=8, partitioner=MinTokenPartitioner())
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        loaded = load_engine(tmp_path / "index")
+        assert loaded.tgm.num_groups == engine.tgm.num_groups
+        assert len(loaded.dataset) == len(engine.dataset)
+        assert sorted(map(len, loaded.tgm.group_members)) == sorted(
+            map(len, engine.tgm.group_members)
+        )
+
+    def test_external_token_queries_agree(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        loaded = load_engine(tmp_path / "index")
+        for query in sample_queries(engine.dataset, 10, seed=41):
+            tokens = [engine.dataset.universe.token_of(t) for t in query.distinct]
+            original = {
+                (frozenset(engine.tokens_of(i)), round(s, 12))
+                for i, s in engine.range(tokens, 0.5).matches
+            }
+            reloaded = {
+                (frozenset(str(t) for t in loaded.tokens_of(i)), round(s, 12))
+                for i, s in loaded.range([str(t) for t in tokens], 0.5).matches
+            }
+            assert {(frozenset(str(t) for t in ts), s) for ts, s in original} == reloaded
+
+    def test_measure_and_backend_preserved(self, zipf_small, tmp_path):
+        dataset = Dataset(list(zipf_small.records), zipf_small.universe.copy())
+        engine = LES3.build(
+            dataset,
+            num_groups=4,
+            partitioner=MinTokenPartitioner(),
+            measure="cosine",
+            backend="roaring",
+        )
+        save_engine(engine, tmp_path / "index")
+        loaded = load_engine(tmp_path / "index")
+        assert loaded.measure.name == "cosine"
+        assert loaded.tgm.backend == "roaring"
+
+    def test_save_is_idempotent(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        save_engine(engine, tmp_path / "index")
+        assert load_engine(tmp_path / "index").tgm.num_groups == engine.tgm.num_groups
+
+
+class TestCorruptionDetection:
+    def test_version_mismatch(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            load_engine(tmp_path / "index")
+
+    def test_record_count_mismatch(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        data_path = tmp_path / "index" / "dataset.txt"
+        data_path.write_text(data_path.read_text() + "extra tokens here\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_engine(tmp_path / "index")
+
+    def test_groups_not_covering(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        groups_path = tmp_path / "index" / "groups.json"
+        groups = json.loads(groups_path.read_text())
+        groups[0] = groups[0][1:]  # drop one record
+        groups_path.write_text(json.dumps(groups))
+        with pytest.raises(ValueError, match="cover"):
+            load_engine(tmp_path / "index")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_engine(tmp_path / "nope")

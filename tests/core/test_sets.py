@@ -1,0 +1,81 @@
+"""Unit and property tests for SetRecord and overlap computation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sets import SetRecord, distinct_overlap, overlap
+
+token_lists = st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=20)
+
+
+class TestConstruction:
+    def test_tokens_sorted(self):
+        assert SetRecord([3, 1, 2]).tokens == (1, 2, 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SetRecord([])
+
+    def test_multiset_flag(self):
+        assert SetRecord([1, 1, 2]).is_multiset
+        assert not SetRecord([1, 2]).is_multiset
+
+    def test_counts(self):
+        counts = SetRecord([1, 1, 2]).counts()
+        assert counts[1] == 2 and counts[2] == 1
+
+    def test_len_counts_duplicates(self):
+        assert len(SetRecord([1, 1, 2])) == 3
+
+    def test_distinct(self):
+        assert SetRecord([1, 1, 2]).distinct == frozenset({1, 2})
+
+    def test_contains_and_iter(self):
+        record = SetRecord([5, 3])
+        assert 5 in record and 4 not in record
+        assert list(record) == [3, 5]
+
+    def test_equality_and_hash(self):
+        assert SetRecord([1, 2]) == SetRecord([2, 1])
+        assert SetRecord([1, 1]) != SetRecord([1])
+        assert hash(SetRecord([1, 2])) == hash(SetRecord([2, 1]))
+
+    def test_min_token(self):
+        assert SetRecord([9, 4, 7]).min_token() == 4
+
+    def test_repr_truncates(self):
+        assert "..." in repr(SetRecord(range(20)))
+
+
+class TestOverlap:
+    def test_plain_sets(self):
+        assert overlap(SetRecord([1, 2, 3]), SetRecord([2, 3, 4])) == 2
+
+    def test_disjoint(self):
+        assert overlap(SetRecord([1]), SetRecord([2])) == 0
+
+    def test_multiset_min_counts(self):
+        assert overlap(SetRecord([1, 1, 1, 2]), SetRecord([1, 1, 3])) == 2
+
+    def test_multiset_vs_plain(self):
+        assert overlap(SetRecord([1, 1]), SetRecord([1])) == 1
+
+    @given(token_lists, token_lists)
+    def test_matches_counter_semantics(self, a, b):
+        record_a, record_b = SetRecord(a), SetRecord(b)
+        expected = sum(min(a.count(t), b.count(t)) for t in set(a) | set(b))
+        assert overlap(record_a, record_b) == expected
+
+    @given(token_lists, token_lists)
+    def test_symmetry(self, a, b):
+        assert overlap(SetRecord(a), SetRecord(b)) == overlap(SetRecord(b), SetRecord(a))
+
+    @given(token_lists)
+    def test_self_overlap_is_size(self, a):
+        record = SetRecord(a)
+        assert overlap(record, record) == len(record)
+
+    @given(token_lists, token_lists)
+    def test_distinct_overlap_matches_set_intersection(self, a, b):
+        assert distinct_overlap(SetRecord(a), SetRecord(b)) == len(set(a) & set(b))

@@ -1,0 +1,120 @@
+"""Tests for similarity measures, including the TGM Applicability Property."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sets import SetRecord
+from repro.core.similarity import (
+    MEASURES,
+    CosineSimilarity,
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapCoefficient,
+    get_measure,
+)
+
+token_sets = st.sets(st.integers(min_value=0, max_value=40), min_size=1, max_size=15)
+
+
+class TestJaccard:
+    def test_identical(self):
+        measure = JaccardSimilarity()
+        assert measure(SetRecord([1, 2]), SetRecord([1, 2])) == 1.0
+
+    def test_disjoint(self):
+        assert JaccardSimilarity()(SetRecord([1]), SetRecord([2])) == 0.0
+
+    def test_known_value(self):
+        # |{1,2} ∩ {2,3}| / |{1,2} ∪ {2,3}| = 1/3
+        assert JaccardSimilarity()(SetRecord([1, 2]), SetRecord([2, 3])) == pytest.approx(1 / 3)
+
+    def test_group_bound_is_fraction_covered(self):
+        assert JaccardSimilarity().group_upper_bound(2, 3) == pytest.approx(2 / 3)
+
+    def test_multiset_jaccard(self):
+        # overlap({1,1,2},{1,2,2}) = 1+1 = 2 (min counts); union = 3+3-2 = 4.
+        value = JaccardSimilarity()(SetRecord([1, 1, 2]), SetRecord([1, 2, 2]))
+        assert value == pytest.approx(0.5)
+
+
+class TestCosine:
+    def test_paper_example(self):
+        # Section 3.2: Q = {t1,t2,t3}, R = {t1,t2} → bound 2/sqrt(3·2) ≈ 0.82.
+        assert CosineSimilarity().group_upper_bound(2, 3) == pytest.approx(2 / math.sqrt(6))
+
+    def test_self_similarity_is_one(self):
+        assert CosineSimilarity()(SetRecord([1, 2, 3]), SetRecord([1, 2, 3])) == pytest.approx(1.0)
+
+
+class TestDice:
+    def test_known_value(self):
+        assert DiceSimilarity()(SetRecord([1, 2]), SetRecord([2, 3])) == pytest.approx(0.5)
+
+    def test_group_bound(self):
+        assert DiceSimilarity().group_upper_bound(2, 3) == pytest.approx(4 / 5)
+
+
+class TestOverlapCoefficient:
+    def test_subset_gives_one(self):
+        assert OverlapCoefficient()(SetRecord([1, 2]), SetRecord([1, 2, 3])) == 1.0
+
+    def test_trivial_group_bound(self):
+        assert OverlapCoefficient().group_upper_bound(1, 10) == 1.0
+        assert OverlapCoefficient().group_upper_bound(0, 10) == 0.0
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_measure("jaccard").name == "jaccard"
+
+    def test_passthrough(self):
+        measure = JaccardSimilarity()
+        assert get_measure(measure) is measure
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown similarity measure"):
+            get_measure("nope")
+
+
+@pytest.mark.parametrize("name", sorted(MEASURES))
+class TestCommonProperties:
+    @given(a=token_sets, b=token_sets)
+    def test_range_and_symmetry(self, name, a, b):
+        measure = MEASURES[name]
+        value = measure(SetRecord(a), SetRecord(b))
+        assert 0.0 <= value <= 1.0
+        if name != "containment":  # containment is deliberately asymmetric
+            assert value == pytest.approx(measure(SetRecord(b), SetRecord(a)))
+
+    @given(q=token_sets, s=token_sets)
+    def test_applicability_condition_1(self, name, q, s):
+        """Theorem 3.1(1): Sim(Q, Q∩S) >= Sim(Q, S)."""
+        shared = q & s
+        if not shared:
+            return
+        measure = MEASURES[name]
+        assert measure(SetRecord(q), SetRecord(shared)) >= measure(
+            SetRecord(q), SetRecord(s)
+        ) - 1e-12
+
+    @given(q=token_sets)
+    def test_applicability_condition_2(self, name, q):
+        """Theorem 3.1(2): Sim(Q, R) is monotone in R ⊆ Q."""
+        measure = MEASURES[name]
+        ordered = sorted(q)
+        previous = 0.0
+        for size in range(1, len(ordered) + 1):
+            value = measure(SetRecord(q), SetRecord(ordered[:size]))
+            assert value >= previous - 1e-12
+            previous = value
+
+    @given(q=token_sets, s=token_sets)
+    def test_group_bound_dominates_true_similarity(self, name, q, s):
+        """The bound from covered-token count upper-bounds the similarity."""
+        measure = MEASURES[name]
+        covered = len(q & s)
+        bound = measure.group_upper_bound(covered, len(q))
+        assert bound >= measure(SetRecord(q), SetRecord(s)) - 1e-12

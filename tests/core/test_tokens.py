@@ -1,0 +1,71 @@
+"""Unit tests for the token universe."""
+
+import pytest
+
+from repro.core.tokens import TokenUniverse
+
+
+class TestIntern:
+    def test_first_seen_order(self):
+        universe = TokenUniverse()
+        assert universe.intern("b") == 0
+        assert universe.intern("a") == 1
+        assert universe.intern("b") == 0
+
+    def test_constructor_interns(self):
+        universe = TokenUniverse(["x", "y", "x"])
+        assert len(universe) == 2
+        assert universe.id_of("x") == 0
+        assert universe.id_of("y") == 1
+
+    def test_intern_all_returns_ids_in_order(self):
+        universe = TokenUniverse()
+        assert universe.intern_all(["c", "a", "c"]) == [0, 1, 0]
+
+    def test_mixed_hashable_types(self):
+        universe = TokenUniverse()
+        assert universe.intern(5) == 0
+        assert universe.intern("5") == 1
+        assert universe.intern((1, 2)) == 2
+
+
+class TestLookup:
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TokenUniverse().id_of("missing")
+
+    def test_get_id_returns_none_for_unknown(self):
+        assert TokenUniverse().get_id("missing") is None
+
+    def test_token_of_roundtrip(self):
+        universe = TokenUniverse(["p", "q"])
+        assert universe.token_of(universe.id_of("q")) == "q"
+
+    def test_contains(self):
+        universe = TokenUniverse(["a"])
+        assert "a" in universe
+        assert "b" not in universe
+
+    def test_iteration_yields_tokens_in_id_order(self):
+        universe = TokenUniverse(["z", "y", "x"])
+        assert list(universe) == ["z", "y", "x"]
+
+
+class TestIdsOfKnown:
+    def test_drops_unknown(self):
+        universe = TokenUniverse(["a", "b"])
+        assert universe.ids_of_known(["a", "nope", "b"]) == [0, 1]
+
+    def test_does_not_intern(self):
+        universe = TokenUniverse(["a"])
+        universe.ids_of_known(["new"])
+        assert "new" not in universe
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        original = TokenUniverse(["a"])
+        clone = original.copy()
+        clone.intern("b")
+        assert len(original) == 1
+        assert len(clone) == 2

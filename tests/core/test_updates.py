@@ -1,0 +1,96 @@
+"""Tests for Section 6 update handling (closed and open universe)."""
+
+import pytest
+
+from repro.baselines import BruteForceSearch
+from repro.core import TokenGroupMatrix, insert_set, knn_search, range_search
+from repro.core.updates import choose_group
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+
+@pytest.fixture()
+def indexed(zipf_small):
+    # Function-scoped: tests mutate the dataset, so work on a copy.
+    from repro.core import Dataset
+
+    dataset = Dataset(list(zipf_small.records), zipf_small.universe.copy())
+    partition = MinTokenPartitioner().partition(dataset, 10)
+    return dataset, TokenGroupMatrix(dataset, partition.groups)
+
+
+class TestChooseGroup:
+    def test_highest_bound_wins(self, tiny_dataset):
+        tgm = TokenGroupMatrix(tiny_dataset, [[0, 1, 4], [2, 3, 5]])
+        a = tiny_dataset.universe.id_of("A")
+        assert choose_group(tgm, [a], 1) == 0
+
+    def test_empty_known_tokens_pick_smallest_group(self, tiny_dataset):
+        tgm = TokenGroupMatrix(tiny_dataset, [[0, 1, 4, 5], [2, 3]])
+        assert choose_group(tgm, [], 3) == 1
+
+    def test_tie_broken_by_group_size(self, tiny_dataset):
+        tgm = TokenGroupMatrix(tiny_dataset, [[0, 1, 2, 4], [3, 5]])
+        c = tiny_dataset.universe.id_of("C")
+        # Both groups contain C; group 1 is smaller.
+        assert choose_group(tgm, [c], 1) == 1
+
+
+class TestClosedUniverseInsert:
+    def test_insert_known_tokens(self, indexed):
+        dataset, tgm = indexed
+        tokens = [dataset.universe.token_of(t) for t in dataset.records[0].distinct]
+        index, group = insert_set(dataset, tgm, tokens)
+        assert dataset.records[index].distinct == dataset.records[0].distinct
+        assert index in tgm.group_members[group]
+
+    def test_inserted_set_findable(self, indexed):
+        dataset, tgm = indexed
+        tokens = [dataset.universe.token_of(t) for t in dataset.records[5].distinct]
+        index, _ = insert_set(dataset, tgm, tokens)
+        result = range_search(dataset, tgm, dataset.records[index], 1.0)
+        assert index in result.indices()
+
+    def test_strict_mode_rejects_new_tokens(self, indexed):
+        dataset, tgm = indexed
+        with pytest.raises(KeyError):
+            insert_set(dataset, tgm, ["absolutely-new-token"], intern=False)
+
+    def test_empty_set_rejected(self, indexed):
+        dataset, tgm = indexed
+        with pytest.raises(ValueError):
+            insert_set(dataset, tgm, [])
+
+
+class TestOpenUniverseInsert:
+    def test_new_tokens_extend_universe_and_tgm(self, indexed):
+        dataset, tgm = indexed
+        before = len(dataset.universe)
+        index, group = insert_set(dataset, tgm, ["brand-new-1", "brand-new-2"])
+        assert len(dataset.universe) == before + 2
+        assert tgm.universe_size == before + 2
+        new_id = dataset.universe.id_of("brand-new-1")
+        assert tgm.contains(group, new_id)
+        assert index in tgm.group_members[group]
+
+    def test_mixed_new_and_old_tokens(self, indexed):
+        dataset, tgm = indexed
+        old_token = dataset.universe.token_of(0)
+        index, group = insert_set(dataset, tgm, [old_token, "unseen-x"])
+        assert tgm.contains(group, 0)
+        assert tgm.contains(group, dataset.universe.id_of("unseen-x"))
+
+    def test_search_remains_exact_after_inserts(self, indexed):
+        dataset, tgm = indexed
+        for i in range(20):
+            tokens = [dataset.universe.token_of(t) for t in dataset.records[i].distinct]
+            insert_set(dataset, tgm, tokens + [f"new-{i}"])
+        brute = BruteForceSearch(dataset)
+        for query in sample_queries(dataset, 10, seed=5):
+            assert (
+                range_search(dataset, tgm, query, 0.5).matches
+                == brute.range_search(query, 0.5).matches
+            )
+            expected = sorted(s for _, s in brute.knn_search(query, 5).matches)
+            actual = sorted(s for _, s in knn_search(dataset, tgm, query, 5).matches)
+            assert actual == pytest.approx(expected)

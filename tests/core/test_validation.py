@@ -1,0 +1,74 @@
+"""Tests for TGM integrity validation."""
+
+import pytest
+
+from repro.core import Dataset, TokenGroupMatrix, validate_tgm
+from repro.core.sets import SetRecord
+from repro.partitioning import MinTokenPartitioner
+
+
+@pytest.fixture()
+def healthy(zipf_small):
+    partition = MinTokenPartitioner().partition(zipf_small, 8)
+    return zipf_small, TokenGroupMatrix(zipf_small, partition.groups)
+
+
+class TestHealthyIndex:
+    def test_fresh_index_validates(self, healthy):
+        dataset, tgm = healthy
+        report = validate_tgm(dataset, tgm)
+        assert report.ok
+        assert report.summary() == "index OK"
+
+    def test_after_inserts_still_valid(self, zipf_small):
+        from repro.core import insert_set
+
+        dataset = Dataset(list(zipf_small.records), zipf_small.universe.copy())
+        partition = MinTokenPartitioner().partition(dataset, 6)
+        tgm = TokenGroupMatrix(dataset, partition.groups)
+        for i in range(10):
+            insert_set(dataset, tgm, [f"v-{i}", "shared"])
+        assert validate_tgm(dataset, tgm).ok
+
+
+class TestCorruptIndex:
+    def test_missing_bit_detected(self, healthy):
+        dataset, tgm = healthy
+        # Flip off a bit that a member needs.
+        record_index = tgm.group_members[0][0]
+        token = next(iter(dataset.records[record_index].distinct))
+        tgm._matrix[0, token] = False
+        report = validate_tgm(dataset, tgm)
+        assert not report.ok
+        assert (0, token) in report.missing_bits
+        assert "missing token bits" in report.summary()
+
+    def test_orphan_record_detected(self, zipf_small):
+        groups = MinTokenPartitioner().partition(zipf_small, 4).groups
+        groups[0] = groups[0][1:]  # drop one record from its group
+        tgm = TokenGroupMatrix(zipf_small, groups)
+        report = validate_tgm(zipf_small, tgm)
+        assert not report.ok
+        assert len(report.orphan_records) == 1
+
+    def test_duplicate_membership_detected(self, zipf_small):
+        groups = MinTokenPartitioner().partition(zipf_small, 4).groups
+        groups[1] = groups[1] + [groups[0][0]]
+        tgm = TokenGroupMatrix(zipf_small, groups)
+        report = validate_tgm(zipf_small, tgm)
+        assert not report.ok
+        assert groups[0][0] in report.duplicate_records
+
+    def test_out_of_range_member_detected(self):
+        dataset = Dataset.from_token_lists([["a"], ["b"]])
+        tgm = TokenGroupMatrix(dataset, [[0], [1]])
+        tgm.group_members[0].append(99)
+        report = validate_tgm(dataset, tgm)
+        assert not report.ok
+        assert (0, 99) in report.out_of_range_members
+
+    def test_extra_bits_not_flagged(self, healthy):
+        dataset, tgm = healthy
+        # Setting a spurious bit weakens pruning but keeps answers exact.
+        tgm._matrix[0, :] = True
+        assert validate_tgm(dataset, tgm).ok

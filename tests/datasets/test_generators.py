@@ -1,0 +1,114 @@
+"""Tests for the dataset generators (synthetic and Table 2 stand-ins)."""
+
+import pytest
+
+from repro.core import get_measure
+from repro.datasets import (
+    TABLE2_SPECS,
+    dataset_names,
+    make_dataset,
+    powerlaw_similarity_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+
+class TestUniform:
+    def test_shape(self):
+        dataset = uniform_dataset(50, 100, (3, 7), seed=0)
+        stats = dataset.stats()
+        assert stats.num_sets == 50
+        assert 3 <= stats.min_set_size and stats.max_set_size <= 7
+        assert stats.universe_size == 100
+
+    def test_fixed_size(self):
+        dataset = uniform_dataset(20, 50, 5, seed=1)
+        assert all(len(r) == 5 for r in dataset.records)
+
+    def test_deterministic(self):
+        a = uniform_dataset(20, 50, (2, 6), seed=5)
+        b = uniform_dataset(20, 50, (2, 6), seed=5)
+        assert [r.tokens for r in a.records] == [r.tokens for r in b.records]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_dataset(0, 10, 2)
+        with pytest.raises(ValueError):
+            uniform_dataset(5, 10, (4, 20))
+
+
+class TestZipf:
+    def test_low_ids_more_frequent(self):
+        dataset = zipf_dataset(400, 200, (3, 8), exponent=1.2, seed=2)
+        frequency = [0] * 200
+        for record in dataset.records:
+            for token in record.distinct:
+                frequency[token] += 1
+        head = sum(frequency[:20])
+        tail = sum(frequency[-20:])
+        assert head > 3 * tail
+
+    def test_no_duplicate_tokens_within_set(self):
+        dataset = zipf_dataset(50, 100, (2, 6), seed=3)
+        assert all(not r.is_multiset for r in dataset.records)
+
+
+class TestPowerlawSimilarity:
+    @pytest.mark.parametrize("alpha", [1.0, 2.0, 4.0])
+    def test_fixed_set_size(self, alpha):
+        dataset = powerlaw_similarity_dataset(100, 300, 9, alpha=alpha, seed=4)
+        assert all(len(r) == 9 for r in dataset.records)
+
+    def test_alpha_controls_similarity_mass(self):
+        """Larger α ⇒ fewer similar pairs (the Section 7.7 regime knob)."""
+        measure = get_measure("jaccard")
+
+        def similar_pair_fraction(alpha):
+            dataset = powerlaw_similarity_dataset(
+                150, 400, 10, alpha=alpha, num_templates=5, seed=6
+            )
+            pairs = 0
+            similar = 0
+            records = dataset.records
+            for i in range(len(records)):
+                for j in range(i + 1, min(i + 30, len(records))):
+                    pairs += 1
+                    if measure(records[i], records[j]) > 0.3:
+                        similar += 1
+            return similar / pairs
+
+        assert similar_pair_fraction(4.0) < similar_pair_fraction(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            powerlaw_similarity_dataset(10, 50, 5, alpha=0.5)
+
+
+class TestTable2StandIns:
+    def test_names(self):
+        assert dataset_names() == ["KOSARAK", "LIVEJ", "DBLP", "AOL", "FS", "PMC"]
+
+    @pytest.mark.parametrize("name", ["KOSARAK", "AOL"])
+    def test_size_statistics_match_spec_shape(self, name):
+        spec = TABLE2_SPECS[name]
+        dataset = make_dataset(name, scale=0.0005, seed=0)
+        stats = dataset.stats()
+        assert stats.min_set_size >= spec.min_size
+        # Mean within a factor of ~1.6 of the target (geometric tail + caps).
+        assert stats.avg_set_size == pytest.approx(spec.avg_size, rel=0.6)
+
+    def test_scale_controls_size(self):
+        small = make_dataset("DBLP", scale=0.0001, seed=1)
+        large = make_dataset("DBLP", scale=0.0005, seed=1)
+        assert len(large) > len(small)
+
+    def test_case_insensitive_name(self):
+        assert len(make_dataset("kosarak", scale=0.0003)) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("NOPE")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_dataset("KOSARAK", scale=0.0)

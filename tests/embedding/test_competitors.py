@@ -1,0 +1,121 @@
+"""Tests for the Section 7.3 competitor embeddings: PCA, MDS, Binary."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.core.sets import SetRecord
+from repro.embedding import (
+    BinaryEncodingEmbedding,
+    MDSEmbedding,
+    PCAEmbedding,
+    distance_matrix,
+    nhot_matrix,
+)
+from repro.core.similarity import get_measure
+
+
+class TestNHot:
+    def test_shape_and_counts(self, tiny_dataset):
+        matrix = nhot_matrix(tiny_dataset)
+        assert matrix.shape == (6, 4)
+        assert matrix.sum() == sum(len(r) for r in tiny_dataset.records)
+
+    def test_multiset_counts(self):
+        dataset = Dataset.from_token_lists([["a", "a", "b"]])
+        matrix = nhot_matrix(dataset).toarray()
+        np.testing.assert_array_equal(matrix, [[2, 1]])
+
+
+class TestPCA:
+    def test_dim_capped_by_matrix_rank(self, tiny_dataset):
+        pca = PCAEmbedding(dim=50).fit(tiny_dataset)
+        assert pca.dim <= min(6, 4) - 1
+
+    def test_transform_matches_transform_all(self, zipf_small):
+        pca = PCAEmbedding(dim=4).fit(zipf_small)
+        all_reps = pca.transform_all(zipf_small)
+        for i in [0, 7, 42]:
+            np.testing.assert_allclose(
+                all_reps[i], pca.transform(zipf_small.records[i]), atol=1e-8
+            )
+
+    def test_similar_sets_embed_close(self, zipf_small):
+        """PCA scores of near-duplicates should be closer than random pairs."""
+        pca = PCAEmbedding(dim=6).fit(zipf_small)
+        base = zipf_small.records[0]
+        near = SetRecord(list(base.distinct)[: max(len(base.distinct) - 1, 1)])
+        far = zipf_small.records[50]
+        rep = pca.transform(base)
+        assert np.linalg.norm(rep - pca.transform(near)) <= np.linalg.norm(
+            rep - pca.transform(far)
+        ) + 1e-9
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PCAEmbedding().transform(SetRecord([0]))
+
+
+class TestMDS:
+    @pytest.fixture(scope="class")
+    def small_sample(self, zipf_small):
+        import random
+
+        return zipf_small.sample(40, random.Random(0))
+
+    def test_distance_matrix_symmetric_zero_diagonal(self, small_sample):
+        distances = distance_matrix(small_sample, get_measure("jaccard"))
+        np.testing.assert_allclose(distances, distances.T)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+
+    def test_fitted_coords_preserve_distance_order(self, small_sample):
+        mds = MDSEmbedding(dim=8).fit(small_sample)
+        coords = mds.transform_all(small_sample)
+        measure = get_measure("jaccard")
+        # Most-similar pair should not be embedded farther than most-dissimilar.
+        distances = distance_matrix(small_sample, measure)
+        np.fill_diagonal(distances, np.inf)
+        closest = np.unravel_index(np.argmin(distances), distances.shape)
+        distances[distances == np.inf] = -np.inf
+        farthest = np.unravel_index(np.argmax(distances), distances.shape)
+        close_embedding = np.linalg.norm(coords[closest[0]] - coords[closest[1]])
+        far_embedding = np.linalg.norm(coords[farthest[0]] - coords[farthest[1]])
+        assert close_embedding <= far_embedding
+
+    def test_out_of_sample_transform(self, small_sample):
+        mds = MDSEmbedding(dim=4).fit(small_sample)
+        unseen = SetRecord([0, 1, 2])
+        vector = mds.transform(unseen)
+        assert vector.shape == (mds.dim,)
+        assert np.isfinite(vector).all()
+
+    def test_needs_two_records(self):
+        dataset = Dataset.from_token_lists([["a"]])
+        with pytest.raises(ValueError):
+            MDSEmbedding().fit(dataset)
+
+
+class TestBinaryEncoding:
+    def test_unique_codes_for_distinct_sets(self, tiny_dataset):
+        binary = BinaryEncodingEmbedding().fit(tiny_dataset)
+        codes = {tuple(binary.transform(record)) for record in tiny_dataset.records}
+        assert len(codes) == len(set(tiny_dataset.records))
+
+    def test_content_blind(self):
+        """Near-identical sets can get arbitrarily distant codes."""
+        dataset = Dataset.from_token_lists([["a", "b", "c"], ["a", "b", "d"], ["x"]])
+        binary = BinaryEncodingEmbedding().fit(dataset)
+        codes = binary.transform_all(dataset)
+        # Codes are ids in binary: 0, 1, 2 — unrelated to token overlap.
+        assert codes[0].tolist() != codes[1].tolist()
+
+    def test_dim_is_log_of_count(self, zipf_small):
+        binary = BinaryEncodingEmbedding().fit(zipf_small)
+        distinct = len(set(zipf_small.records))
+        assert binary.dim == int(np.ceil(np.log2(distinct)))
+
+    def test_unseen_record_hash_fallback(self, tiny_dataset):
+        binary = BinaryEncodingEmbedding().fit(tiny_dataset)
+        vector = binary.transform(SetRecord([0, 1, 2, 3]))
+        assert vector.shape == (binary.dim,)
+        assert set(vector.tolist()) <= {0.0, 1.0}

@@ -1,0 +1,146 @@
+"""Tests for PTR, including the paper's worked example (Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dataset
+from repro.core.sets import SetRecord
+from repro.embedding import PTREmbedding, PTRHalfEmbedding, build_path_table
+
+
+class TestPathTable:
+    def test_paper_table1(self):
+        """T = {A,B,C,D} with ids 0..3 must reproduce Table 1 exactly."""
+        table = build_path_table(4)
+        expected = np.array(
+            [
+                [1, 1, 0, 0],  # A
+                [1, 0, 0, 1],  # B
+                [0, 1, 1, 0],  # C
+                [0, 0, 1, 1],  # D
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(table, expected)
+
+    def test_width_is_twice_height(self):
+        assert build_path_table(100).shape == (100, 2 * 7)
+
+    def test_paths_unique(self):
+        table = build_path_table(37)
+        rows = {tuple(row) for row in table}
+        assert len(rows) == 37
+
+    def test_second_half_complements_first(self):
+        table = build_path_table(16)
+        height = table.shape[1] // 2
+        np.testing.assert_array_equal(table[:, height:], 1 - table[:, :height])
+
+    def test_single_token_universe(self):
+        assert build_path_table(1).shape == (1, 2)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            build_path_table(0)
+
+
+class TestPTREmbedding:
+    def test_paper_example_sets(self):
+        """Rep({A,B,C}) = [2,2,1,1] and Rep({B,D}) = [1,0,1,2] (Section 5.3)."""
+        dataset = Dataset.from_token_lists([["A", "B", "C", "D"]])
+        ptr = PTREmbedding().fit(dataset)
+        abc = SetRecord([0, 1, 2])
+        bd = SetRecord([1, 3])
+        np.testing.assert_array_equal(ptr.transform(abc), [2, 2, 1, 1])
+        np.testing.assert_array_equal(ptr.transform(bd), [1, 0, 1, 2])
+
+    def test_multiset_differentiation(self):
+        """Rep({A}) = [1,1,0,0] vs Rep({A,A}) = [2,2,0,0] (Section 5.3)."""
+        dataset = Dataset.from_token_lists([["A", "B", "C", "D"]])
+        ptr = PTREmbedding().fit(dataset)
+        np.testing.assert_array_equal(ptr.transform(SetRecord([0])), [1, 1, 0, 0])
+        np.testing.assert_array_equal(ptr.transform(SetRecord([0, 0])), [2, 2, 0, 0])
+
+    def test_transform_all_matches_transform(self, tiny_dataset):
+        ptr = PTREmbedding().fit(tiny_dataset)
+        all_reps = ptr.transform_all(tiny_dataset)
+        for i, record in enumerate(tiny_dataset.records):
+            np.testing.assert_array_equal(all_reps[i], ptr.transform(record))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PTREmbedding().transform(SetRecord([0]))
+        with pytest.raises(RuntimeError):
+            _ = PTREmbedding().dim
+
+    def test_out_of_table_tokens_ignored(self, tiny_dataset):
+        ptr = PTREmbedding().fit(tiny_dataset)
+        with_phantom = ptr.transform(SetRecord([0, 999]))
+        without = ptr.transform(SetRecord([0]))
+        np.testing.assert_array_equal(with_phantom, without)
+
+    @settings(max_examples=50)
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=10),
+        b=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=10),
+    )
+    def test_full_ptr_injective_on_multisets(self, a, b):
+        """Distinct multisets must have distinct full-PTR representations."""
+        table = build_path_table(64)
+        rep_a = table[sorted(a)].sum(axis=0)
+        rep_b = table[sorted(b)].sum(axis=0)
+        if SetRecord(a) != SetRecord(b):
+            assert not np.array_equal(rep_a, rep_b)
+        else:
+            np.testing.assert_array_equal(rep_a, rep_b)
+
+
+class TestSetSeparationFriendly:
+    """Definition 5.1 / Figure 6: token membership ↔ axis-aligned dominance."""
+
+    @settings(max_examples=50)
+    @given(
+        tokens=st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=8),
+        target=st.integers(min_value=0, max_value=31),
+    )
+    def test_membership_implies_componentwise_dominance(self, tokens, target):
+        """If t ∈ S then Rep(S) ⪰ PT[t] componentwise — every set containing
+        t lies in the axis-aligned half-space anchored at Rep({t}), the
+        geometric separation the paper illustrates in Figure 6."""
+        table = build_path_table(32)
+        rep = table[sorted(tokens)].sum(axis=0)
+        if target in tokens:
+            assert (rep >= table[target] - 1e-12).all()
+
+    def test_half_space_contains_all_member_sets(self):
+        """Concrete Figure 6 scenario: all sets containing B dominate PT[B]."""
+        table = build_path_table(4)
+        b = 1
+        member_sets = [[b], [0, b], [b, 2], [0, b, 2, 3]]
+        for tokens in member_sets:
+            rep = table[sorted(tokens)].sum(axis=0)
+            assert (rep >= table[b]).all()
+
+
+class TestPTRHalf:
+    def test_half_width(self, tiny_dataset):
+        full = PTREmbedding().fit(tiny_dataset)
+        half = PTRHalfEmbedding().fit(tiny_dataset)
+        assert half.dim == full.dim // 2
+
+    def test_known_collision(self):
+        """Section 5.3: {A} and {B,C} collide on the half table."""
+        dataset = Dataset.from_token_lists([["A", "B", "C", "D"]])
+        half = PTRHalfEmbedding().fit(dataset)
+        rep_a = half.transform(SetRecord([0]))
+        rep_bc = half.transform(SetRecord([1, 2]))
+        np.testing.assert_array_equal(rep_a, rep_bc)
+
+    def test_full_resolves_that_collision(self):
+        dataset = Dataset.from_token_lists([["A", "B", "C", "D"]])
+        full = PTREmbedding().fit(dataset)
+        assert not np.array_equal(
+            full.transform(SetRecord([0])), full.transform(SetRecord([1, 2]))
+        )

@@ -1,0 +1,49 @@
+"""Unit tests for the graph substrate."""
+
+import pytest
+
+from repro.graphs import Graph
+
+
+class TestGraph:
+    def test_add_edge_symmetric(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2.0)
+        assert dict(graph.neighbors(0)) == {1: 2.0}
+        assert dict(graph.neighbors(1)) == {0: 2.0}
+
+    def test_parallel_edges_accumulate(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 1, 0.5)
+        assert dict(graph.neighbors(0)) == {1: 1.5}
+        assert graph.num_edges() == 1
+
+    def test_self_loops_ignored(self):
+        graph = Graph(2)
+        graph.add_edge(1, 1)
+        assert graph.num_edges() == 0
+
+    def test_degree_and_edges(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.degree(0) == 2
+        assert sorted((u, v) for u, v, _ in graph.edges()) == [(0, 1), (0, 2)]
+
+    def test_vertex_weights_default_one(self):
+        graph = Graph(3)
+        assert graph.total_vertex_weight() == 3
+
+    def test_cut_weight(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 2.0)
+        graph.add_edge(2, 3, 4.0)
+        assert graph.cut_weight([0, 1]) == pytest.approx(2.0)
+        assert graph.cut_weight([0, 1, 2]) == pytest.approx(4.0)
+        assert graph.cut_weight([]) == 0.0
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)

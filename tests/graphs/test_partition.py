@@ -1,0 +1,86 @@
+"""Tests for the multilevel balanced graph partitioner."""
+
+import random
+
+import pytest
+
+from repro.graphs import Graph, bisect, partition_graph
+
+
+def planted_graph(num_clusters=4, cluster_size=30, seed=0):
+    """Dense intra-cluster edges, sparse inter-cluster edges."""
+    rng = random.Random(seed)
+    n = num_clusters * cluster_size
+    graph = Graph(n)
+    for cluster in range(num_clusters):
+        members = list(range(cluster * cluster_size, (cluster + 1) * cluster_size))
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if rng.random() < 0.4:
+                    graph.add_edge(u, v, 1.0)
+    for _ in range(n // 4):  # weak cross edges
+        u, v = rng.randrange(n), rng.randrange(n)
+        graph.add_edge(u, v, 0.05)
+    return graph
+
+
+class TestBisect:
+    def test_sides_are_balanced(self):
+        graph = planted_graph(2, 40)
+        side = bisect(graph, tolerance=0.1, seed=1)
+        counts = [side.count(0), side.count(1)]
+        assert min(counts) >= 0.4 * len(side) / 2 * 2 * 0.5  # loose sanity floor
+        assert abs(counts[0] - counts[1]) <= 0.25 * len(side)
+
+    def test_planted_bisection_found(self):
+        graph = planted_graph(2, 40, seed=2)
+        side = bisect(graph, seed=3)
+        # Most of cluster 0 should land on one side.
+        first_cluster_sides = side[:40]
+        majority = max(first_cluster_sides.count(0), first_cluster_sides.count(1))
+        assert majority >= 32
+
+    def test_edgeless_graph_does_not_crash(self):
+        graph = Graph(10)
+        side = bisect(graph, seed=0)
+        assert set(side) <= {0, 1}
+
+
+class TestPartitionGraph:
+    def test_every_vertex_assigned(self):
+        graph = planted_graph()
+        assignment = partition_graph(graph, 4, seed=0)
+        assert len(assignment) == graph.num_vertices
+        assert set(assignment) == {0, 1, 2, 3}
+
+    def test_parts_roughly_balanced(self):
+        graph = planted_graph()
+        assignment = partition_graph(graph, 4, seed=0)
+        sizes = [assignment.count(p) for p in range(4)]
+        assert max(sizes) <= 2.0 * min(sizes)
+
+    def test_cut_better_than_random(self):
+        graph = planted_graph(seed=5)
+        assignment = partition_graph(graph, 4, seed=1)
+        rng = random.Random(2)
+        random_assignment = [rng.randrange(4) for _ in range(graph.num_vertices)]
+
+        def total_cut(assign):
+            return sum(
+                weight for u, v, weight in graph.edges() if assign[u] != assign[v]
+            )
+
+        assert total_cut(assignment) < total_cut(random_assignment)
+
+    def test_non_power_of_two_parts(self):
+        graph = planted_graph(3, 20)
+        assignment = partition_graph(graph, 3, seed=0)
+        assert set(assignment) == {0, 1, 2}
+
+    def test_single_part(self):
+        graph = planted_graph(2, 10)
+        assert set(partition_graph(graph, 1)) == {0}
+
+    def test_invalid_part_count(self):
+        with pytest.raises(ValueError):
+            partition_graph(Graph(3), 0)

@@ -1,0 +1,114 @@
+"""Integration tests: full build → query → update → query cycles."""
+
+import pytest
+
+from repro.baselines import BruteForceSearch
+from repro.core import LES3, Dataset, HierarchicalTGM
+from repro.datasets import make_dataset, zipf_dataset
+from repro.learn import L2PPartitioner
+from repro.workloads import sample_queries
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        dataset = zipf_dataset(400, 600, (2, 10), seed=21)
+        partitioner = L2PPartitioner(
+            pairs_per_model=800, epochs=2, initial_groups=8, min_group_size=10, seed=0
+        )
+        return LES3.build(dataset, num_groups=24, partitioner=partitioner)
+
+    def test_knn_exact_after_build(self, engine):
+        brute = BruteForceSearch(engine.dataset, engine.measure)
+        for query in sample_queries(engine.dataset, 15, seed=1):
+            expected = sorted(s for _, s in brute.knn_search(query, 10).matches)
+            actual = sorted(s for _, s in engine.knn_record(query, 10).matches)
+            assert actual == pytest.approx(expected)
+
+    def test_range_exact_after_build(self, engine):
+        brute = BruteForceSearch(engine.dataset, engine.measure)
+        for query in sample_queries(engine.dataset, 15, seed=2):
+            assert (
+                engine.range_record(query, 0.6).matches
+                == brute.range_search(query, 0.6).matches
+            )
+
+    def test_pruning_nontrivial(self, engine):
+        total_candidates = 0
+        for query in sample_queries(engine.dataset, 20, seed=3):
+            total_candidates += engine.range_record(query, 0.8).stats.candidates_verified
+        assert total_candidates < 20 * len(engine.dataset) * 0.8
+
+    def test_insert_cycle_stays_exact(self, engine):
+        for i in range(30):
+            tokens = [f"fresh-{i}-{j}" for j in range(4)]
+            engine.insert(tokens)
+        brute = BruteForceSearch(engine.dataset, engine.measure)
+        for query in sample_queries(engine.dataset, 10, seed=4):
+            expected = sorted(s for _, s in brute.knn_search(query, 5).matches)
+            actual = sorted(s for _, s in engine.knn_record(query, 5).matches)
+            assert actual == pytest.approx(expected)
+
+    def test_inserted_set_is_its_own_nearest_neighbour(self, engine):
+        index, _ = engine.insert(["uniq-a", "uniq-b", "uniq-c"])
+        result = engine.knn(["uniq-a", "uniq-b", "uniq-c"], k=1)
+        assert result.matches[0] == (index, 1.0)
+
+
+class TestCascadeToHTGM:
+    def test_level_partitions_feed_htgm(self):
+        dataset = zipf_dataset(300, 400, (2, 8), seed=22)
+        l2p = L2PPartitioner(
+            pairs_per_model=500, epochs=2, initial_groups=4, min_group_size=8, seed=0
+        )
+        final = l2p.partition(dataset, 16)
+        levels = [l2p.level_partitions_[0].groups, final.groups]
+        htgm = HierarchicalTGM(dataset, levels)
+        brute = BruteForceSearch(dataset)
+        for query in sample_queries(dataset, 10, seed=5):
+            assert (
+                htgm.range_search(dataset, query, 0.7).matches
+                == brute.range_search(query, 0.7).matches
+            )
+
+
+class TestRealLikeDatasets:
+    def test_kosarak_like_pipeline(self):
+        dataset = make_dataset("KOSARAK", scale=0.0005, seed=3)
+        engine = LES3.build(
+            dataset,
+            num_groups=8,
+            partitioner=L2PPartitioner(
+                pairs_per_model=400, epochs=2, initial_groups=4, min_group_size=10, seed=0
+            ),
+        )
+        brute = BruteForceSearch(dataset)
+        for query in sample_queries(dataset, 8, seed=6):
+            expected = sorted(s for _, s in brute.knn_search(query, 5).matches)
+            actual = sorted(s for _, s in engine.knn_record(query, 5).matches)
+            assert actual == pytest.approx(expected)
+
+    def test_roaring_backend_pipeline(self):
+        dataset = make_dataset("AOL", scale=0.0002, seed=4)
+        from repro.partitioning import MinTokenPartitioner
+
+        engine = LES3.build(
+            dataset, num_groups=6, partitioner=MinTokenPartitioner(), backend="roaring"
+        )
+        brute = BruteForceSearch(dataset)
+        query = dataset.records[0]
+        assert engine.range_record(query, 0.5).matches == brute.range_search(query, 0.5).matches
+
+
+class TestPersistenceRoundtrip:
+    def test_save_load_build_query(self, tmp_path):
+        dataset = zipf_dataset(150, 200, (2, 6), seed=23)
+        path = tmp_path / "data.txt"
+        dataset.save(path)
+        reloaded = Dataset.load(path)
+        from repro.partitioning import MinTokenPartitioner
+
+        engine = LES3.build(reloaded, num_groups=5, partitioner=MinTokenPartitioner())
+        brute = BruteForceSearch(reloaded)
+        query = reloaded.records[7]
+        assert engine.range_record(query, 0.4).matches == brute.range_search(query, 0.4).matches

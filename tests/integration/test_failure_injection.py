@@ -1,0 +1,119 @@
+"""Failure injection and adversarial edge cases across the stack."""
+
+import pytest
+
+from repro.baselines import BruteForceSearch, DualTransSearch, InvertedIndexSearch
+from repro.core import LES3, Dataset, TokenGroupMatrix, knn_search, range_search
+from repro.core.sets import SetRecord
+from repro.partitioning import MinTokenPartitioner, Partition
+
+
+class TestDegenerateDatasets:
+    def test_single_set_database(self):
+        dataset = Dataset.from_token_lists([["only"]])
+        engine = LES3.build(dataset, num_groups=4, partitioner=MinTokenPartitioner())
+        assert engine.knn(["only"], k=1).matches == [(0, 1.0)]
+        assert engine.knn(["only"], k=10).matches == [(0, 1.0)]
+
+    def test_all_identical_sets(self):
+        dataset = Dataset.from_token_lists([["a", "b"]] * 9)
+        engine = LES3.build(dataset, num_groups=3, partitioner=MinTokenPartitioner())
+        result = engine.range(["a", "b"], threshold=1.0)
+        assert len(result) == 9
+        assert all(similarity == 1.0 for _, similarity in result.matches)
+
+    def test_singleton_groups(self, tiny_dataset):
+        partition = Partition([[i] for i in range(len(tiny_dataset))])
+        tgm = TokenGroupMatrix(tiny_dataset, partition.groups)
+        brute = BruteForceSearch(tiny_dataset)
+        query = tiny_dataset.records[2]
+        assert range_search(tiny_dataset, tgm, query, 0.3).matches == brute.range_search(
+            query, 0.3
+        ).matches
+
+    def test_disjoint_query_returns_empty_range(self, tiny_dataset):
+        tgm = TokenGroupMatrix(tiny_dataset, [[0, 1, 2], [3, 4, 5]])
+        query = SetRecord([999])  # phantom token
+        assert range_search(tiny_dataset, tgm, query, 0.5).matches == []
+
+    def test_disjoint_query_knn_still_returns_k(self, tiny_dataset):
+        tgm = TokenGroupMatrix(tiny_dataset, [[0, 1, 2], [3, 4, 5]])
+        query = SetRecord([999])
+        result = knn_search(tiny_dataset, tgm, query, 3)
+        assert len(result) == 3
+        assert all(similarity == 0.0 for _, similarity in result.matches)
+
+
+class TestBoundaryParameters:
+    @pytest.fixture(scope="class")
+    def stack(self, zipf_small):
+        partition = MinTokenPartitioner().partition(zipf_small, 8)
+        return zipf_small, TokenGroupMatrix(zipf_small, partition.groups)
+
+    def test_threshold_exactly_zero(self, stack):
+        dataset, tgm = stack
+        result = range_search(dataset, tgm, dataset.records[0], 0.0)
+        assert len(result) == len(dataset)
+
+    def test_threshold_exactly_one(self, stack):
+        dataset, tgm = stack
+        result = range_search(dataset, tgm, dataset.records[0], 1.0)
+        assert all(similarity == 1.0 for _, similarity in result.matches)
+
+    def test_k_equals_database_size(self, stack):
+        dataset, tgm = stack
+        result = knn_search(dataset, tgm, dataset.records[0], len(dataset))
+        assert len(result) == len(dataset)
+
+    @pytest.mark.parametrize("threshold", [-0.01, 1.01, float("nan")])
+    def test_bad_thresholds_rejected_everywhere(self, stack, threshold):
+        dataset, tgm = stack
+        query = dataset.records[0]
+        for call in (
+            lambda: range_search(dataset, tgm, query, threshold),
+            lambda: BruteForceSearch(dataset).range_search(query, threshold),
+            lambda: InvertedIndexSearch(dataset).range_search(query, threshold),
+            lambda: DualTransSearch(dataset, dim=4).range_search(query, threshold),
+        ):
+            with pytest.raises(ValueError):
+                call()
+
+    @pytest.mark.parametrize("k", [0, -5])
+    def test_bad_k_rejected_everywhere(self, stack, k):
+        dataset, tgm = stack
+        query = dataset.records[0]
+        for call in (
+            lambda: knn_search(dataset, tgm, query, k),
+            lambda: BruteForceSearch(dataset).knn_search(query, k),
+            lambda: InvertedIndexSearch(dataset).knn_search(query, k),
+            lambda: DualTransSearch(dataset, dim=4).knn_search(query, k),
+        ):
+            with pytest.raises(ValueError):
+                call()
+
+
+class TestCorruptionDetection:
+    def test_partition_with_gap_not_covering(self, tiny_dataset):
+        partition = Partition([[0, 1], [3, 4]])  # records 2, 5 missing
+        assert not partition.covers(len(tiny_dataset))
+
+    def test_tgm_over_partial_partition_still_bounds_correctly(self, tiny_dataset):
+        """A TGM over a subset of the data is still sound for that subset."""
+        tgm = TokenGroupMatrix(tiny_dataset, [[0, 1], [3, 4]])
+        query = tiny_dataset.records[0]
+        bounds = tgm.upper_bounds(list(query.distinct), len(query))
+        for group_id, members in enumerate(tgm.group_members):
+            for record_index in members:
+                assert bounds[group_id] >= tgm.measure(
+                    query, tiny_dataset.records[record_index]
+                )
+
+    def test_multiset_queries_against_set_database(self, zipf_small):
+        partition = MinTokenPartitioner().partition(zipf_small, 6)
+        tgm = TokenGroupMatrix(zipf_small, partition.groups)
+        brute = BruteForceSearch(zipf_small)
+        base = list(zipf_small.records[0].distinct)
+        query = SetRecord(base + base[:2])  # duplicated tokens → multiset
+        assert range_search(zipf_small, tgm, query, 0.3).matches == brute.range_search(
+            query, 0.3
+        ).matches

@@ -1,0 +1,82 @@
+"""Multiset semantics across the whole stack (paper Section 2 supports them)."""
+
+import random
+
+import pytest
+
+from repro.baselines import BruteForceSearch, DualTransSearch, InvertedIndexSearch
+from repro.core import Dataset, TokenGroupMatrix, knn_search, range_search
+from repro.core.sets import SetRecord
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+
+@pytest.fixture(scope="module")
+def multiset_dataset():
+    """Sets where ~half the records duplicate some tokens."""
+    rng = random.Random(80)
+    token_lists = []
+    for _ in range(250):
+        base = [str(rng.randrange(120)) for _ in range(rng.randint(2, 8))]
+        if rng.random() < 0.5 and base:
+            base += [rng.choice(base)] * rng.randint(1, 2)
+        token_lists.append(base)
+    return Dataset.from_token_lists(token_lists)
+
+
+@pytest.fixture(scope="module")
+def stack(multiset_dataset):
+    partition = MinTokenPartitioner().partition(multiset_dataset, 10)
+    return {
+        "dataset": multiset_dataset,
+        "tgm": TokenGroupMatrix(multiset_dataset, partition.groups),
+        "brute": BruteForceSearch(multiset_dataset),
+        "invidx": InvertedIndexSearch(multiset_dataset),
+        "dualtrans": DualTransSearch(multiset_dataset, dim=8),
+    }
+
+
+class TestMultisetExactness:
+    @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+    def test_range_agreement(self, stack, threshold):
+        for query in sample_queries(stack["dataset"], 12, seed=81):
+            expected = stack["brute"].range_search(query, threshold).matches
+            assert stack["invidx"].range_search(query, threshold).matches == expected
+            assert stack["dualtrans"].range_search(query, threshold).matches == expected
+            assert (
+                range_search(stack["dataset"], stack["tgm"], query, threshold).matches
+                == expected
+            )
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_knn_agreement(self, stack, k):
+        for query in sample_queries(stack["dataset"], 8, seed=82):
+            expected = sorted(s for _, s in stack["brute"].knn_search(query, k).matches)
+            for name in ("invidx", "dualtrans"):
+                actual = sorted(s for _, s in stack[name].knn_search(query, k).matches)
+                assert actual == pytest.approx(expected), name
+            actual = sorted(
+                s for _, s in knn_search(stack["dataset"], stack["tgm"], query, k).matches
+            )
+            assert actual == pytest.approx(expected)
+
+    def test_multiset_query_against_multiset_data(self, stack):
+        query = SetRecord([0, 0, 0, 1, 1, 2])
+        expected = stack["brute"].range_search(query, 0.2).matches
+        assert range_search(stack["dataset"], stack["tgm"], query, 0.2).matches == expected
+        assert stack["invidx"].range_search(query, 0.2).matches == expected
+
+
+class TestMultisetSemantics:
+    def test_duplicate_counts_affect_similarity(self, stack):
+        """{a,a,b} vs {a,b}: multiset Jaccard is 2/3, not 1."""
+        measure = stack["tgm"].measure
+        value = measure(SetRecord([0, 0, 1]), SetRecord([0, 1]))
+        assert value == pytest.approx(2 / 3)
+
+    def test_exact_duplicate_multiset_found_at_one(self, multiset_dataset, stack):
+        multiset_records = [r for r in multiset_dataset.records if r.is_multiset]
+        assert multiset_records, "fixture should contain multisets"
+        query = multiset_records[0]
+        result = range_search(multiset_dataset, stack["tgm"], query, 1.0)
+        assert any(similarity == 1.0 for _, similarity in result.matches)

@@ -1,0 +1,88 @@
+"""Model-based stateful testing of the engine's update/query lifecycle.
+
+Hypothesis drives arbitrary interleavings of open-universe insertions,
+logical deletions, and range/kNN queries; a plain-Python model (a list of
+live sets) predicts every answer.  Any divergence — a missed result, a
+ghost result, a wrong similarity — fails the run with the minimal
+reproducing operation sequence.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core import LES3, Dataset, validate_tgm
+from repro.partitioning import MinTokenPartitioner
+
+token = st.integers(min_value=0, max_value=60).map(lambda t: f"t{t}")
+token_set = st.lists(token, min_size=1, max_size=8, unique=True)
+
+
+class EngineModel(RuleBasedStateMachine):
+    @initialize(initial=st.lists(token_set, min_size=2, max_size=10))
+    def build(self, initial):
+        dataset = Dataset.from_token_lists(initial)
+        self.engine = LES3.build(dataset, num_groups=3, partitioner=MinTokenPartitioner())
+        # Model: record index → frozenset of external tokens (None = removed).
+        self.model: dict[int, frozenset] = {
+            i: frozenset(tokens) for i, tokens in enumerate(initial)
+        }
+        self.removed: set[int] = set()
+
+    def _jaccard(self, query_tokens, record_tokens) -> float:
+        query = frozenset(query_tokens)
+        union = len(query | record_tokens)
+        return len(query & record_tokens) / union if union else 0.0
+
+    @rule(tokens=token_set)
+    def insert(self, tokens):
+        index, _ = self.engine.insert(tokens)
+        self.model[index] = frozenset(tokens)
+
+    @rule(data=st.data())
+    def remove(self, data):
+        live = sorted(set(self.model) - self.removed)
+        if not live:
+            return
+        victim = data.draw(st.sampled_from(live))
+        self.engine.remove(victim)
+        self.removed.add(victim)
+
+    @rule(tokens=token_set, threshold=st.sampled_from([0.25, 0.5, 0.75, 1.0]))
+    def range_query(self, tokens, threshold):
+        result = self.engine.range(tokens, threshold)
+        expected = {
+            index: self._jaccard(tokens, record_tokens)
+            for index, record_tokens in self.model.items()
+            if index not in self.removed
+            and self._jaccard(tokens, record_tokens) >= threshold
+        }
+        actual = dict(result.matches)
+        assert set(actual) == set(expected)
+        for index, similarity in actual.items():
+            assert similarity == pytest.approx(expected[index])
+
+    @rule(tokens=token_set, k=st.integers(min_value=1, max_value=5))
+    def knn_query(self, tokens, k):
+        result = self.engine.knn(tokens, k)
+        live = [
+            self._jaccard(tokens, record_tokens)
+            for index, record_tokens in self.model.items()
+            if index not in self.removed
+        ]
+        expected = sorted(live, reverse=True)[:k]
+        actual = sorted((s for _, s in result.matches), reverse=True)
+        assert actual == pytest.approx(expected)
+        assert all(index not in self.removed for index, _ in result.matches)
+
+    @invariant()
+    def index_is_sound(self):
+        if not hasattr(self, "engine"):
+            return
+        report = validate_tgm(self.engine.dataset, self.engine.tgm, removed=self.removed)
+        assert report.ok, report.summary()
+
+
+TestEngineStateful = EngineModel.TestCase
+TestEngineStateful.settings = settings(max_examples=25, stateful_step_count=20, deadline=None)

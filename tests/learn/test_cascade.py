@@ -1,0 +1,103 @@
+"""Tests for the L2P cascade framework."""
+
+import random
+
+import pytest
+
+from repro.core import Dataset
+from repro.learn import L2PPartitioner
+from repro.partitioning import RandomPartitioner, gpo
+
+
+def planted_two_clusters(per_cluster=60, seed=0):
+    rng = random.Random(seed)
+    lists = []
+    for cluster in range(2):
+        base = cluster * 60
+        for _ in range(per_cluster):
+            lists.append([str(t) for t in rng.sample(range(base, base + 40), 8)])
+    return Dataset.from_token_lists(lists)
+
+
+def make_l2p(**overrides):
+    defaults = dict(
+        pairs_per_model=1500, epochs=3, lr=0.02, initial_groups=1, min_group_size=4, seed=0
+    )
+    defaults.update(overrides)
+    return L2PPartitioner(**defaults)
+
+
+class TestCascadeMechanics:
+    def test_partition_covers_database(self):
+        dataset = planted_two_clusters()
+        partition = make_l2p().partition(dataset, 8)
+        assert partition.covers(len(dataset))
+        assert partition.num_groups <= 8
+
+    def test_level_partitions_are_nested_and_doubling(self):
+        dataset = planted_two_clusters()
+        l2p = make_l2p()
+        l2p.partition(dataset, 8)
+        counts = [p.num_groups for p in l2p.level_partitions_]
+        assert counts == sorted(counts)
+        assert counts[-1] <= 8
+        # Nesting: every fine group within one coarse group.
+        coarse, fine = l2p.level_partitions_[-2], l2p.level_partitions_[-1]
+        for group in fine.groups:
+            parents = {coarse.group_of(i) for i in group}
+            assert len(parents) == 1
+
+    def test_min_group_size_respected(self):
+        dataset = planted_two_clusters(per_cluster=30)
+        l2p = make_l2p(min_group_size=25)
+        partition = l2p.partition(dataset, 64)
+        # A group below 25 members is never split, so none can fall under
+        # 25/2 via splitting (only via the split of a >= 25 group).
+        assert partition.num_groups < 64
+        assert all(size >= 1 for size in partition.group_sizes())
+
+    def test_initial_groups_capped_by_target(self):
+        dataset = planted_two_clusters(per_cluster=30)
+        l2p = make_l2p(initial_groups=128)
+        partition = l2p.partition(dataset, 4)
+        assert partition.num_groups <= 4
+
+    def test_stats_record_models_and_pairs(self):
+        dataset = planted_two_clusters()
+        l2p = make_l2p()
+        l2p.partition(dataset, 4)
+        assert l2p.stats_.models_trained >= 3  # 1 root + 2 children
+        assert l2p.stats_.pairs_sampled > 0
+        assert all(len(h) == 3 for h in l2p.stats_.loss_histories)
+
+    def test_empty_dataset(self):
+        partition = make_l2p().partition(Dataset(), 4)
+        assert partition.num_groups == 0
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            make_l2p().partition(planted_two_clusters(10), 0)
+
+
+class TestCascadeQuality:
+    def test_learns_planted_bisection(self):
+        dataset = planted_two_clusters()
+        partition = make_l2p().partition(dataset, 2)
+        assert partition.num_groups == 2
+        # Majority purity on both sides.
+        for group in partition.groups:
+            first_cluster = sum(1 for i in group if i < 60) / len(group)
+            assert max(first_cluster, 1 - first_cluster) > 0.8
+
+    def test_beats_random_partitioning_gpo(self):
+        dataset = planted_two_clusters()
+        l2p_gpo = gpo(dataset, make_l2p().partition(dataset, 4))
+        random_gpo = gpo(dataset, RandomPartitioner(seed=1).partition(dataset, 4))
+        assert l2p_gpo < random_gpo
+
+    def test_loss_decreases_during_training(self):
+        dataset = planted_two_clusters()
+        l2p = make_l2p(epochs=4)
+        l2p.partition(dataset, 2)
+        first_model_history = l2p.stats_.loss_histories[0]
+        assert first_model_history[-1] <= first_model_history[0]

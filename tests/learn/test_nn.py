@@ -1,0 +1,130 @@
+"""Tests for the numpy NN substrate: numerical gradients, Adam, MLP."""
+
+import numpy as np
+import pytest
+
+from repro.learn.nn import MLP, Adam, Linear, Sigmoid, build_l2p_network
+
+
+def numerical_gradient(f, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = f()
+        flat[i] = original - eps
+        lower = f()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng)
+        x = rng.standard_normal((4, 3))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, x @ layer.weight + layer.bias)
+
+    def test_backward_matches_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        upstream = rng.standard_normal((5, 3))
+
+        def loss():
+            return float((layer.forward(x) * upstream).sum())
+
+        loss()  # populate cache
+        layer.zero_grad()
+        grad_input = layer.backward(upstream)
+        np.testing.assert_allclose(
+            layer.grad_weight, numerical_gradient(loss, layer.weight), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            layer.grad_bias, numerical_gradient(loss, layer.bias), atol=1e-5
+        )
+        # Input gradient: d(sum(xW+b)*u)/dx = u @ W.T
+        np.testing.assert_allclose(grad_input, upstream @ layer.weight.T)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestSigmoid:
+    def test_range_and_stability(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-1000.0, -1.0, 0.0, 1.0, 1000.0]]))
+        # Extreme inputs saturate to exactly 0/1 in float64 without
+        # overflowing or producing NaNs; moderate inputs stay interior.
+        assert np.isfinite(out).all()
+        assert ((out >= 0) & (out <= 1)).all()
+        assert 0.0 < out[0, 1] < 0.5 < out[0, 3] < 1.0
+        assert out[0, 2] == pytest.approx(0.5)
+
+    def test_backward_matches_analytic(self):
+        layer = Sigmoid()
+        x = np.linspace(-3, 3, 7).reshape(1, -1)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, out * (1 - out))
+
+
+class TestMLP:
+    def test_l2p_architecture(self):
+        network = build_l2p_network(14, np.random.default_rng(0))
+        # input→8, sigmoid, 8→8, sigmoid, 8→1, sigmoid.
+        assert len(network.layers) == 6
+        assert network.num_parameters() == (14 * 8 + 8) + (8 * 8 + 8) + (8 + 1)
+
+    def test_forward_output_in_unit_interval(self):
+        network = build_l2p_network(6, np.random.default_rng(0))
+        out = network.forward(np.random.default_rng(1).standard_normal((10, 6)))
+        assert out.shape == (10, 1)
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_end_to_end_gradient_check(self):
+        rng = np.random.default_rng(2)
+        network = MLP([3, 4, 1], rng)
+        x = rng.standard_normal((6, 3))
+        target = rng.standard_normal((6, 1))
+
+        def loss():
+            diff = network.forward(x) - target
+            return float((diff**2).sum() / 2)
+
+        loss()
+        network.zero_grad()
+        network.backward(network.forward(x) - target)
+        for param, grad in zip(network.parameters(), network.gradients()):
+            np.testing.assert_allclose(grad, numerical_gradient(loss, param), atol=1e-5)
+
+    def test_too_few_widths_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([5], np.random.default_rng(0))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = np.array([5.0, -3.0])
+        grad = np.zeros_like(param)
+        optimizer = Adam([param], [grad], lr=0.1)
+        for _ in range(500):
+            grad[:] = param  # gradient of ||p||²/2
+            optimizer.step()
+        assert np.abs(param).max() < 1e-2
+
+    def test_step_clears_gradients(self):
+        param = np.ones(2)
+        grad = np.ones(2)
+        Adam([param], [grad]).step()
+        assert (grad == 0).all()
+
+    def test_misaligned_lists_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([np.ones(2)], [])

@@ -1,0 +1,49 @@
+"""Tests for parallel cascade training (Section 7.2's future-work feature)."""
+
+import pytest
+
+from repro.datasets import zipf_dataset
+from repro.learn import L2PPartitioner
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return zipf_dataset(300, 400, (2, 8), seed=70)
+
+
+def make(workers):
+    return L2PPartitioner(
+        pairs_per_model=500,
+        epochs=2,
+        initial_groups=4,
+        min_group_size=8,
+        workers=workers,
+        seed=0,
+    )
+
+
+class TestParallelTraining:
+    def test_same_partition_any_worker_count(self, dataset):
+        serial = make(1).partition(dataset, 16)
+        parallel = make(4).partition(dataset, 16)
+        assert serial.groups == parallel.groups
+
+    def test_stats_complete_in_parallel(self, dataset):
+        l2p = make(4)
+        l2p.partition(dataset, 16)
+        serial = make(1)
+        serial.partition(dataset, 16)
+        assert l2p.stats_.models_trained == serial.stats_.models_trained
+        assert l2p.stats_.pairs_sampled == serial.stats_.pairs_sampled
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            make(0)
+
+    def test_level_partitions_identical(self, dataset):
+        serial = make(1)
+        serial.partition(dataset, 16)
+        parallel = make(3)
+        parallel.partition(dataset, 16)
+        for a, b in zip(serial.level_partitions_, parallel.level_partitions_):
+            assert a.groups == b.groups

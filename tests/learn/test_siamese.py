@@ -1,0 +1,113 @@
+"""Tests for the Siamese network and the Equation 15/18 losses."""
+
+import numpy as np
+import pytest
+
+from repro.learn import SiameseNetwork, hard_pair_loss, surrogate_pair_loss
+
+
+class TestLossFunctions:
+    def test_hard_loss_counts_same_side_only(self):
+        out_x = np.array([0.2, 0.7, 0.3])
+        out_y = np.array([0.3, 0.9, 0.8])
+        distance = np.array([0.5, 0.4, 1.0])
+        np.testing.assert_allclose(hard_pair_loss(out_x, out_y, distance), [0.5, 0.4, 0.0])
+
+    def test_surrogate_weights_by_output_gap(self):
+        out_x = np.array([0.2, 0.45])
+        out_y = np.array([0.3, 0.05])
+        distance = np.array([1.0, 1.0])
+        expected = np.array([(0.5 - 0.1) * 1.0, (0.5 - 0.4) * 1.0])
+        np.testing.assert_allclose(surrogate_pair_loss(out_x, out_y, distance), expected)
+
+    def test_surrogate_zero_across_boundary(self):
+        value = surrogate_pair_loss(np.array([0.4]), np.array([0.6]), np.array([1.0]))
+        assert value[0] == 0.0
+
+    def test_same_global_optimum(self):
+        """Both losses are zero exactly when the pair is split."""
+        for out_x, out_y in [(0.1, 0.9), (0.49, 0.51)]:
+            assert hard_pair_loss(np.array([out_x]), np.array([out_y]), np.array([1.0]))[0] == 0
+            assert (
+                surrogate_pair_loss(np.array([out_x]), np.array([out_y]), np.array([1.0]))[0]
+                == 0
+            )
+
+    def test_balance_argument_of_section_5_1(self):
+        """With equal pairwise distance d, balanced split minimises Eq 15.
+
+        N1² + N2² ≥ N²/2 with equality iff N1 = N2 (the paper's argument).
+        """
+        d = 0.7
+        n = 10
+
+        def total_loss(n1):
+            n2 = n - n1
+            return d / 2 * (n1 * (n1 - 1) + n2 * (n2 - 1))
+
+        losses = [total_loss(n1) for n1 in range(n + 1)]
+        assert min(losses) == total_loss(n // 2)
+
+
+class TestSiameseNetwork:
+    def test_outputs_in_unit_interval(self):
+        network = SiameseNetwork(input_dim=4, seed=0)
+        out = network.outputs(np.random.default_rng(0).standard_normal((20, 4)))
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_assign_thresholds_at_half(self):
+        network = SiameseNetwork(input_dim=4, seed=0)
+        reps = np.random.default_rng(1).standard_normal((10, 4))
+        np.testing.assert_array_equal(network.assign(reps), network.outputs(reps) >= 0.5)
+
+    def test_training_separates_two_blobs(self):
+        """Two well-separated blobs with cross-distance 1 should split."""
+        rng = np.random.default_rng(3)
+        blob_a = rng.normal(loc=-2.0, size=(30, 4))
+        blob_b = rng.normal(loc=2.0, size=(30, 4))
+        reps = np.vstack([blob_a, blob_b])
+        pair_count = 3000
+        ix = rng.integers(0, 60, pair_count)
+        iy = rng.integers(0, 60, pair_count)
+        same_blob = (ix < 30) == (iy < 30)
+        similarities = np.where(same_blob, 0.9, 0.0)
+        network = SiameseNetwork(input_dim=4, seed=0, lr=0.05)
+        history = network.train(reps[ix], reps[iy], similarities, epochs=5)
+        assert history[-1] < history[0]
+        sides = network.assign(reps)
+        # Each blob should be (almost) pure on its side.
+        purity_a = max(sides[:30].mean(), 1 - sides[:30].mean())
+        purity_b = max(sides[30:].mean(), 1 - sides[30:].mean())
+        assert purity_a > 0.85 and purity_b > 0.85
+
+    def test_surrogate_learns_hard_does_not(self):
+        """Equation 15's zero gradient cannot move the weights (the ablation)."""
+        rng = np.random.default_rng(4)
+        reps = rng.standard_normal((40, 4))
+        ix = rng.integers(0, 40, 500)
+        iy = rng.integers(0, 40, 500)
+        similarities = rng.random(500)
+
+        hard_net = SiameseNetwork(input_dim=4, seed=7)
+        initial = [p.copy() for p in hard_net.network.parameters()]
+        hard_net.train(reps[ix], reps[iy], similarities, epochs=2, loss="hard")
+        for before, after in zip(initial, hard_net.network.parameters()):
+            np.testing.assert_array_equal(before, after)
+
+        surrogate_net = SiameseNetwork(input_dim=4, seed=7)
+        surrogate_net.train(reps[ix], reps[iy], similarities, epochs=2, loss="surrogate")
+        moved = any(
+            not np.array_equal(before, after)
+            for before, after in zip(initial, surrogate_net.network.parameters())
+        )
+        assert moved
+
+    def test_invalid_loss_name(self):
+        network = SiameseNetwork(input_dim=2)
+        with pytest.raises(ValueError):
+            network.train(np.zeros((1, 2)), np.zeros((1, 2)), np.zeros(1), loss="nope")
+
+    def test_misaligned_pairs_rejected(self):
+        network = SiameseNetwork(input_dim=2)
+        with pytest.raises(ValueError):
+            network.train(np.zeros((2, 2)), np.zeros((3, 2)), np.zeros(2))

@@ -1,0 +1,64 @@
+"""Tests for Partition bookkeeping."""
+
+import pytest
+
+from repro.partitioning import Partition
+
+
+class TestConstruction:
+    def test_groups_and_assignments(self):
+        partition = Partition([[0, 2], [1, 3]])
+        assert partition.num_groups == 2
+        assert partition.group_of(2) == 0
+        assert partition.group_of(3) == 1
+
+    def test_empty_groups_dropped(self):
+        partition = Partition([[0], [], [1]])
+        assert partition.num_groups == 2
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ValueError, match="more than one group"):
+            Partition([[0, 1], [1, 2]])
+
+    def test_from_assignments(self):
+        partition = Partition.from_assignments([1, 0, 1, 5])
+        assert partition.num_groups == 3
+        assert partition.group_of(0) == partition.group_of(2)
+        assert partition.group_of(3) != partition.group_of(0)
+
+    def test_iteration_and_indexing(self):
+        partition = Partition([[0], [1, 2]])
+        assert list(partition) == [[0], [1, 2]]
+        assert partition[1] == [1, 2]
+        assert len(partition) == 2
+
+
+class TestCoverage:
+    def test_covers(self):
+        assert Partition([[0, 1], [2]]).covers(3)
+        assert not Partition([[0, 1]]).covers(3)
+        assert not Partition([[0, 4]]).covers(3)
+
+    def test_group_sizes(self):
+        assert Partition([[0, 1, 2], [3]]).group_sizes() == [3, 1]
+
+    def test_num_records(self):
+        assert Partition([[0, 1], [2]]).num_records() == 3
+
+
+class TestAssign:
+    def test_assign_new_record(self):
+        partition = Partition([[0], [1]])
+        partition.assign(2, 0)
+        assert partition.group_of(2) == 0
+        assert partition.groups[0] == [0, 2]
+
+    def test_assign_existing_rejected(self):
+        partition = Partition([[0]])
+        with pytest.raises(ValueError):
+            partition.assign(0, 0)
+
+    def test_assign_bad_group_rejected(self):
+        partition = Partition([[0]])
+        with pytest.raises(IndexError):
+            partition.assign(1, 5)

@@ -1,0 +1,145 @@
+"""Tests for the Section 4 objectives: U, F, GPO, expected PE, balance."""
+
+import pytest
+
+from repro.core import Dataset, get_measure
+from repro.partitioning import (
+    Partition,
+    balance,
+    expected_pruning_efficiency,
+    f_value,
+    gpo,
+    gpo_sampled,
+    group_phi,
+    summed_vocabulary,
+)
+
+
+@pytest.fixture(scope="module")
+def clustered_dataset():
+    """Two token-disjoint clusters of three sets each."""
+    return Dataset.from_token_lists(
+        [
+            ["a", "b"],
+            ["b", "c"],
+            ["a", "c"],
+            ["x", "y"],
+            ["y", "z"],
+            ["x", "z"],
+        ]
+    )
+
+
+GOOD = Partition([[0, 1, 2], [3, 4, 5]])
+BAD = Partition([[0, 3, 4], [1, 2, 5]])
+ALL_IN_ONE = Partition([[0, 1, 2, 3, 4, 5]])
+
+
+class TestSummedVocabulary:
+    def test_coherent_partition_has_smaller_u(self, clustered_dataset):
+        assert summed_vocabulary(clustered_dataset, GOOD) < summed_vocabulary(
+            clustered_dataset, BAD
+        )
+
+    def test_all_in_one_equals_universe(self, clustered_dataset):
+        assert summed_vocabulary(clustered_dataset, ALL_IN_ONE) == len(
+            clustered_dataset.universe
+        )
+
+
+class TestGPO:
+    def test_coherent_partition_has_smaller_gpo(self, clustered_dataset):
+        assert gpo(clustered_dataset, GOOD) < gpo(clustered_dataset, BAD)
+
+    def test_all_in_one_is_maximal(self, clustered_dataset):
+        """Section 4.2: one big group gives the maximal possible GPO."""
+        maximal = gpo(clustered_dataset, ALL_IN_ONE)
+        assert gpo(clustered_dataset, GOOD) <= maximal
+        assert gpo(clustered_dataset, BAD) <= maximal
+
+    def test_singletons_are_zero(self, clustered_dataset):
+        singletons = Partition([[i] for i in range(6)])
+        assert gpo(clustered_dataset, singletons) == 0.0
+
+    def test_group_phi_counts_unordered_pairs(self, clustered_dataset):
+        measure = get_measure("jaccard")
+        phi = group_phi(clustered_dataset, [0, 1, 2], measure)
+        # Three pairs, each with Jaccard 1/3 → distance 2/3.
+        assert phi == pytest.approx(3 * (2 / 3))
+
+    def test_sampled_gpo_exact_for_small_groups(self, clustered_dataset):
+        assert gpo_sampled(clustered_dataset, GOOD, sample_size=10) == pytest.approx(
+            gpo(clustered_dataset, GOOD)
+        )
+
+    def test_sampled_gpo_close_on_larger_data(self, zipf_small):
+        from repro.partitioning import RandomPartitioner
+
+        partition = RandomPartitioner(seed=0).partition(zipf_small, 5)
+        exact = gpo(zipf_small, partition)
+        estimate = gpo_sampled(zipf_small, partition, sample_size=40, seed=1)
+        assert estimate == pytest.approx(exact, rel=0.35)
+
+
+class TestFValueAndPE:
+    def test_coherent_partition_has_smaller_f(self, clustered_dataset):
+        assert f_value(clustered_dataset, GOOD) < f_value(clustered_dataset, BAD)
+
+    def test_expected_pe_prefers_coherent_partition(self, clustered_dataset):
+        assert expected_pruning_efficiency(
+            clustered_dataset, GOOD
+        ) > expected_pruning_efficiency(clustered_dataset, BAD)
+
+    def test_expected_pe_in_unit_interval(self, clustered_dataset):
+        value = expected_pruning_efficiency(clustered_dataset, GOOD)
+        assert 0.0 <= value <= 1.0
+
+    def test_query_sampling(self, zipf_small):
+        from repro.partitioning import MinTokenPartitioner
+
+        partition = MinTokenPartitioner().partition(zipf_small, 8)
+        full = expected_pruning_efficiency(zipf_small, partition)
+        sampled = expected_pruning_efficiency(zipf_small, partition, query_sample=60, seed=2)
+        assert sampled == pytest.approx(full, abs=0.1)
+
+
+class TestILPFormulation:
+    def test_equation_14_equals_twice_gpo(self, clustered_dataset):
+        """Theorem 4.4's reduction: the masked ordered-pair sum is 2·GPO."""
+        from repro.partitioning import ilp_objective
+
+        for partition in (GOOD, BAD, ALL_IN_ONE):
+            assert ilp_objective(clustered_dataset, partition) == pytest.approx(
+                2.0 * gpo(clustered_dataset, partition)
+            )
+
+    def test_constraint_every_set_in_one_group(self, clustered_dataset):
+        """The e_n · Aᵀ = e_|D| constraint is exactly Partition coverage."""
+        assert GOOD.covers(len(clustered_dataset))
+        with pytest.raises(ValueError):
+            Partition([[0, 1], [1, 2]])  # a set in two groups violates it
+
+
+class TestBalance:
+    def test_perfectly_balanced(self):
+        assert balance(Partition([[0, 1], [2, 3]])) == 1.0
+
+    def test_skew_grows_ratio(self):
+        assert balance(Partition([[0, 1, 2], [3]])) == pytest.approx(1.5)
+
+    def test_theorem_4_2_balanced_beats_skewed_on_uniform_data(self):
+        """Theorem 4.2: on uniform data, balanced groups minimise F.
+
+        The theorem's regime requires unsaturated group vocabularies
+        (|G|·avg set size well below |T|); with a small universe every
+        group covers almost all tokens and the effect washes out, so the
+        test uses a wide universe.
+        """
+        from repro.datasets import uniform_dataset
+
+        dataset = uniform_dataset(200, 3000, (3, 6), seed=7)
+        indices = list(range(len(dataset)))
+        half = len(indices) // 2
+        balanced = Partition([indices[:half], indices[half:]])
+        skewed = Partition([indices[:10], indices[10:]])
+        assert f_value(dataset, balanced) < f_value(dataset, skewed)

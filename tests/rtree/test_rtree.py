@@ -1,0 +1,129 @@
+"""Tests for the R-tree substrate: structure, MBRs, exactness of traversal."""
+
+import numpy as np
+import pytest
+
+from repro.rtree import Node, RTree
+
+
+def euclidean_bound(query):
+    """Bound = negative min distance from query to rectangle (for kNN tests)."""
+
+    def bound(mbr_min, mbr_max):
+        clamped = np.clip(query, mbr_min, mbr_max)
+        return -float(np.linalg.norm(query - clamped))
+
+    return bound
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 100, size=(300, 3))
+
+
+@pytest.fixture(scope="module")
+def tree(points):
+    return RTree(leaf_capacity=16, fanout=4).bulk_load(points)
+
+
+class TestStructure:
+    def test_mbrs_contain_children(self, tree):
+        def check(node):
+            if node.is_leaf:
+                vectors = np.stack([v for _, v in node.entries])
+                assert (vectors >= node.mbr_min - 1e-12).all()
+                assert (vectors <= node.mbr_max + 1e-12).all()
+            else:
+                for child in node.children:
+                    assert (child.mbr_min >= node.mbr_min - 1e-12).all()
+                    assert (child.mbr_max <= node.mbr_max + 1e-12).all()
+                    check(child)
+
+        check(tree.root)
+
+    def test_all_entries_present(self, tree, points):
+        collected = []
+
+        def walk(node):
+            if node.is_leaf:
+                collected.extend(index for index, _ in node.entries)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(tree.root)
+        assert sorted(collected) == list(range(len(points)))
+
+    def test_leaf_capacity_respected(self, tree):
+        def walk(node):
+            if node.is_leaf:
+                assert len(node.entries) <= 16
+            else:
+                assert len(node.children) <= 4
+                for child in node.children:
+                    walk(child)
+
+        walk(tree.root)
+
+    def test_node_count_and_depth(self, tree):
+        assert tree.num_nodes() >= np.ceil(300 / 16)
+        assert tree.root.depth() >= 2
+
+    def test_byte_size_positive(self, tree):
+        assert tree.byte_size() > 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RTree(leaf_capacity=1)
+        with pytest.raises(ValueError):
+            RTree().bulk_load(np.empty((0, 2)))
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, tree, points):
+        query = np.array([50.0, 50.0, 50.0])
+        radius = 20.0
+        bound = euclidean_bound(query)
+        entries, _ = tree.range_query(bound, -radius)
+        candidate_ids = {index for index, _ in entries}
+        expected = {
+            i for i, p in enumerate(points) if np.linalg.norm(p - query) <= radius
+        }
+        # Range query returns a superset (bound is on rectangles); it must
+        # never miss a true answer.
+        assert expected <= candidate_ids
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert tree.range_query(lambda a, b: 1.0, 0.5) == ([], 0)
+
+
+class TestKnnTraverse:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_linear_scan(self, tree, points, k):
+        query = np.array([30.0, 60.0, 10.0])
+        bound = euclidean_bound(query)
+
+        def score(index, vector):
+            return -float(np.linalg.norm(points[index] - query))
+
+        matches, nodes_visited, _ = tree.knn_traverse(bound, score, k)
+        exact = sorted(
+            ((-float(np.linalg.norm(p - query)), i) for i, p in enumerate(points)),
+            reverse=True,
+        )[:k]
+        assert [s for _, s in matches] == pytest.approx([s for s, _ in exact])
+        assert nodes_visited <= tree.num_nodes()
+
+    def test_pruning_happens(self, tree):
+        query = np.array([1.0, 1.0, 1.0])
+        bound = euclidean_bound(query)
+        _, nodes_visited, entries_scored = tree.knn_traverse(
+            bound, lambda i, v: -float(np.linalg.norm(v - query)), 1
+        )
+        assert nodes_visited < tree.num_nodes()
+        assert entries_scored < 300
+
+    def test_k_zero(self, tree):
+        assert tree.knn_traverse(lambda a, b: 1.0, lambda i, v: 1.0, 0) == ([], 0, 0)

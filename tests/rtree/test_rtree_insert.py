@@ -1,0 +1,112 @@
+"""Tests for dynamic R-tree insertion."""
+
+import numpy as np
+import pytest
+
+from repro.rtree import RTree
+
+
+def euclidean_bound(query):
+    def bound(mbr_min, mbr_max):
+        clamped = np.clip(query, mbr_min, mbr_max)
+        return -float(np.linalg.norm(query - clamped))
+
+    return bound
+
+
+def check_invariants(tree):
+    """MBR containment and capacity hold everywhere after inserts."""
+
+    def walk(node):
+        if node.is_leaf:
+            assert node.entries
+            assert len(node.entries) <= tree.leaf_capacity
+            vectors = np.stack([v for _, v in node.entries])
+            assert (vectors >= node.mbr_min - 1e-9).all()
+            assert (vectors <= node.mbr_max + 1e-9).all()
+        else:
+            assert len(node.children) <= tree.fanout
+            for child in node.children:
+                assert (child.mbr_min >= node.mbr_min - 1e-9).all()
+                assert (child.mbr_max <= node.mbr_max + 1e-9).all()
+                walk(child)
+
+    walk(tree.root)
+
+
+class TestInsert:
+    def test_insert_into_empty_tree(self):
+        tree = RTree(leaf_capacity=4, fanout=3)
+        tree.insert(0, np.array([1.0, 2.0]))
+        assert tree.num_nodes() == 1
+        check_invariants(tree)
+
+    def test_incremental_build_keeps_invariants(self):
+        rng = np.random.default_rng(7)
+        tree = RTree(leaf_capacity=4, fanout=3)
+        points = rng.uniform(0, 50, size=(120, 2))
+        for i, point in enumerate(points):
+            tree.insert(i, point)
+        check_invariants(tree)
+        # Every entry is retrievable.
+        entries, _ = tree.range_query(lambda a, b: 1.0, 0.5)
+        assert sorted(index for index, _ in entries) == list(range(120))
+
+    def test_knn_exact_after_inserts(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0, 100, size=(80, 3))
+        tree = RTree(leaf_capacity=8, fanout=4)
+        for i, point in enumerate(points):
+            tree.insert(i, point)
+        query = np.array([50.0, 50.0, 50.0])
+        matches, _, _ = tree.knn_traverse(
+            euclidean_bound(query),
+            lambda i, v: -float(np.linalg.norm(points[i] - query)),
+            5,
+        )
+        exact = sorted(
+            ((-float(np.linalg.norm(p - query)), i) for i, p in enumerate(points)),
+            reverse=True,
+        )[:5]
+        assert [s for _, s in matches] == pytest.approx([s for s, _ in exact])
+
+    def test_insert_into_bulk_loaded_tree(self):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0, 10, size=(60, 2))
+        tree = RTree(leaf_capacity=8, fanout=4).bulk_load(points)
+        for i in range(60, 90):
+            tree.insert(i, rng.uniform(0, 10, size=2))
+        check_invariants(tree)
+        entries, _ = tree.range_query(lambda a, b: 1.0, 0.5)
+        assert len(entries) == 90
+
+    def test_dimension_mismatch_rejected(self):
+        tree = RTree().bulk_load(np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="dimension"):
+            tree.insert(9, np.zeros(2))
+
+
+class TestDualTransInsert:
+    def test_search_exact_after_inserts(self, zipf_small):
+        from repro.baselines import BruteForceSearch, DualTransSearch
+        from repro.core import Dataset
+        from repro.core.sets import SetRecord
+
+        dataset = Dataset(list(zipf_small.records), zipf_small.universe.copy())
+        search = DualTransSearch(dataset, dim=8)
+        # Insert 20 new sets, some with brand-new tokens.
+        for i in range(20):
+            new_tokens = dataset.universe.intern_all([f"dt-new-{i}", f"dt-new-{i + 1}"])
+            base = list(dataset.records[i].distinct)[:3]
+            index = dataset.append(SetRecord(base + new_tokens))
+            search.insert(index)
+        brute = BruteForceSearch(dataset)
+        for i in (0, len(dataset) - 1):
+            query = dataset.records[i]
+            assert (
+                search.range_search(query, 0.5).matches
+                == brute.range_search(query, 0.5).matches
+            )
+            expected = sorted(s for _, s in brute.knn_search(query, 5).matches)
+            actual = sorted(s for _, s in search.knn_search(query, 5).matches)
+            assert actual == pytest.approx(expected)

@@ -1,0 +1,112 @@
+"""Tests for the simulated disk cost model."""
+
+import pytest
+
+from repro.storage import HDD_5400RPM, SSD_SATA, DiskProfile, SimulatedDisk
+
+
+class TestProfiles:
+    def test_hdd_random_penalty(self):
+        assert HDD_5400RPM.random_penalty_ms() == pytest.approx(8.0 + 5.56)
+
+    def test_transfer_time_80mbps(self):
+        # 80 MB at 80 MB/s = 1 s = 1000 ms.
+        assert HDD_5400RPM.transfer_ms(80_000_000) == pytest.approx(1000.0)
+
+    def test_ssd_faster_random(self):
+        assert SSD_SATA.random_penalty_ms() < HDD_5400RPM.random_penalty_ms()
+
+
+class TestSimulatedDisk:
+    def test_pages_for_rounds_up(self):
+        disk = SimulatedDisk()
+        assert disk.pages_for(1) == 1
+        assert disk.pages_for(4096) == 1
+        assert disk.pages_for(4097) == 2
+        assert disk.pages_for(0) == 1
+
+    def test_random_read_charges_seek(self):
+        disk = SimulatedDisk()
+        cost = disk.random_read(1)
+        assert cost > HDD_5400RPM.random_penalty_ms()
+        assert disk.stats.random_accesses == 1
+        assert disk.stats.pages_read == 1
+
+    def test_sequential_read_cheaper_than_random(self):
+        disk = SimulatedDisk()
+        sequential = disk.sequential_read(10)
+        random_cost = disk.random_read(10)
+        assert sequential < random_cost
+
+    def test_zero_pages_free(self):
+        disk = SimulatedDisk()
+        assert disk.random_read(0) == 0.0
+        assert disk.sequential_read(0) == 0.0
+        assert disk.stats.total_ms == 0.0
+
+    def test_full_scan_accounting(self):
+        disk = SimulatedDisk()
+        disk.full_scan(1_000_000)
+        assert disk.stats.pages_read == disk.pages_for(1_000_000)
+        assert disk.stats.total_ms > 0
+
+    def test_stats_accumulate_and_reset(self):
+        disk = SimulatedDisk()
+        disk.random_read(2)
+        disk.sequential_read(3)
+        assert disk.stats.pages_read == 5
+        disk.stats.reset()
+        assert disk.stats.pages_read == 0
+        assert disk.stats.total_ms == 0.0
+
+    def test_many_random_beats_one_scan_crossover(self):
+        """The access-pattern crossover the Figure 13 story rests on:
+        scattered random reads lose to one sequential scan once the seek
+        count is large enough."""
+        scan_disk = SimulatedDisk()
+        scan_disk.full_scan(10_000_000)  # ~10 MB file
+        random_disk = SimulatedDisk()
+        for _ in range(200):
+            random_disk.random_read(1)
+        assert random_disk.stats.total_ms > scan_disk.stats.total_ms
+
+
+class TestDiskExecution:
+    def test_les3_vs_brute_force_pattern(self, zipf_small):
+        from repro.baselines import BruteForceSearch
+        from repro.core import TokenGroupMatrix
+        from repro.partitioning import MinTokenPartitioner
+        from repro.storage import DiskBruteForce, DiskLES3
+
+        partition = MinTokenPartitioner().partition(zipf_small, 10)
+        tgm = TokenGroupMatrix(zipf_small, partition.groups)
+        query = zipf_small.records[0]
+
+        les3_disk = SimulatedDisk()
+        DiskLES3(zipf_small, tgm, les3_disk).range_search(query, 0.8)
+        brute_disk = SimulatedDisk()
+        DiskBruteForce(BruteForceSearch(zipf_small), brute_disk).range_search(query, 0.8)
+
+        # LES3 reads only surviving groups; brute force reads every page.
+        assert les3_disk.stats.pages_read <= brute_disk.stats.pages_read
+
+    def test_results_unaffected_by_disk_model(self, zipf_small):
+        from repro.baselines import BruteForceSearch, DualTransSearch, InvertedIndexSearch
+        from repro.storage import DiskDualTrans, DiskInvertedIndex
+
+        query = zipf_small.records[4]
+        expected = BruteForceSearch(zipf_small).range_search(query, 0.5).matches
+        dualtrans = DiskDualTrans(DualTransSearch(zipf_small, dim=8), SimulatedDisk())
+        invidx = DiskInvertedIndex(InvertedIndexSearch(zipf_small), SimulatedDisk())
+        assert dualtrans.range_search(query, 0.5).matches == expected
+        assert invidx.range_search(query, 0.5).matches == expected
+
+    def test_knn_charges_io(self, zipf_small):
+        from repro.baselines import InvertedIndexSearch
+        from repro.storage import DiskInvertedIndex
+
+        disk = SimulatedDisk()
+        DiskInvertedIndex(InvertedIndexSearch(zipf_small), disk).knn_search(
+            zipf_small.records[0], 5
+        )
+        assert disk.stats.total_ms > 0

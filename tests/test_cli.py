@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import zipf_dataset
+
+
+@pytest.fixture(scope="module")
+def data_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.txt"
+    zipf_dataset(120, 150, (2, 6), seed=50).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory, data_file):
+    index = tmp_path_factory.mktemp("cli") / "index"
+    code = main(
+        [
+            "build",
+            str(data_file),
+            str(index),
+            "--groups",
+            "6",
+            "--pairs",
+            "300",
+            "--epochs",
+            "1",
+        ]
+    )
+    assert code == 0
+    return index
+
+
+class TestBuild:
+    def test_build_creates_index(self, index_dir):
+        assert (index_dir / "manifest.json").exists()
+        assert (index_dir / "dataset.txt").exists()
+        assert (index_dir / "groups.json").exists()
+
+    def test_build_empty_dataset_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        code = main(["build", str(empty), str(tmp_path / "idx")])
+        assert code == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_default_group_count(self, tmp_path, data_file):
+        index = tmp_path / "defaults"
+        assert main(["build", str(data_file), str(index), "--pairs", "200", "--epochs", "1"]) == 0
+
+
+class TestQueries:
+    def test_knn_outputs_matches(self, index_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[0]
+        code = main(["knn", str(index_dir), "--query", query, "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) == 3
+        assert lines[0].startswith("1.0000")  # the set itself
+
+    def test_range_outputs_matches(self, index_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[0]
+        code = main(["range", str(index_dir), "--query", query, "--threshold", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1.0000" in out
+
+    def test_unknown_tokens_query(self, index_dir, capsys):
+        code = main(["knn", str(index_dir), "--query", "zzz yyy", "-k", "1"])
+        assert code == 0
+        assert "0.0000" in capsys.readouterr().out
+
+
+class TestStatsAndValidate:
+    def test_stats(self, data_file, capsys):
+        assert main(["stats", str(data_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sets:      120" in out
+        assert "universe:" in out
+
+    def test_validate_healthy(self, index_dir, capsys):
+        assert main(["validate", str(index_dir)]) == 0
+        assert "index OK" in capsys.readouterr().out
+
+    def test_validate_corrupt(self, index_dir, tmp_path, capsys):
+        import json
+        import shutil
+
+        corrupt = tmp_path / "corrupt"
+        shutil.copytree(index_dir, corrupt)
+        groups = json.loads((corrupt / "groups.json").read_text())
+        groups[0] = groups[0][1:]  # record no longer covered
+        (corrupt / "groups.json").write_text(json.dumps(groups))
+        code = main(["validate", str(corrupt)])
+        assert code == 2
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_validate_missing_directory(self, tmp_path, capsys):
+        code = main(["validate", str(tmp_path / "missing")])
+        assert code == 2
+        assert "CORRUPT" in capsys.readouterr().out
+
+
+class TestQueryValidation:
+    def test_empty_query_rejected(self, index_dir, capsys):
+        assert main(["knn", str(index_dir), "--query", "  ", "-k", "3"]) == 1
+        assert "at least one token" in capsys.readouterr().err
+
+    def test_nonpositive_k_rejected(self, index_dir, capsys):
+        assert main(["knn", str(index_dir), "--query", "a", "-k", "0"]) == 1
+        assert "positive" in capsys.readouterr().err
+
+    def test_out_of_range_threshold_rejected(self, index_dir, capsys):
+        assert main(["range", str(index_dir), "--query", "a", "--threshold", "1.5"]) == 1
+        assert "threshold" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,38 @@
+"""Tests for query workload construction."""
+
+import pytest
+
+from repro.workloads import perturbed_queries, sample_queries
+
+
+class TestSampleQueries:
+    def test_queries_come_from_dataset(self, zipf_small):
+        queries = sample_queries(zipf_small, 20, seed=0)
+        records = set(zipf_small.records)
+        assert all(query in records for query in queries)
+
+    def test_count_and_determinism(self, zipf_small):
+        a = sample_queries(zipf_small, 10, seed=3)
+        b = sample_queries(zipf_small, 10, seed=3)
+        assert len(a) == 10
+        assert a == b
+
+    def test_count_capped_by_dataset(self, tiny_dataset):
+        assert len(sample_queries(tiny_dataset, 100, seed=0)) == len(tiny_dataset)
+
+
+class TestPerturbedQueries:
+    def test_replacement_changes_tokens(self, zipf_small):
+        originals = sample_queries(zipf_small, 15, seed=4)
+        perturbed = perturbed_queries(zipf_small, 15, replace_fraction=0.5, seed=4)
+        changed = sum(1 for o, p in zip(originals, perturbed) if o != p)
+        assert changed > 0
+
+    def test_zero_fraction_keeps_membership_tokens(self, zipf_small):
+        queries = perturbed_queries(zipf_small, 10, replace_fraction=0.0, seed=5)
+        universe = len(zipf_small.universe)
+        assert all(max(q.distinct) < universe for q in queries)
+
+    def test_invalid_fraction(self, zipf_small):
+        with pytest.raises(ValueError):
+            perturbed_queries(zipf_small, 5, replace_fraction=1.5)
