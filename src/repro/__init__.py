@@ -27,8 +27,9 @@ from repro.core import (
     knn_search,
     range_search,
 )
+from repro.distributed import ShardedLES3
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LES3",
@@ -38,6 +39,7 @@ __all__ = [
     "JaccardSimilarity",
     "SearchResult",
     "SetRecord",
+    "ShardedLES3",
     "Similarity",
     "TokenGroupMatrix",
     "TokenUniverse",

@@ -3,13 +3,16 @@
 Usage::
 
     python -m repro build data.txt index_dir --groups 64
-    python -m repro knn index_dir --query "a b c" -k 10
+    python -m repro knn index_dir --query "a b c" -k 10 --shards 4
     python -m repro range index_dir --query "a b c" --threshold 0.7
+    python -m repro bench index_dir --queries 200 -k 10 --shards 4
     python -m repro stats data.txt
     python -m repro validate index_dir
 
 ``data.txt`` is the standard one-set-per-line, whitespace-separated token
-format used by the public set-similarity benchmarks.
+format used by the public set-similarity benchmarks.  ``--shards S``
+re-shards a loaded index across ``S`` scatter-gather shards (exact: the
+results are identical for every shard count).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.core.dataset import Dataset
 from repro.core.engine import LES3
 from repro.core.persistence import load_engine, save_engine
 from repro.core.validation import validate_tgm
+from repro.distributed import ShardedLES3
 
 __all__ = ["main", "build_parser"]
 
@@ -48,11 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("index", help="index directory")
     knn.add_argument("--query", required=True, help="space-separated query tokens")
     knn.add_argument("-k", type=int, default=10)
+    knn.add_argument("--shards", type=int, default=1, help="scatter-gather shard count")
 
     range_cmd = commands.add_parser("range", help="all sets within a similarity threshold")
     range_cmd.add_argument("index", help="index directory")
     range_cmd.add_argument("--query", required=True, help="space-separated query tokens")
     range_cmd.add_argument("--threshold", type=float, required=True)
+    range_cmd.add_argument("--shards", type=int, default=1, help="scatter-gather shard count")
+
+    bench = commands.add_parser("bench", help="batch-query throughput of a built index")
+    bench.add_argument("index", help="index directory")
+    bench.add_argument("--queries", type=int, default=200, help="batch size (sampled from the data)")
+    bench.add_argument("-k", type=int, default=10, help="kNN depth (0 disables the kNN pass)")
+    bench.add_argument("--threshold", type=float, default=0.7, help="range threshold (negative disables)")
+    bench.add_argument("--shards", type=int, default=1, help="scatter-gather shard count")
+    bench.add_argument("--repeat", type=int, default=1, help="timing repetitions (best is reported)")
+    bench.add_argument("--seed", type=int, default=0, help="query sampling seed")
 
     stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
     stats.add_argument("data", help="dataset file")
@@ -94,38 +109,52 @@ def _cmd_build(args) -> int:
     return 0
 
 
-def _print_matches(engine: LES3, matches) -> None:
+def _print_matches(engine, matches) -> None:
     for record_index, similarity in matches:
         tokens = " ".join(str(t) for t in engine.tokens_of(record_index))
         print(f"{similarity:.4f}\t#{record_index}\t{tokens}")
 
 
-def _cmd_knn(args) -> int:
+def _load_query_engine(args):
+    """Load the persisted index, re-sharded when ``--shards`` asks for it."""
     engine = load_engine(args.index)
+    if args.shards == 1:
+        return engine
+    return ShardedLES3.from_engine(engine, args.shards)
+
+
+def _cmd_knn(args) -> int:
     if not args.query.split():
         print("error: query must contain at least one token", file=sys.stderr)
         return 1
     if args.k <= 0:
         print("error: k must be positive", file=sys.stderr)
         return 1
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 1
+    engine = _load_query_engine(args)
     result = engine.knn(args.query.split(), k=args.k)
     _print_matches(engine, result.matches)
     print(
         f"# verified {result.stats.candidates_verified}/{len(engine.dataset)} sets, "
-        f"pruned {result.stats.groups_pruned}/{engine.tgm.num_groups} groups",
+        f"pruned {result.stats.groups_pruned}/{engine.num_groups} groups",
         file=sys.stderr,
     )
     return 0
 
 
 def _cmd_range(args) -> int:
-    engine = load_engine(args.index)
     if not args.query.split():
         print("error: query must contain at least one token", file=sys.stderr)
         return 1
     if not 0.0 <= args.threshold <= 1.0:
         print("error: threshold must be in [0, 1]", file=sys.stderr)
         return 1
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 1
+    engine = _load_query_engine(args)
     result = engine.range(args.query.split(), threshold=args.threshold)
     _print_matches(engine, result.matches)
     print(
@@ -133,6 +162,50 @@ def _cmd_range(args) -> int:
         f"{result.stats.candidates_verified}/{len(engine.dataset)} sets",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.queries <= 0:
+        print("error: --queries must be positive", file=sys.stderr)
+        return 1
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 1
+    if args.repeat < 1:
+        print("error: --repeat must be positive", file=sys.stderr)
+        return 1
+    if args.threshold > 1.0:
+        print("error: threshold must be in [0, 1]", file=sys.stderr)
+        return 1
+    from repro.workloads import sample_queries
+
+    engine = load_engine(args.index)
+    sharded = ShardedLES3.from_engine(engine, args.shards)
+    queries = sample_queries(engine.dataset, args.queries, seed=args.seed)
+    print(
+        f"# {len(engine.dataset)} sets, {engine.num_groups} groups, "
+        f"{sharded.num_shards} shard(s), {len(queries)} queries"
+    )
+    passes = []
+    if args.k > 0:
+        passes.append(("knn", lambda: sharded.batch_knn_record(queries, args.k)))
+    if args.threshold >= 0:
+        passes.append(
+            ("range", lambda: sharded.batch_range_record(queries, args.threshold))
+        )
+    for name, run in passes:
+        best = float("inf")
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            results = run()
+            best = min(best, time.perf_counter() - start)
+        throughput = len(queries) / best
+        matches = sum(len(result) for result in results)
+        print(
+            f"{name}: {throughput:,.0f} queries/s "
+            f"({best * 1000:.1f} ms/batch, {matches} matches)"
+        )
     return 0
 
 
@@ -161,6 +234,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "knn": _cmd_knn,
     "range": _cmd_range,
+    "bench": _cmd_bench,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
 }

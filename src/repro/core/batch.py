@@ -7,7 +7,9 @@ Python loop, which shifts the per-query TGM scan from milliseconds to
 microseconds on the dense backend.
 
 Only the group-scoring stage is batched; verification remains per-query
-(it already touches only surviving groups).
+(it already touches only surviving groups).  The sharded engine reuses
+:func:`query_weight_matrix` to build the batch query matrix once and
+multiply it against every shard's (smaller) TGM.
 """
 
 from __future__ import annotations
@@ -18,11 +20,39 @@ import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.metrics import QueryStats
-from repro.core.search import SearchResult, knn_search, prepare_query
+from repro.core.search import (
+    SearchResult,
+    finalize_result,
+    knn_search,
+    prepare_query,
+    range_collect_groups,
+)
 from repro.core.sets import SetRecord
 from repro.core.tgm import TokenGroupMatrix
 
-__all__ = ["batch_covered_counts", "batch_range_search", "batch_knn_search"]
+__all__ = [
+    "query_weight_matrix",
+    "batch_covered_counts",
+    "batch_range_search",
+    "batch_knn_search",
+]
+
+
+def query_weight_matrix(
+    queries: Sequence[SetRecord], universe_size: int
+) -> np.ndarray:
+    """Multiplicity-weighted query-token matrix, shape ``(len(queries), U)``.
+
+    Row ``i`` holds ``count_{Q_i}(t)`` for every known token ``t``; unseen
+    tokens (ids at or beyond ``universe_size``) are dropped, matching
+    :func:`repro.core.search.prepare_query`.  Multiplying by a TGM (or a
+    slice of one) yields the covered counts for the whole batch at once.
+    """
+    weighted = np.zeros((len(queries), universe_size), dtype=np.int64)
+    for i, query in enumerate(queries):
+        known, weights, _ = prepare_query(query, universe_size)
+        weighted[i, known] = weights
+    return weighted
 
 
 def batch_covered_counts(
@@ -41,10 +71,7 @@ def batch_covered_counts(
         return np.stack(rows) if rows else np.zeros((0, tgm.num_groups), dtype=np.int64)
     if not queries:
         return np.zeros((0, tgm.num_groups), dtype=np.int64)
-    weighted = np.zeros((len(queries), tgm.universe_size), dtype=np.int64)
-    for i, query in enumerate(queries):
-        known, weights, _ = prepare_query(query, tgm.universe_size)
-        weighted[i, known] = weights
+    weighted = query_weight_matrix(queries, tgm.universe_size)
     # (queries × tokens) @ (tokens × groups) — multiplicity-weighted coverage.
     return weighted @ tgm._matrix.T.astype(np.int64)
 
@@ -64,22 +91,10 @@ def batch_range_search(
     for i, query in enumerate(queries):
         stats = QueryStats()
         stats.groups_scored = tgm.num_groups
-        bounds = np.array(
-            [measure.group_upper_bound(int(c), len(query)) for c in counts[i]]
-        )
+        bounds = measure.bounds_from_counts(counts[i], len(query))
         matches: list[tuple[int, float]] = []
-        surviving = np.flatnonzero(bounds >= threshold)
-        for group_id in surviving:
-            for record_index in tgm.group_members[int(group_id)]:
-                similarity = measure(query, dataset.records[record_index])
-                stats.candidates_verified += 1
-                stats.similarity_computations += 1
-                if similarity >= threshold:
-                    matches.append((record_index, similarity))
-        stats.groups_pruned = tgm.num_groups - len(surviving)
-        matches.sort(key=lambda pair: (-pair[1], pair[0]))
-        stats.result_size = len(matches)
-        results.append(SearchResult(matches, stats))
+        range_collect_groups(dataset, tgm, query, threshold, bounds, matches, stats, measure)
+        results.append(finalize_result(matches, stats))
     return results
 
 

@@ -25,12 +25,35 @@ from repro.core.similarity import Similarity
 from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set, remove_set
 
-__all__ = ["LES3", "suggest_num_groups"]
+__all__ = ["LES3", "suggest_num_groups", "as_query_record"]
 
 
 def suggest_num_groups(database_size: int) -> int:
     """The paper's Section 7.5 rule of thumb: ``n ≈ 0.5% · |D|``."""
     return max(int(0.005 * database_size), 2)
+
+
+def as_query_record(dataset: Dataset, query_tokens: Sequence[Hashable]) -> SetRecord:
+    """Map external query tokens to a SetRecord without growing the universe.
+
+    Unseen tokens get synthetic ids beyond the universe so they count
+    towards ``|Q|`` but match nothing (Section 3.1).  Shared by the
+    single-node engine and the sharded engine so external queries intern
+    identically everywhere.
+    """
+    universe = dataset.universe
+    phantom = len(universe)
+    token_ids = []
+    phantom_map: dict[Hashable, int] = {}
+    for token in query_tokens:
+        token_id = universe.get_id(token)
+        if token_id is None:
+            if token not in phantom_map:
+                phantom_map[token] = phantom
+                phantom += 1
+            token_id = phantom_map[token]
+        token_ids.append(token_id)
+    return SetRecord(token_ids)
 
 
 class LES3:
@@ -84,25 +107,13 @@ class LES3:
     def measure(self) -> Similarity:
         return self.tgm.measure
 
-    def _as_record(self, query_tokens: Sequence[Hashable]) -> SetRecord:
-        """Map external query tokens to a SetRecord without growing the universe.
+    @property
+    def num_groups(self) -> int:
+        return self.tgm.num_groups
 
-        Unseen tokens get synthetic ids beyond the universe so they count
-        towards ``|Q|`` but match nothing (Section 3.1).
-        """
-        universe = self.dataset.universe
-        phantom = len(universe)
-        token_ids = []
-        phantom_map: dict[Hashable, int] = {}
-        for token in query_tokens:
-            token_id = universe.get_id(token)
-            if token_id is None:
-                if token not in phantom_map:
-                    phantom_map[token] = phantom
-                    phantom += 1
-                token_id = phantom_map[token]
-            token_ids.append(token_id)
-        return SetRecord(token_ids)
+    def _as_record(self, query_tokens: Sequence[Hashable]) -> SetRecord:
+        """External query tokens → SetRecord (see :func:`as_query_record`)."""
+        return as_query_record(self.dataset, query_tokens)
 
     def knn(self, query_tokens: Sequence[Hashable], k: int) -> SearchResult:
         """kNN search over external tokens."""

@@ -8,6 +8,14 @@ kNN uses best-first group visiting: groups are scored once
 (``O(n · |Q|)``), sorted by descending bound, and visited until the next
 bound cannot beat the current kth similarity.  Ties on similarity are broken
 by record index so results are deterministic.
+
+The building blocks are exposed for reuse: :func:`query_group_bounds`
+scores one TGM, :func:`knn_visit_groups` / :func:`range_collect_groups`
+verify one TGM's surviving groups into a shared heap / match list, and
+:func:`finalize_result` applies the canonical ``(-similarity, index)``
+tie-break and stats finalization.  The batch layer and the sharded engine
+(:mod:`repro.distributed`) are built from the same pieces, so all query
+paths share one definition of result order.
 """
 
 from __future__ import annotations
@@ -22,7 +30,19 @@ from repro.core.sets import SetRecord
 from repro.core.similarity import Similarity
 from repro.core.tgm import TokenGroupMatrix
 
-__all__ = ["SearchResult", "range_search", "knn_search", "prepare_query"]
+__all__ = [
+    "SearchResult",
+    "range_search",
+    "knn_search",
+    "prepare_query",
+    "match_sort_key",
+    "finalize_result",
+    "query_group_bounds",
+    "knn_visit_groups",
+    "pad_zero_matches",
+    "knn_heap_matches",
+    "range_collect_groups",
+]
 
 
 class SearchResult:
@@ -42,6 +62,22 @@ class SearchResult:
 
     def __iter__(self):
         return iter(self.matches)
+
+
+def match_sort_key(match: tuple[int, float]) -> tuple[float, int]:
+    """Canonical result order: similarity descending, record index ascending."""
+    return (-match[1], match[0])
+
+
+def finalize_result(matches: list[tuple[int, float]], stats: QueryStats) -> SearchResult:
+    """Sort ``matches`` canonically, record the result size, wrap them up.
+
+    Every query path — range, kNN, batch, and the sharded merge — funnels
+    through here, so tie-breaking is identical everywhere by construction.
+    """
+    matches.sort(key=match_sort_key)
+    stats.result_size = len(matches)
+    return SearchResult(matches, stats)
 
 
 def prepare_query(
@@ -64,6 +100,125 @@ def prepare_query(
     return known, weights, len(query)
 
 
+def query_group_bounds(
+    tgm: TokenGroupMatrix, query: SetRecord, stats: QueryStats | None = None
+) -> np.ndarray:
+    """Score one TGM for a query: the per-group similarity upper bounds.
+
+    When ``stats`` is given, the scoring cost (groups scored, TGM columns
+    visited) is accumulated into it.
+    """
+    known, weights, query_size = prepare_query(query, tgm.universe_size)
+    bounds = tgm.upper_bounds(known, query_size, weights)
+    if stats is not None:
+        stats.groups_scored += tgm.num_groups
+        stats.columns_visited += len(known) * tgm.num_groups
+    return bounds
+
+
+def knn_visit_groups(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    query: SetRecord,
+    k: int,
+    bounds: np.ndarray,
+    heap: list[tuple[float, int]],
+    stats: QueryStats,
+    measure: Similarity | None = None,
+    zero_candidates: list[list[int]] | None = None,
+) -> None:
+    """Best-first visit of one TGM's groups, feeding a shared top-k heap.
+
+    ``heap`` holds ``(similarity, -record_index)`` entries: the root is the
+    weakest current answer; ``-index`` makes ties prefer *smaller* record
+    indices.  The heap may already carry answers from other TGMs (the
+    sharded scatter-gather) — pruning against it stays exact because a
+    group is only skipped when its bound is *strictly* below the current
+    kth similarity.
+
+    Groups whose bound is exactly 0 share no token with the query: their
+    members are provably at similarity 0 and are never verified.  Their
+    member lists are appended to ``zero_candidates`` (when given) so
+    :func:`pad_zero_matches` can pad an underfull result canonically.
+    """
+    measure = measure if measure is not None else tgm.measure
+    order = np.argsort(-bounds, kind="stable")
+    visited_groups = 0
+    for position, group_id in enumerate(order):
+        bound = bounds[group_id]
+        if bound <= 0.0:
+            # Bounds are sorted: this and all remaining groups are at 0.
+            if zero_candidates is not None:
+                for zero_group in order[position:]:
+                    zero_candidates.append(tgm.group_members[int(zero_group)])
+            break
+        if len(heap) >= k and bound < heap[0][0]:
+            break
+        visited_groups += 1
+        for record_index in tgm.group_members[int(group_id)]:
+            similarity = measure(query, dataset.records[record_index])
+            stats.candidates_verified += 1
+            stats.similarity_computations += 1
+            entry = (similarity, -record_index)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+    stats.groups_pruned += tgm.num_groups - visited_groups
+
+
+def pad_zero_matches(
+    heap: list[tuple[float, int]],
+    k: int,
+    zero_candidates: list[list[int]],
+) -> None:
+    """Pad an underfull top-k heap with zero-similarity records, canonically.
+
+    Members of zero-bound groups are at similarity exactly 0 without
+    verification.  When the result has fewer than ``k`` entries with
+    positive similarity, the remaining slots go to the *smallest record
+    indices* among all zero-similarity candidates — a canonical choice
+    that does not depend on the partitioning or sharding, which is what
+    makes single-engine and sharded results bit-identical.
+    """
+    if len(heap) >= k and heap[0][0] > 0.0:
+        return
+    positives = [entry for entry in heap if entry[0] > 0.0]
+    zeros = {-neg_index for similarity, neg_index in heap if similarity == 0.0}
+    for members in zero_candidates:
+        zeros.update(members)
+    slots = k - len(positives)
+    heap[:] = positives + [(0.0, -index) for index in sorted(zeros)[:slots]]
+
+
+def knn_heap_matches(heap: list[tuple[float, int]]) -> list[tuple[int, float]]:
+    """Convert a top-k heap of ``(similarity, -index)`` into match pairs."""
+    return [(-neg_index, similarity) for similarity, neg_index in heap]
+
+
+def range_collect_groups(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    query: SetRecord,
+    threshold: float,
+    bounds: np.ndarray,
+    matches: list[tuple[int, float]],
+    stats: QueryStats,
+    measure: Similarity | None = None,
+) -> None:
+    """Verify one TGM's surviving groups into a shared match list."""
+    measure = measure if measure is not None else tgm.measure
+    surviving = np.flatnonzero(bounds >= threshold)
+    for group_id in surviving:
+        for record_index in tgm.group_members[int(group_id)]:
+            similarity = measure(query, dataset.records[record_index])
+            stats.candidates_verified += 1
+            stats.similarity_computations += 1
+            if similarity >= threshold:
+                matches.append((record_index, similarity))
+    stats.groups_pruned += tgm.num_groups - len(surviving)
+
+
 def range_search(
     dataset: Dataset,
     tgm: TokenGroupMatrix,
@@ -75,25 +230,11 @@ def range_search(
     if not 0.0 <= threshold <= 1.0:
         raise ValueError(f"threshold must be in [0, 1], got {threshold}")
     measure = measure if measure is not None else tgm.measure
-    known, weights, query_size = prepare_query(query, tgm.universe_size)
-    bounds = tgm.upper_bounds(known, query_size, weights)
-
     stats = QueryStats()
-    stats.groups_scored = tgm.num_groups
-    stats.columns_visited = len(known) * tgm.num_groups
-
+    bounds = query_group_bounds(tgm, query, stats)
     matches: list[tuple[int, float]] = []
-    for group_id in np.flatnonzero(bounds >= threshold):
-        for record_index in tgm.group_members[group_id]:
-            similarity = measure(query, dataset.records[record_index])
-            stats.candidates_verified += 1
-            stats.similarity_computations += 1
-            if similarity >= threshold:
-                matches.append((record_index, similarity))
-    stats.groups_pruned = tgm.num_groups - int((bounds >= threshold).sum())
-    matches.sort(key=lambda pair: (-pair[1], pair[0]))
-    stats.result_size = len(matches)
-    return SearchResult(matches, stats)
+    range_collect_groups(dataset, tgm, query, threshold, bounds, matches, stats, measure)
+    return finalize_result(matches, stats)
 
 
 def knn_search(
@@ -107,37 +248,10 @@ def knn_search(
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     measure = measure if measure is not None else tgm.measure
-    known, weights, query_size = prepare_query(query, tgm.universe_size)
-    bounds = tgm.upper_bounds(known, query_size, weights)
-
     stats = QueryStats()
-    stats.groups_scored = tgm.num_groups
-    stats.columns_visited = len(known) * tgm.num_groups
-
-    order = np.argsort(-bounds, kind="stable")
-    # Top-k heap of (similarity, -record_index): the root is the weakest
-    # current answer; -index makes ties prefer *smaller* record indices.
+    bounds = query_group_bounds(tgm, query, stats)
     heap: list[tuple[float, int]] = []
-    visited_groups = 0
-    for group_id in order:
-        bound = bounds[group_id]
-        if len(heap) >= k and bound < heap[0][0]:
-            break
-        if len(heap) >= k and bound == heap[0][0] == 0.0:
-            break  # remaining groups share no token with the query
-        visited_groups += 1
-        for record_index in tgm.group_members[int(group_id)]:
-            similarity = measure(query, dataset.records[record_index])
-            stats.candidates_verified += 1
-            stats.similarity_computations += 1
-            entry = (similarity, -record_index)
-            if len(heap) < k:
-                heapq.heappush(heap, entry)
-            elif entry > heap[0]:
-                heapq.heapreplace(heap, entry)
-    stats.groups_pruned = tgm.num_groups - visited_groups
-
-    matches = [(-neg_index, similarity) for similarity, neg_index in heap]
-    matches.sort(key=lambda pair: (-pair[1], pair[0]))
-    stats.result_size = len(matches)
-    return SearchResult(matches, stats)
+    zero_candidates: list[list[int]] = []
+    knn_visit_groups(dataset, tgm, query, k, bounds, heap, stats, measure, zero_candidates)
+    pad_zero_matches(heap, k, zero_candidates)
+    return finalize_result(knn_heap_matches(heap), stats)

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.core.sets import SetRecord, overlap
 
 __all__ = [
@@ -64,6 +66,20 @@ class Similarity(ABC):
             ``|Q|``.
         """
 
+    def bounds_from_counts(self, counts, query_size: int):
+        """Vector of group upper bounds from a vector of covered counts.
+
+        ``counts[g] = |Q ∩ GS_g|`` (multiplicity-weighted); the result is
+        ``group_upper_bound`` applied elementwise, as a float64 array.  The
+        bound is monotone in the covered count for every measure, which is
+        what makes coarser vocabularies (a shard's union of group
+        vocabularies) sound upper bounds too.
+        """
+        return np.array(
+            [self.group_upper_bound(int(c), query_size) for c in counts],
+            dtype=np.float64,
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -85,6 +101,11 @@ class JaccardSimilarity(Similarity):
         # Best possible S is R itself: Jaccard(Q, R) = |R| / |Q| for R ⊆ Q.
         return covered / query_size
 
+    def bounds_from_counts(self, counts, query_size: int):
+        if query_size <= 0:
+            return np.zeros(len(counts), dtype=np.float64)
+        return np.asarray(counts, dtype=np.float64) / query_size
+
 
 class DiceSimilarity(Similarity):
     """Dice coefficient ``2|A ∩ B| / (|A| + |B|)``."""
@@ -102,6 +123,12 @@ class DiceSimilarity(Similarity):
             return 0.0
         # Dice(Q, R) = 2|R| / (|Q| + |R|) for R ⊆ Q, increasing in |R|.
         return 2.0 * covered / (query_size + covered)
+
+    def bounds_from_counts(self, counts, query_size: int):
+        counts = np.asarray(counts, dtype=np.float64)
+        if query_size <= 0:
+            return np.zeros(len(counts), dtype=np.float64)
+        return np.where(counts > 0, 2.0 * counts / (query_size + counts), 0.0)
 
 
 class CosineSimilarity(Similarity):
@@ -124,6 +151,12 @@ class CosineSimilarity(Similarity):
             return 0.0
         # Cosine(Q, R) = |R| / sqrt(|Q||R|) = sqrt(|R| / |Q|) for R ⊆ Q.
         return math.sqrt(covered / query_size)
+
+    def bounds_from_counts(self, counts, query_size: int):
+        counts = np.asarray(counts, dtype=np.float64)
+        if query_size <= 0:
+            return np.zeros(len(counts), dtype=np.float64)
+        return np.sqrt(np.maximum(counts, 0.0) / query_size)
 
 
 class OverlapCoefficient(Similarity):
@@ -149,6 +182,12 @@ class OverlapCoefficient(Similarity):
             return 0.0
         return 1.0
 
+    def bounds_from_counts(self, counts, query_size: int):
+        counts = np.asarray(counts, dtype=np.float64)
+        if query_size <= 0:
+            return np.zeros(len(counts), dtype=np.float64)
+        return (counts > 0).astype(np.float64)
+
 
 class ContainmentSimilarity(Similarity):
     """Query containment ``|Q ∩ S| / |Q|`` (asymmetric).
@@ -169,6 +208,11 @@ class ContainmentSimilarity(Similarity):
         if query_size <= 0:
             return 0.0
         return covered / query_size
+
+    def bounds_from_counts(self, counts, query_size: int):
+        if query_size <= 0:
+            return np.zeros(len(counts), dtype=np.float64)
+        return np.asarray(counts, dtype=np.float64) / query_size
 
 
 MEASURES: dict[str, Similarity] = {

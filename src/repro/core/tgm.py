@@ -147,8 +147,7 @@ class TokenGroupMatrix:
         ``weights`` are per-token query multiplicities for multiset queries.
         """
         counts = self.covered_counts(token_ids, weights)
-        bound = self.measure.group_upper_bound
-        return np.array([bound(int(c), query_size) for c in counts], dtype=np.float64)
+        return self.measure.bounds_from_counts(counts, query_size)
 
     # -- updates (Section 6) -----------------------------------------------------
 

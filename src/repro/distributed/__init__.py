@@ -1,0 +1,12 @@
+"""Sharded, parallel query layer: scale-out beyond one monolithic engine.
+
+Section 7.2 of the paper leaves parallel/distributed deployment as future
+work; this package supplies the scatter-gather layer: deterministic shard
+placement (:mod:`repro.distributed.sharding`) and the exact sharded engine
+(:class:`ShardedLES3`) with hierarchical shard → group → record bounds.
+"""
+
+from repro.distributed.sharded import ShardedLES3
+from repro.distributed.sharding import SHARD_STRATEGIES, assign_shards, record_shard_hash
+
+__all__ = ["ShardedLES3", "assign_shards", "record_shard_hash", "SHARD_STRATEGIES"]

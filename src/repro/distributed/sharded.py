@@ -1,0 +1,449 @@
+"""ShardedLES3 — scatter-gather set similarity search over S shards.
+
+The dataset is split across shards (:mod:`repro.distributed.sharding`),
+each shard gets its own TGM built concurrently with a
+``ThreadPoolExecutor`` (the same pattern the L2P cascade uses for models
+of one level), and queries are answered by scatter-gather:
+
+1. **Shard scoring.**  Every shard maintains a *shard vocabulary* — the
+   union of its groups' token sets.  Because every measure's group bound
+   is monotone in the covered-token count, the bound computed from the
+   shard vocabulary upper-bounds every group bound inside the shard, and
+   therefore every member's similarity.  Scoring all shards costs
+   ``O(S · |Q|)`` — one row of bits per shard instead of ``n`` rows.
+2. **Shard pruning.**  Shards are visited in descending bound order; once
+   the running global kth similarity (kNN) or the threshold (range)
+   strictly exceeds a shard's bound, that shard — and every shard after
+   it — is skipped *before its per-group bounds are even computed*.
+3. **Gather.**  Surviving shards are searched with the exact same group
+   visit used by the single engine (:func:`repro.core.search`), feeding
+   one shared top-k heap / match list, and the merge applies the
+   canonical ``(-similarity, index)`` tie-break.
+
+Results are therefore *bit-identical* to a single :class:`repro.core.LES3`
+over the same data — same records, same similarities, same order — for
+any shard count, any placement strategy, and any per-shard partitioner.
+Sharding is purely a throughput/scale knob, never a correctness one.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.batch import batch_covered_counts
+from repro.core.dataset import Dataset
+from repro.core.engine import LES3, as_query_record, suggest_num_groups
+from repro.core.metrics import QueryStats
+from repro.core.search import (
+    SearchResult,
+    finalize_result,
+    knn_heap_matches,
+    knn_visit_groups,
+    pad_zero_matches,
+    prepare_query,
+    query_group_bounds,
+    range_collect_groups,
+)
+from repro.core.sets import SetRecord
+from repro.core.similarity import Similarity, get_measure
+from repro.core.tgm import TokenGroupMatrix
+from repro.core.updates import insert_set
+from repro.distributed.sharding import assign_shards, lpt_balance
+
+__all__ = ["ShardedLES3"]
+
+
+def _build_concurrently(builders, workers: int | None):
+    """Run shard-build thunks, in a thread pool when it can help."""
+    if workers is None:
+        workers = min(len(builders), os.cpu_count() or 1)
+    if workers <= 1 or len(builders) <= 1:
+        return [build() for build in builders]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(build) for build in builders]
+        return [future.result() for future in futures]
+
+
+class ShardedLES3:
+    """Sharded, exact set similarity search over one logical dataset.
+
+    All shards share the global :class:`Dataset` (records and token
+    universe); each shard's TGM owns a disjoint subset of the record
+    indices.  Construct via :meth:`build` (partition from scratch) or
+    :meth:`from_engine` (re-shard an existing single-node engine).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        tgms: Sequence[TokenGroupMatrix],
+        measure: str | Similarity = "jaccard",
+    ) -> None:
+        if not tgms:
+            raise ValueError("a sharded engine needs at least one shard")
+        self.dataset = dataset
+        self.tgms: list[TokenGroupMatrix] = list(tgms)
+        self.measure = get_measure(measure)
+        self._shard_of: dict[int, int] = {}
+        self._shard_loads: list[int] = [0] * len(self.tgms)
+        for shard_id, tgm in enumerate(self.tgms):
+            if tgm.measure.name != self.measure.name:
+                raise ValueError(
+                    f"shard {shard_id} is built for measure {tgm.measure.name!r}, "
+                    f"engine uses {self.measure.name!r} — bounds would be unsound"
+                )
+            for members in tgm.group_members:
+                for record_index in members:
+                    if record_index in self._shard_of:
+                        raise ValueError(
+                            f"record {record_index} assigned to more than one shard"
+                        )
+                    self._shard_of[record_index] = shard_id
+                self._shard_loads[shard_id] += len(members)
+        self._vocab = np.zeros((len(self.tgms), len(dataset.universe)), dtype=bool)
+        for record_index, shard_id in self._shard_of.items():
+            record = dataset.records[record_index]
+            self._vocab[shard_id, list(record.distinct)] = True
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        num_shards: int,
+        num_groups: int | None = None,
+        partitioner_factory=None,
+        measure: str | Similarity = "jaccard",
+        backend: str = "dense",
+        strategy: str = "hash",
+        seed: int = 0,
+        workers: int | None = None,
+    ) -> "ShardedLES3":
+        """Shard the dataset and build one TGM per shard, concurrently.
+
+        Parameters
+        ----------
+        dataset:
+            The database of sets (shared, not copied, across shards).
+        num_shards:
+            Target shard count ``S``; clipped to the dataset size.
+        num_groups:
+            *Total* group budget, split across shards proportionally to
+            shard size; defaults to the paper's per-shard rule of thumb.
+        partitioner_factory:
+            ``shard_id -> Partitioner``; each shard needs its own instance
+            because partitioners carry training state.  Defaults to the
+            L2P cascade seeded per shard.
+        measure, backend, seed:
+            As in :meth:`repro.core.LES3.build`.
+        strategy:
+            Record placement — ``"hash"``, ``"size"`` or ``"range"``
+            (see :mod:`repro.distributed.sharding`).
+        workers:
+            Threads for the concurrent shard builds; defaults to
+            ``min(num_shards, cpu_count)``.
+        """
+        measure = get_measure(measure)
+        assignments = assign_shards(dataset, num_shards, strategy)
+        if not assignments:
+            return cls(dataset, [TokenGroupMatrix(dataset, [], measure, backend)], measure)
+        if partitioner_factory is None:
+            from repro.learn.cascade import L2PPartitioner
+
+            def partitioner_factory(shard_id: int):
+                return L2PPartitioner(measure=measure, seed=seed + shard_id)
+
+        total = len(dataset)
+
+        def shard_builder(shard_id: int, indices: list[int]):
+            def build() -> TokenGroupMatrix:
+                if num_groups is None:
+                    target = suggest_num_groups(len(indices))
+                else:
+                    target = max(1, round(num_groups * len(indices) / total))
+                target = min(target, len(indices))
+                view = Dataset([dataset.records[i] for i in indices], dataset.universe)
+                partition = partitioner_factory(shard_id).partition(view, target)
+                groups = [[indices[local] for local in group] for group in partition.groups]
+                return TokenGroupMatrix(dataset, groups, measure, backend)
+
+            return build
+
+        builders = [
+            shard_builder(shard_id, indices)
+            for shard_id, indices in enumerate(assignments)
+        ]
+        return cls(dataset, _build_concurrently(builders, workers), measure)
+
+    @classmethod
+    def from_engine(
+        cls, engine: LES3, num_shards: int, workers: int | None = None
+    ) -> "ShardedLES3":
+        """Re-shard a built single-node engine without re-partitioning.
+
+        The engine's existing groups are balanced across shards (largest
+        groups first, each to the lightest shard), preserving the learned
+        partitioning — only per-shard TGMs are rebuilt, concurrently.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        groups = [list(members) for members in engine.tgm.group_members]
+        num_shards = min(num_shards, len(groups)) or 1
+        bins = lpt_balance([len(group) for group in groups], num_shards)
+        shard_groups = [[groups[group_id] for group_id in bin_] for bin_ in bins]
+
+        def shard_builder(assigned: list[list[int]]):
+            def build() -> TokenGroupMatrix:
+                return TokenGroupMatrix(
+                    engine.dataset, assigned, engine.measure, engine.tgm.backend
+                )
+
+            return build
+
+        builders = [shard_builder(assigned) for assigned in shard_groups]
+        return cls(engine.dataset, _build_concurrently(builders, workers), engine.measure)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.tgms)
+
+    @property
+    def num_groups(self) -> int:
+        """Total group count across all shards."""
+        return sum(tgm.num_groups for tgm in self.tgms)
+
+    def shard_sizes(self) -> list[int]:
+        """Live record count per shard (maintained across inserts/removes)."""
+        return list(self._shard_loads)
+
+    def index_bytes(self) -> int:
+        """Summed TGM sizes plus the shard-vocabulary index."""
+        return sum(tgm.byte_size() for tgm in self.tgms) + (self._vocab.size + 7) // 8
+
+    def tokens_of(self, record_index: int) -> list[Hashable]:
+        """External tokens of a stored record (for presenting results)."""
+        record = self.dataset.records[record_index]
+        return [self.dataset.universe.token_of(token_id) for token_id in record.tokens]
+
+    # -- shard-level bounds ------------------------------------------------
+
+    def _shard_covered(self, query: SetRecord) -> np.ndarray:
+        """``|Q ∩ vocab(shard)|`` (multiplicity-weighted) for every shard."""
+        known, weights, _ = prepare_query(query, self._vocab.shape[1])
+        if not known:
+            return np.zeros(self.num_shards, dtype=np.int64)
+        return self._vocab[:, known] @ np.asarray(weights, dtype=np.int64)
+
+    def shard_bounds(self, query: SetRecord) -> np.ndarray:
+        """Similarity upper bound of every shard for ``query``.
+
+        The bound from a shard's vocabulary dominates every group bound
+        inside the shard (vocabularies only grow when groups merge and
+        every measure's bound is monotone in the covered count), so a
+        shard whose bound cannot beat the running kth similarity or the
+        range threshold is skipped wholesale.
+        """
+        return self.measure.bounds_from_counts(self._shard_covered(query), len(query))
+
+    def _batch_shard_covered(self, queries: Sequence[SetRecord]) -> np.ndarray:
+        """Covered counts for a batch, shape ``(len(queries), S)``.
+
+        Only the union of the batch's known tokens is gathered — the
+        shard-scoring product is ``(B × |union|) @ (|union| × S)``, far
+        smaller than the full universe width.
+        """
+        if not queries:
+            return np.zeros((0, self.num_shards), dtype=np.int64)
+        width = self._vocab.shape[1]
+        per_query = [prepare_query(query, width) for query in queries]
+        union = sorted({token for known, _, _ in per_query for token in known})
+        if not union:
+            return np.zeros((len(queries), self.num_shards), dtype=np.int64)
+        column_of = {token: column for column, token in enumerate(union)}
+        weighted = np.zeros((len(queries), len(union)), dtype=np.int64)
+        for i, (known, weights, _) in enumerate(per_query):
+            for token, weight in zip(known, weights):
+                weighted[i, column_of[token]] = weight
+        return weighted @ self._vocab[:, union].T.astype(np.int64)
+
+    # -- kNN ---------------------------------------------------------------
+
+    def _gather_knn(
+        self, query: SetRecord, k: int, bounds: np.ndarray
+    ) -> SearchResult:
+        """Scatter-gather kNN given precomputed shard bounds (exact)."""
+        stats = QueryStats()
+        order = sorted(range(self.num_shards), key=lambda s: (-bounds[s], s))
+        heap: list[tuple[float, int]] = []
+        zero_candidates: list[list[int]] = []
+        for position, shard_id in enumerate(order):
+            bound = bounds[shard_id]
+            if bound <= 0.0:
+                # Sorted order: this and all remaining shards share no
+                # token with the query — members are at similarity 0.
+                for rest in order[position:]:
+                    stats.groups_pruned += self.tgms[rest].num_groups
+                    zero_candidates.extend(self.tgms[rest].group_members)
+                break
+            if len(heap) >= k and bound < heap[0][0]:
+                # No member of the remaining shards can displace the kth.
+                for rest in order[position:]:
+                    stats.groups_pruned += self.tgms[rest].num_groups
+                break
+            tgm = self.tgms[shard_id]
+            group_bounds = query_group_bounds(tgm, query, stats)
+            knn_visit_groups(
+                self.dataset, tgm, query, k, group_bounds, heap, stats,
+                self.measure, zero_candidates,
+            )
+        pad_zero_matches(heap, k, zero_candidates)
+        return finalize_result(knn_heap_matches(heap), stats)
+
+    def knn_record(self, query: SetRecord, k: int) -> SearchResult:
+        """kNN search with a pre-interned query record."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return self._gather_knn(query, k, self.shard_bounds(query))
+
+    def knn(self, query_tokens: Sequence[Hashable], k: int) -> SearchResult:
+        """kNN search over external tokens."""
+        return self.knn_record(as_query_record(self.dataset, query_tokens), k)
+
+    def batch_knn_record(
+        self, queries: Sequence[SetRecord], k: int
+    ) -> list[SearchResult]:
+        """kNN for every query; shard scoring is one matrix product."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        covered = self._batch_shard_covered(queries)
+        return [
+            self._gather_knn(
+                query, k, self.measure.bounds_from_counts(covered[i], len(query))
+            )
+            for i, query in enumerate(queries)
+        ]
+
+    # -- range -------------------------------------------------------------
+
+    def _gather_range(
+        self,
+        query: SetRecord,
+        threshold: float,
+        bounds: np.ndarray,
+        precomputed: dict[int, np.ndarray] | None = None,
+    ) -> SearchResult:
+        """Scatter-gather range search given precomputed shard bounds."""
+        stats = QueryStats()
+        matches: list[tuple[int, float]] = []
+        for shard_id, tgm in enumerate(self.tgms):
+            if bounds[shard_id] < threshold:
+                stats.groups_pruned += tgm.num_groups
+                continue
+            if precomputed is not None and shard_id in precomputed:
+                group_bounds = precomputed[shard_id]
+                stats.groups_scored += tgm.num_groups
+            else:
+                group_bounds = query_group_bounds(tgm, query, stats)
+            range_collect_groups(
+                self.dataset, tgm, query, threshold, group_bounds,
+                matches, stats, self.measure,
+            )
+        return finalize_result(matches, stats)
+
+    def range_record(self, query: SetRecord, threshold: float) -> SearchResult:
+        """Range search with a pre-interned query record."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        return self._gather_range(query, threshold, self.shard_bounds(query))
+
+    def range(self, query_tokens: Sequence[Hashable], threshold: float) -> SearchResult:
+        """Range search over external tokens."""
+        return self.range_record(as_query_record(self.dataset, query_tokens), threshold)
+
+    def batch_range_record(
+        self, queries: Sequence[SetRecord], threshold: float
+    ) -> list[SearchResult]:
+        """Range search for every query.
+
+        Shard scoring is one matrix product for the whole batch; each
+        shard's per-group scoring then runs only for the queries the
+        shard-level bound could not prune — on the dense backend as one
+        (sub-batch × tokens) product per shard.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        covered = self._batch_shard_covered(queries)
+        shard_bound_rows = [
+            self.measure.bounds_from_counts(covered[i], len(query))
+            for i, query in enumerate(queries)
+        ]
+        # Per shard: batch-score the surviving sub-batch of queries.
+        per_query_bounds: list[dict[int, np.ndarray]] = [{} for _ in queries]
+        for shard_id, tgm in enumerate(self.tgms):
+            survivors = [
+                i for i in range(len(queries))
+                if shard_bound_rows[i][shard_id] >= threshold
+            ]
+            if not survivors:
+                continue
+            counts = batch_covered_counts(tgm, [queries[i] for i in survivors])
+            for row, i in enumerate(survivors):
+                per_query_bounds[i][shard_id] = self.measure.bounds_from_counts(
+                    counts[row], len(queries[i])
+                )
+        return [
+            self._gather_range(
+                query, threshold, shard_bound_rows[i], per_query_bounds[i]
+            )
+            for i, query in enumerate(queries)
+        ]
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, tokens: Sequence[Hashable]) -> tuple[int, int, int]:
+        """Insert a new set, routed to the lightest shard (open universe).
+
+        Returns ``(record_index, shard_id, group_id)``.  Within the target
+        shard the group is chosen exactly like the single engine's
+        insertion (highest bound, ties to the smallest group).
+        """
+        loads = self._shard_loads
+        shard_id = min(range(self.num_shards), key=lambda s: (loads[s], s))
+        record_index, group_id = insert_set(self.dataset, self.tgms[shard_id], tokens)
+        self._shard_of[record_index] = shard_id
+        self._shard_loads[shard_id] += 1
+        record = self.dataset.records[record_index]
+        max_token = record.tokens[-1]
+        if max_token >= self._vocab.shape[1]:
+            width = max(len(self.dataset.universe), max_token + 1)
+            extra = np.zeros((self.num_shards, width - self._vocab.shape[1]), dtype=bool)
+            self._vocab = np.concatenate([self._vocab, extra], axis=1)
+        self._vocab[shard_id, list(record.distinct)] = True
+        return record_index, shard_id, group_id
+
+    def remove(self, record_index: int) -> tuple[int, int]:
+        """Logically delete a set; returns ``(shard_id, group_id)`` it left.
+
+        Like the single engine, vocabulary bits linger until a rebuild —
+        sound (bounds only loosen), and a shard rebuild restores tightness.
+        """
+        shard_id = self._shard_of.get(record_index)
+        if shard_id is None:
+            raise KeyError(f"record {record_index} is not registered in any shard")
+        group_id = self.tgms[shard_id].unregister(record_index)
+        del self._shard_of[record_index]
+        self._shard_loads[shard_id] -= 1
+        return shard_id, group_id
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedLES3(|D|={len(self.dataset)}, shards={self.num_shards}, "
+            f"groups={self.num_groups}, measure={self.measure.name!r})"
+        )

@@ -1,0 +1,107 @@
+"""Shard assignment: how records of one database spread across S shards.
+
+Three deterministic strategies, each returning disjoint record-index lists
+covering the dataset exactly once:
+
+* ``"hash"`` — records are ordered by a stable content hash and chopped
+  into equal consecutive chunks.  Shards are balanced in record count and
+  statistically identical in content; the safe default when nothing is
+  known about the workload.
+* ``"size"`` — longest-processing-time greedy: records sorted by set size
+  (descending) go to the shard with the smallest summed token mass.
+  Balances *verification cost* when set sizes are heavily skewed.
+* ``"range"`` — records sorted by minimum token id, chopped into equal
+  consecutive chunks (the shard-level analogue of the min-token
+  partitioner).  Shards become vocabulary-coherent, which is what makes
+  the shard-level bound of :class:`repro.distributed.ShardedLES3` prune
+  whole shards; the right choice when token ids are frequency- or
+  domain-ordered.
+
+Exactness never depends on the strategy — a query is answered identically
+for any placement — so the choice is purely a performance knob.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.dataset import Dataset
+from repro.core.sets import SetRecord
+from repro.partitioning.simple import chunk_evenly
+
+__all__ = ["assign_shards", "SHARD_STRATEGIES", "record_shard_hash", "lpt_balance"]
+
+SHARD_STRATEGIES = ("hash", "size", "range")
+
+
+def lpt_balance(sizes: list[int], num_bins: int) -> list[list[int]]:
+    """Longest-processing-time greedy: spread weighted items over bins.
+
+    Items (given by their ``sizes``) are placed largest-first into the bin
+    with the smallest summed load, ties to the lowest bin id.  Returns the
+    item indices per bin.  This single definition of the balance policy is
+    shared by the ``"size"`` record placement and the group re-balancing
+    of ``ShardedLES3.from_engine``.
+    """
+    bins: list[list[int]] = [[] for _ in range(num_bins)]
+    loads = [0] * num_bins
+    order = sorted(range(len(sizes)), key=lambda i: (-sizes[i], i))
+    for index in order:
+        target = min(range(num_bins), key=lambda b: (loads[b], b))
+        bins[target].append(index)
+        loads[target] += sizes[index]
+    return bins
+
+
+def record_shard_hash(record: SetRecord) -> int:
+    """Stable 32-bit content hash of a record (independent of PYTHONHASHSEED)."""
+    data = ",".join(str(token) for token in record.tokens).encode()
+    return zlib.crc32(data)
+
+
+def _assign_hash(dataset: Dataset, num_shards: int) -> list[list[int]]:
+    order = sorted(
+        range(len(dataset)),
+        key=lambda i: (record_shard_hash(dataset.records[i]), i),
+    )
+    return chunk_evenly(order, num_shards)
+
+
+def _assign_size(dataset: Dataset, num_shards: int) -> list[list[int]]:
+    shards = lpt_balance([len(record) for record in dataset.records], num_shards)
+    for shard in shards:
+        shard.sort()
+    return [shard for shard in shards if shard]
+
+
+def _assign_range(dataset: Dataset, num_shards: int) -> list[list[int]]:
+    order = sorted(
+        range(len(dataset)),
+        key=lambda i: (dataset.records[i].min_token(), i),
+    )
+    return chunk_evenly(order, num_shards)
+
+
+_STRATEGIES = {
+    "hash": _assign_hash,
+    "size": _assign_size,
+    "range": _assign_range,
+}
+
+
+def assign_shards(
+    dataset: Dataset, num_shards: int, strategy: str = "hash"
+) -> list[list[int]]:
+    """Split the dataset's record indices into at most ``num_shards`` shards.
+
+    Every record lands in exactly one shard; empty shards are dropped (a
+    dataset smaller than ``num_shards`` yields fewer shards).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if strategy not in _STRATEGIES:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ValueError(f"unknown shard strategy {strategy!r}; known: {known}")
+    if not len(dataset):
+        return []
+    return _STRATEGIES[strategy](dataset, num_shards)

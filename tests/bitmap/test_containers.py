@@ -2,7 +2,6 @@
 
 from array import array
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

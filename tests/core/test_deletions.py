@@ -6,7 +6,6 @@ from repro.core import (
     LES3,
     Dataset,
     TokenGroupMatrix,
-    insert_set,
     knn_search,
     range_search,
     validate_tgm,

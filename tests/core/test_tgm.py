@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core.dataset import Dataset
 from repro.core.sets import SetRecord
 from repro.core.tgm import TokenGroupMatrix
-from repro.core.tokens import TokenUniverse
 from repro.partitioning import MinTokenPartitioner
 
 

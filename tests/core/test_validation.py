@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import Dataset, TokenGroupMatrix, validate_tgm
-from repro.core.sets import SetRecord
 from repro.partitioning import MinTokenPartitioner
 
 

@@ -1,0 +1,178 @@
+"""Shard placement strategies and the shard-pruning bound.
+
+The placement tests pin the contract of :func:`assign_shards` (disjoint
+cover, balance, determinism).  The property tests establish the soundness
+chain the scatter-gather relies on:
+
+    member similarity  <=  group bound  <=  shard bound
+
+so skipping a shard whose bound is strictly below the running kth
+similarity (or the range threshold) can never drop a qualifying record.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dataset, TokenGroupMatrix, get_measure
+from repro.core.search import prepare_query
+from repro.core.sets import SetRecord
+from repro.datasets import zipf_dataset
+from repro.distributed import SHARD_STRATEGIES, ShardedLES3, assign_shards
+from repro.distributed.sharding import record_shard_hash
+from repro.partitioning import MinTokenPartitioner
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return zipf_dataset(101, 150, (2, 9), seed=17)
+
+
+class TestAssignShards:
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    @pytest.mark.parametrize("num_shards", [1, 2, 5, 8])
+    def test_disjoint_exact_cover(self, dataset, strategy, num_shards):
+        shards = assign_shards(dataset, num_shards, strategy)
+        flat = sorted(index for shard in shards for index in shard)
+        assert flat == list(range(len(dataset)))
+
+    @pytest.mark.parametrize("strategy", ["hash", "range"])
+    def test_record_counts_balanced(self, dataset, strategy):
+        shards = assign_shards(dataset, 4, strategy)
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_size_strategy_balances_token_mass(self, dataset):
+        shards = assign_shards(dataset, 4, "size")
+        loads = [
+            sum(len(dataset.records[i]) for i in shard) for shard in shards
+        ]
+        # LPT guarantee: no shard exceeds the mean by more than one max set.
+        max_set = max(len(record) for record in dataset.records)
+        assert max(loads) - min(loads) <= max_set
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_deterministic(self, dataset, strategy):
+        assert assign_shards(dataset, 5, strategy) == assign_shards(dataset, 5, strategy)
+
+    def test_more_shards_than_records(self):
+        tiny = zipf_dataset(3, 20, 2, seed=1)
+        shards = assign_shards(tiny, 10, "hash")
+        assert sorted(index for shard in shards for index in shard) == [0, 1, 2]
+        assert all(shard for shard in shards)
+
+    def test_rejects_bad_inputs(self, dataset):
+        with pytest.raises(ValueError):
+            assign_shards(dataset, 0, "hash")
+        with pytest.raises(ValueError):
+            assign_shards(dataset, 2, "alphabetical")
+
+    def test_hash_is_content_stable(self, dataset):
+        # Same content, same hash — independent of interning order.
+        assert record_shard_hash(SetRecord([3, 1, 2])) == record_shard_hash(SetRecord([2, 3, 1]))
+        assert record_shard_hash(SetRecord([1])) != record_shard_hash(SetRecord([2]))
+
+
+class TestFromEngine:
+    def test_groups_preserved_and_balanced(self, dataset):
+        from repro.core.engine import LES3
+
+        engine = LES3.build(dataset, num_groups=9, partitioner=MinTokenPartitioner())
+        sharded = ShardedLES3.from_engine(engine, 3)
+        original = sorted(tuple(sorted(g)) for g in engine.tgm.group_members)
+        resharded = sorted(
+            tuple(sorted(g)) for tgm in sharded.tgms for g in tgm.group_members
+        )
+        assert original == resharded
+        sizes = sharded.shard_sizes()
+        assert max(sizes) - min(sizes) <= max(len(g) for g in engine.tgm.group_members)
+
+    def test_clips_to_group_count(self, dataset):
+        from repro.core.engine import LES3
+
+        engine = LES3.build(dataset, num_groups=2, partitioner=MinTokenPartitioner())
+        sharded = ShardedLES3.from_engine(engine, 50)
+        assert sharded.num_shards == engine.num_groups
+
+
+token_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=8),
+    min_size=4,
+    max_size=30,
+)
+query_tokens = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8)
+measures = st.sampled_from(["jaccard", "cosine", "dice", "containment", "overlap"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(lists=token_lists, query=query_tokens, num_shards=st.integers(1, 6), measure=measures)
+def test_shard_bound_dominates_members(lists, query, num_shards, measure):
+    """Soundness chain: sim(Q, S) <= group bound <= shard bound, per shard."""
+    dataset = Dataset.from_token_lists(lists)
+    sharded = ShardedLES3.build(
+        dataset, num_shards, num_groups=max(2, len(lists) // 3),
+        partitioner_factory=lambda s: MinTokenPartitioner(), measure=measure,
+    )
+    record = SetRecord(
+        [dataset.universe.get_id(t) if dataset.universe.get_id(t) is not None else 10_000 + t
+         for t in query]
+    )
+    bounds = sharded.shard_bounds(record)
+    sim = get_measure(measure)
+    for shard_id, tgm in enumerate(sharded.tgms):
+        known, weights, query_size = prepare_query(record, tgm.universe_size)
+        group_bounds = tgm.upper_bounds(known, query_size, weights)
+        for group_id, members in enumerate(tgm.group_members):
+            assert group_bounds[group_id] <= bounds[shard_id] + 1e-12
+            for record_index in members:
+                similarity = sim(record, dataset.records[record_index])
+                assert similarity <= group_bounds[group_id] + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(lists=token_lists, query=query_tokens, num_shards=st.integers(1, 5),
+       k=st.integers(1, 8))
+def test_sharded_knn_matches_brute_force(lists, query, num_shards, k):
+    """End-to-end: shard pruning never changes the exact top-k."""
+    dataset = Dataset.from_token_lists(lists)
+    sharded = ShardedLES3.build(
+        dataset, num_shards, num_groups=max(2, len(lists) // 4),
+        partitioner_factory=lambda s: MinTokenPartitioner(),
+    )
+    record = SetRecord(
+        [dataset.universe.get_id(t) if dataset.universe.get_id(t) is not None else 10_000 + t
+         for t in query]
+    )
+    measure = get_measure("jaccard")
+    scored = sorted(
+        ((i, measure(record, dataset.records[i])) for i in range(len(dataset))),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    assert sharded.knn_record(record, k).matches == scored[:k]
+
+
+class TestVocabularyMaintenance:
+    def test_vocab_grows_with_inserts(self, dataset):
+        sharded = ShardedLES3.build(
+            zipf_dataset(40, 60, (2, 5), seed=2), 2, num_groups=4,
+            partitioner_factory=lambda s: MinTokenPartitioner(),
+        )
+        width_before = sharded._vocab.shape[1]
+        sharded.insert(["totally", "fresh", "tokens"])
+        assert sharded._vocab.shape[1] > width_before
+        result = sharded.knn(["totally", "fresh", "tokens"], 1)
+        assert result.matches[0][1] == 1.0
+
+    def test_single_tgm_validation(self, dataset):
+        tgm = TokenGroupMatrix(dataset, [[0, 1], [2, 3]])
+        with pytest.raises(ValueError):
+            ShardedLES3(dataset, [tgm, tgm])  # records in two shards
+        with pytest.raises(ValueError):
+            ShardedLES3(dataset, [])
+
+    def test_measure_mismatch_rejected(self, dataset):
+        jaccard_tgm = TokenGroupMatrix(dataset, [[0, 1]], measure="jaccard")
+        with pytest.raises(ValueError, match="unsound"):
+            ShardedLES3(dataset, [jaccard_tgm], measure="cosine")

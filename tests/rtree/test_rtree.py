@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rtree import Node, RTree
+from repro.rtree import RTree
 
 
 def euclidean_bound(query):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage import HDD_5400RPM, SSD_SATA, DiskProfile, SimulatedDisk
+from repro.storage import HDD_5400RPM, SSD_SATA, SimulatedDisk
 
 
 class TestProfiles:

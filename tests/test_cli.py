@@ -118,6 +118,49 @@ class TestQueryValidation:
         assert "threshold" in capsys.readouterr().err
 
 
+class TestSharded:
+    def test_knn_shards_identical_output(self, index_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[0]
+        assert main(["knn", str(index_dir), "--query", query, "-k", "5"]) == 0
+        single = capsys.readouterr().out
+        assert main(["knn", str(index_dir), "--query", query, "-k", "5", "--shards", "3"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_range_shards_identical_output(self, index_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[1]
+        args = ["range", str(index_dir), "--query", query, "--threshold", "0.5"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--shards", "4"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_bench_reports_throughput(self, index_dir, capsys):
+        code = main(
+            ["bench", str(index_dir), "--queries", "20", "-k", "3",
+             "--threshold", "0.6", "--shards", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "knn:" in out and "range:" in out
+        assert "2 shard(s)" in out
+
+    def test_query_commands_reject_nonpositive_shards(self, index_dir, capsys):
+        assert main(["knn", str(index_dir), "--query", "a", "-k", "1", "--shards", "0"]) == 1
+        assert "--shards" in capsys.readouterr().err
+        args = ["range", str(index_dir), "--query", "a", "--threshold", "0.5", "--shards", "-2"]
+        assert main(args) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_bench_rejects_bad_arguments(self, index_dir, capsys):
+        assert main(["bench", str(index_dir), "--queries", "0"]) == 1
+        assert "positive" in capsys.readouterr().err
+        assert main(["bench", str(index_dir), "--shards", "0"]) == 1
+        assert "positive" in capsys.readouterr().err
+        assert main(["bench", str(index_dir), "--threshold", "1.5"]) == 1
+        assert "threshold" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
