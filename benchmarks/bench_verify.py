@@ -1,0 +1,212 @@
+"""Verification-kernel benchmark: columnar vs scalar candidate scoring.
+
+Measures, on a clustered database where TGM pruning leaves realistic
+surviving groups:
+
+1. **Kernel throughput** — records verified per second when scoring the
+   surviving groups of each query with the scalar ``measure(query,
+   record)`` walk vs the columnar ``GroupVerifier`` one-shot kernel.
+2. **End-to-end batch throughput** — ``batch_range_search`` /
+   ``batch_knn_search`` queries per second under ``verify="scalar"`` vs
+   ``verify="columnar"``.
+
+Every comparison asserts bit-identical results before it reports a
+number.  Each run appends one entry to the ``BENCH_verify.json``
+trajectory (repo root by default) so speedups are tracked across
+commits.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_verify.py          # full size
+    PYTHONPATH=src python benchmarks/bench_verify.py --smoke  # CI-tiny
+
+The script exits non-zero if the two paths ever disagree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import batch_knn_search, batch_range_search
+from repro.core.columnar import make_verifier
+from repro.core.dataset import Dataset
+from repro.core.engine import LES3
+from repro.core.search import query_group_bounds
+from repro.core.sets import SetRecord
+from repro.core.tokens import TokenUniverse
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_verify.json"
+
+
+def clustered_dataset(num_sets: int, num_clusters: int, seed: int = 0) -> Dataset:
+    """Noisy per-cluster templates over contiguous token blocks."""
+    rng = random.Random(seed)
+    block, template_size, set_size = 40, 15, 12
+    num_tokens = num_clusters * block
+    templates = [
+        rng.sample(range(c * block, (c + 1) * block), template_size)
+        for c in range(num_clusters)
+    ]
+    records = []
+    for i in range(num_sets):
+        tokens = set(rng.sample(templates[i % num_clusters], set_size))
+        if rng.random() < 0.02:
+            tokens.discard(next(iter(tokens)))
+            tokens.add(rng.randrange(num_tokens))
+        records.append(SetRecord(tokens))
+    return Dataset(records, TokenUniverse(range(num_tokens)))
+
+
+def bench_kernel(engine: LES3, queries, threshold: float, repeats: int) -> dict:
+    """Records/second verifying each query's surviving groups, both paths."""
+    dataset, tgm, measure = engine.dataset, engine.tgm, engine.measure
+    survivors = []
+    for query in queries:
+        bounds = query_group_bounds(tgm, query)
+        groups = [tgm.group_members[int(g)] for g in np.flatnonzero(bounds >= threshold)]
+        survivors.append((query, groups))
+    total_records = sum(len(members) for _, groups in survivors for members in groups)
+
+    def scalar_pass():
+        return [
+            [measure(query, dataset.records[index]) for index in members]
+            for query, groups in survivors
+            for members in groups
+        ]
+
+    def columnar_pass():
+        out = []
+        for query, groups in survivors:
+            verifier = make_verifier(dataset, query, measure, "columnar")
+            out.extend(verifier(members).tolist() for members in groups)
+        return out
+
+    scalar_seconds = columnar_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_sims = scalar_pass()
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        columnar_sims = columnar_pass()
+        columnar_seconds = min(columnar_seconds, time.perf_counter() - start)
+    assert columnar_sims == scalar_sims, "kernel similarities diverged from scalar oracle"
+    return {
+        "records_verified": total_records,
+        "scalar_rps": total_records / scalar_seconds,
+        "columnar_rps": total_records / columnar_seconds,
+        "speedup": scalar_seconds / columnar_seconds,
+    }
+
+
+def bench_end_to_end(engine: LES3, queries, threshold: float, k: int, repeats: int) -> dict:
+    """Batch range + knn queries/second under each verify mode."""
+    dataset, tgm = engine.dataset, engine.tgm
+    out = {}
+    for name, run in (
+        ("range", lambda mode: batch_range_search(dataset, tgm, queries, threshold, verify=mode)),
+        ("knn", lambda mode: batch_knn_search(dataset, tgm, queries, k, verify=mode)),
+    ):
+        seconds, matches = {}, {}
+        for mode in ("scalar", "columnar"):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results = run(mode)
+                best = min(best, time.perf_counter() - start)
+            seconds[mode] = best
+            matches[mode] = [result.matches for result in results]
+        assert matches["columnar"] == matches["scalar"], f"{name} results diverged"
+        out[name] = {
+            "scalar_qps": len(queries) / seconds["scalar"],
+            "columnar_qps": len(queries) / seconds["columnar"],
+            "speedup": seconds["scalar"] / seconds["columnar"],
+        }
+    return out
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    trajectory = []
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+    trajectory.append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI rot canary)")
+    parser.add_argument("--sets", type=int, default=None, help="database size")
+    parser.add_argument("--queries", type=int, default=None, help="query batch size")
+    parser.add_argument("--threshold", type=float, default=0.6)
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--repeat", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--groups", type=int, default=None,
+        help="group count (default: the paper's 0.5%% rule of thumb)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="trajectory JSON path")
+    args = parser.parse_args(argv)
+
+    num_sets = args.sets or (400 if args.smoke else 12_000)
+    num_queries = args.queries or (20 if args.smoke else 200)
+    repeats = args.repeat or (1 if args.smoke else 3)
+    num_clusters = max(num_sets // 25, 2)
+
+    dataset = clustered_dataset(num_sets, num_clusters, seed=args.seed)
+    start = time.perf_counter()
+    engine = LES3.build(dataset, num_groups=args.groups, partitioner=MinTokenPartitioner())
+    build_seconds = time.perf_counter() - start
+    dataset.columnar()  # build the CSR view outside the timed region
+    queries = sample_queries(dataset, num_queries, seed=args.seed + 1)
+    print(
+        f"# {num_sets} sets, {engine.num_groups} groups, {num_queries} queries, "
+        f"δ={args.threshold}, k={args.k} (build {build_seconds:.2f}s)"
+    )
+
+    kernel = bench_kernel(engine, queries, args.threshold, repeats)
+    print(
+        f"kernel: scalar {kernel['scalar_rps']:,.0f} rec/s, "
+        f"columnar {kernel['columnar_rps']:,.0f} rec/s "
+        f"→ {kernel['speedup']:.2f}x ({kernel['records_verified']} records/query-batch)"
+    )
+    end_to_end = bench_end_to_end(engine, queries, args.threshold, args.k, repeats)
+    for name, numbers in end_to_end.items():
+        print(
+            f"{name}: scalar {numbers['scalar_qps']:,.0f} q/s, "
+            f"columnar {numbers['columnar_qps']:,.0f} q/s → {numbers['speedup']:.2f}x"
+        )
+
+    append_trajectory(
+        args.out,
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "smoke": args.smoke,
+            "config": {
+                "sets": num_sets,
+                "groups": engine.num_groups,
+                "queries": num_queries,
+                "threshold": args.threshold,
+                "k": args.k,
+                "repeats": repeats,
+                "seed": args.seed,
+            },
+            "kernel": kernel,
+            "end_to_end": end_to_end,
+        },
+    )
+    print(f"# appended to {args.out}")
+    if not args.smoke and kernel["speedup"] < 3.0:
+        print("FAIL: kernel speedup below the 3x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,14 +5,17 @@ Usage::
     python -m repro build data.txt index_dir --groups 64
     python -m repro knn index_dir --query "a b c" -k 10 --shards 4
     python -m repro range index_dir --query "a b c" --threshold 0.7
-    python -m repro bench index_dir --queries 200 -k 10 --shards 4
+    python -m repro bench index_dir --queries 200 -k 10 --shards 4 --verify both
     python -m repro stats data.txt
     python -m repro validate index_dir
 
 ``data.txt`` is the standard one-set-per-line, whitespace-separated token
 format used by the public set-similarity benchmarks.  ``--shards S``
 re-shards a loaded index across ``S`` scatter-gather shards (exact: the
-results are identical for every shard count).
+results are identical for every shard count).  ``--verify`` picks the
+candidate-verification path (``columnar`` kernel by default, ``scalar``
+as the escape hatch; ``bench --verify both`` times each and reports the
+speedup — results are identical either way).
 """
 
 from __future__ import annotations
@@ -53,12 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("--query", required=True, help="space-separated query tokens")
     knn.add_argument("-k", type=int, default=10)
     knn.add_argument("--shards", type=int, default=1, help="scatter-gather shard count")
+    knn.add_argument(
+        "--verify", default="columnar", choices=["columnar", "scalar"],
+        help="verification path (results are identical)",
+    )
 
     range_cmd = commands.add_parser("range", help="all sets within a similarity threshold")
     range_cmd.add_argument("index", help="index directory")
     range_cmd.add_argument("--query", required=True, help="space-separated query tokens")
     range_cmd.add_argument("--threshold", type=float, required=True)
     range_cmd.add_argument("--shards", type=int, default=1, help="scatter-gather shard count")
+    range_cmd.add_argument(
+        "--verify", default="columnar", choices=["columnar", "scalar"],
+        help="verification path (results are identical)",
+    )
 
     bench = commands.add_parser("bench", help="batch-query throughput of a built index")
     bench.add_argument("index", help="index directory")
@@ -68,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--shards", type=int, default=1, help="scatter-gather shard count")
     bench.add_argument("--repeat", type=int, default=1, help="timing repetitions (best is reported)")
     bench.add_argument("--seed", type=int, default=0, help="query sampling seed")
+    bench.add_argument(
+        "--verify", default="columnar", choices=["columnar", "scalar", "both"],
+        help="verification path; 'both' times each and reports the speedup",
+    )
 
     stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
     stats.add_argument("data", help="dataset file")
@@ -118,6 +133,7 @@ def _print_matches(engine, matches) -> None:
 def _load_query_engine(args):
     """Load the persisted index, re-sharded when ``--shards`` asks for it."""
     engine = load_engine(args.index)
+    engine.verify = getattr(args, "verify", "columnar")
     if args.shards == 1:
         return engine
     return ShardedLES3.from_engine(engine, args.shards)
@@ -187,25 +203,48 @@ def _cmd_bench(args) -> int:
         f"# {len(engine.dataset)} sets, {engine.num_groups} groups, "
         f"{sharded.num_shards} shard(s), {len(queries)} queries"
     )
+    modes = ["columnar", "scalar"] if args.verify == "both" else [args.verify]
+    if "columnar" in modes:
+        # Build the CSR view outside the timed region: it is a one-time,
+        # whole-database cost, not a per-batch one.
+        engine.dataset.columnar()
     passes = []
     if args.k > 0:
-        passes.append(("knn", lambda: sharded.batch_knn_record(queries, args.k)))
+        passes.append(
+            ("knn", lambda mode: sharded.batch_knn_record(queries, args.k, verify=mode))
+        )
     if args.threshold >= 0:
         passes.append(
-            ("range", lambda: sharded.batch_range_record(queries, args.threshold))
+            (
+                "range",
+                lambda mode: sharded.batch_range_record(
+                    queries, args.threshold, verify=mode
+                ),
+            )
         )
     for name, run in passes:
-        best = float("inf")
-        for _ in range(args.repeat):
-            start = time.perf_counter()
-            results = run()
-            best = min(best, time.perf_counter() - start)
-        throughput = len(queries) / best
-        matches = sum(len(result) for result in results)
-        print(
-            f"{name}: {throughput:,.0f} queries/s "
-            f"({best * 1000:.1f} ms/batch, {matches} matches)"
-        )
+        seconds = {}
+        reference = None
+        for mode in modes:
+            best = float("inf")
+            for _ in range(args.repeat):
+                start = time.perf_counter()
+                results = run(mode)
+                best = min(best, time.perf_counter() - start)
+            seconds[mode] = best
+            matches = sum(len(result) for result in results)
+            if reference is None:
+                reference = [result.matches for result in results]
+            elif reference != [result.matches for result in results]:
+                print(f"error: {name} results differ between verify modes", file=sys.stderr)
+                return 2
+            label = f"{name}[{mode}]" if len(modes) > 1 else name
+            print(
+                f"{label}: {len(queries) / best:,.0f} queries/s "
+                f"({best * 1000:.1f} ms/batch, {matches} matches)"
+            )
+        if len(modes) > 1:
+            print(f"{name}: columnar speedup {seconds['scalar'] / seconds['columnar']:.2f}x")
     return 0
 
 

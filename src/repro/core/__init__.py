@@ -1,6 +1,7 @@
 """Core of the LES3 reproduction: sets, similarity, TGM, search, updates."""
 
 from repro.core.batch import batch_covered_counts, batch_knn_search, batch_range_search
+from repro.core.columnar import ColumnarView, GroupVerifier, make_verifier
 from repro.core.dataset import Dataset, DatasetStats
 from repro.core.engine import LES3
 from repro.core.htgm import HierarchicalTGM
@@ -32,6 +33,9 @@ __all__ = [
     "batch_covered_counts",
     "batch_knn_search",
     "batch_range_search",
+    "ColumnarView",
+    "GroupVerifier",
+    "make_verifier",
     "Dataset",
     "DatasetStats",
     "LES3",

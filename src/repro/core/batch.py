@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
 from repro.core.metrics import QueryStats
 from repro.core.search import (
@@ -81,8 +82,14 @@ def batch_range_search(
     tgm: TokenGroupMatrix,
     queries: Sequence[SetRecord],
     threshold: float,
+    verify: str = "columnar",
 ) -> list[SearchResult]:
-    """Range search for every query; one TGM scan for the whole batch."""
+    """Range search for every query; one TGM scan for the whole batch.
+
+    Verification of the surviving groups runs through the columnar kernel
+    (``verify="columnar"``) or the scalar walk (``"scalar"``) with
+    bit-identical results.
+    """
     if not 0.0 <= threshold <= 1.0:
         raise ValueError(f"threshold must be in [0, 1], got {threshold}")
     counts = batch_covered_counts(tgm, queries)
@@ -93,7 +100,10 @@ def batch_range_search(
         stats.groups_scored = tgm.num_groups
         bounds = measure.bounds_from_counts(counts[i], len(query))
         matches: list[tuple[int, float]] = []
-        range_collect_groups(dataset, tgm, query, threshold, bounds, matches, stats, measure)
+        verifier = make_verifier(dataset, query, measure, verify)
+        range_collect_groups(
+            dataset, tgm, query, threshold, bounds, matches, stats, measure, verifier
+        )
         results.append(finalize_result(matches, stats))
     return results
 
@@ -103,6 +113,7 @@ def batch_knn_search(
     tgm: TokenGroupMatrix,
     queries: Sequence[SetRecord],
     k: int,
+    verify: str = "columnar",
 ) -> list[SearchResult]:
     """kNN for every query.
 
@@ -112,4 +123,4 @@ def batch_knn_search(
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    return [knn_search(dataset, tgm, query, k) for query in queries]
+    return [knn_search(dataset, tgm, query, k, verify=verify) for query in queries]

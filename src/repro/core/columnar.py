@@ -1,0 +1,239 @@
+"""Columnar (CSR) view of a dataset and the vectorized verification kernel.
+
+Candidate verification — computing the exact similarity of the query
+against every member of a surviving group — dominates query cost once TGM
+pruning has done its job.  The scalar path walks a Python frozenset per
+record; this module replaces that walk with numpy over a cache-friendly
+columnar layout:
+
+* :class:`ColumnarView` stores the whole database in CSR form: one flat
+  sorted ``int64`` array of distinct token ids, a parallel multiplicity
+  array (``1`` everywhere for plain sets), per-record offsets into the
+  flat arrays, and the precomputed multiset size ``|S|`` of every record.
+  The view is built once per :class:`~repro.core.dataset.Dataset` (cached
+  on the dataset) and kept incrementally fresh: inserts append to the
+  tail with amortized-O(1) capacity doubling, and logical deletes need no
+  maintenance at all because group membership, not the layout, defines
+  liveness.
+
+* :class:`GroupVerifier` scores *all members of a group in one shot*:
+  the query's token multiplicities are scattered into a universe-sized
+  lookup array once per query; verifying a group gathers the members'
+  concatenated CSR slices, reads each token's query-side multiplicity
+  from the lookup, takes the elementwise ``min`` (the multiset overlap
+  contribution), and reduces per record with ``np.add.reduceat``.  Exact
+  similarities for the whole group then come out of one call to the
+  measure's vectorized :meth:`~repro.core.similarity.Similarity.from_overlaps`.
+
+The kernel computes the very same integer overlaps and applies the very
+same float64 operations as the scalar ``overlap()`` path, so similarities
+are bit-identical — the scalar path (``verify="scalar"``) remains as an
+escape hatch and as the test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.dataset import Dataset
+    from repro.core.sets import SetRecord
+    from repro.core.similarity import Similarity
+
+__all__ = ["ColumnarView", "GroupVerifier", "make_verifier", "VERIFY_MODES"]
+
+VERIFY_MODES = ("columnar", "scalar")
+
+_MIN_CAPACITY = 1024
+
+
+def _grow(array: np.ndarray, used: int, extra: int) -> np.ndarray:
+    """Return ``array`` with capacity for ``used + extra`` (amortized doubling)."""
+    need = used + extra
+    if need <= len(array):
+        return array
+    capacity = max(2 * len(array), need, _MIN_CAPACITY)
+    grown = np.empty(capacity, dtype=array.dtype)
+    grown[:used] = array[:used]
+    return grown
+
+
+class ColumnarView:
+    """CSR layout of a dataset: flat tokens + multiplicities + offsets + sizes.
+
+    Record ``i`` occupies ``tokens[offsets[i]:offsets[i+1]]`` (distinct
+    token ids, sorted ascending) with parallel per-token multiplicities in
+    ``counts``; ``sizes[i]`` is the full multiset size ``|S_i|`` including
+    duplicates.  :meth:`sync` appends any records the dataset gained since
+    the last call; it never rewrites existing rows (records are immutable
+    and deletes are logical), so a view stays valid across updates.
+
+    Not thread-safe during :meth:`sync`; query paths call it once per
+    query before any verification, which is safe under the repo's
+    single-threaded query execution.
+    """
+
+    __slots__ = ("dataset", "_tokens", "_counts", "_offsets", "_sizes", "_num_records", "_nnz")
+
+    def __init__(self, dataset: "Dataset") -> None:
+        self.dataset = dataset
+        self._tokens = np.empty(0, dtype=np.int64)
+        self._counts = np.empty(0, dtype=np.int64)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._sizes = np.empty(0, dtype=np.int64)
+        self._num_records = 0
+        self._nnz = 0
+        self.sync()
+
+    # -- maintenance -------------------------------------------------------
+
+    def sync(self) -> "ColumnarView":
+        """Append any records added to the dataset since the last sync."""
+        records = self.dataset.records
+        if len(records) == self._num_records:
+            return self
+        flat_tokens: list[int] = []
+        flat_counts: list[int] = []
+        lengths: list[int] = []
+        sizes: list[int] = []
+        for record in records[self._num_records:]:
+            if record.is_multiset:
+                items = sorted(record.counts().items())
+                flat_tokens.extend(token for token, _ in items)
+                flat_counts.extend(count for _, count in items)
+                lengths.append(len(items))
+            else:
+                flat_tokens.extend(record.tokens)
+                flat_counts.extend([1] * len(record.tokens))
+                lengths.append(len(record.tokens))
+            sizes.append(len(record))
+        extra_nnz = len(flat_tokens)
+        extra_rows = len(lengths)
+        self._tokens = _grow(self._tokens, self._nnz, extra_nnz)
+        self._counts = _grow(self._counts, self._nnz, extra_nnz)
+        self._tokens[self._nnz:self._nnz + extra_nnz] = flat_tokens
+        self._counts[self._nnz:self._nnz + extra_nnz] = flat_counts
+        self._offsets = _grow(self._offsets, self._num_records + 1, extra_rows)
+        tail = self._offsets[self._num_records] + np.cumsum(lengths, dtype=np.int64)
+        self._offsets[self._num_records + 1:self._num_records + 1 + extra_rows] = tail
+        self._sizes = _grow(self._sizes, self._num_records, extra_rows)
+        self._sizes[self._num_records:self._num_records + extra_rows] = sizes
+        self._num_records = len(records)
+        self._nnz += extra_nnz
+        return self
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_records(self) -> int:
+        """Records materialized so far (equals ``len(dataset)`` after sync)."""
+        return self._num_records
+
+    @property
+    def nnz(self) -> int:
+        """Total distinct-token entries across all materialized records."""
+        return self._nnz
+
+    def tokens_of(self, record_index: int) -> np.ndarray:
+        """CSR token slice of one record (distinct ids, sorted)."""
+        return self._tokens[self._offsets[record_index]:self._offsets[record_index + 1]]
+
+    def counts_of(self, record_index: int) -> np.ndarray:
+        """Per-token multiplicities parallel to :meth:`tokens_of`."""
+        return self._counts[self._offsets[record_index]:self._offsets[record_index + 1]]
+
+    def size_of(self, record_index: int) -> int:
+        """Full multiset size ``|S|`` of one record."""
+        return int(self._sizes[record_index])
+
+    def byte_size(self) -> int:
+        """Bytes held by the CSR arrays (capacity, not just used cells)."""
+        return sum(a.nbytes for a in (self._tokens, self._counts, self._offsets, self._sizes))
+
+    # -- verification ------------------------------------------------------
+
+    def verifier(self, query: "SetRecord", measure: "Similarity") -> "GroupVerifier":
+        """A per-query kernel scoring whole groups against ``query``."""
+        self.sync()
+        return GroupVerifier(self, query, measure)
+
+    def overlaps(self, query_counts: np.ndarray, member_indices: Sequence[int]) -> np.ndarray:
+        """Multiset overlap of the scattered query with each listed record.
+
+        ``query_counts`` is the universe-sized lookup array holding
+        ``count_Q(t)`` at index ``t`` (zero elsewhere); the result is
+        ``Σ_t min(count_Q(t), count_S(t))`` per member, an ``int64``
+        vector aligned with ``member_indices``.
+        """
+        members = np.asarray(member_indices, dtype=np.int64)
+        if members.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        starts = self._offsets[members]
+        lengths = self._offsets[members + 1] - starts
+        total = int(lengths.sum())
+        boundaries = np.cumsum(lengths) - lengths  # exclusive prefix sums
+        gather = np.arange(total, dtype=np.int64) + np.repeat(starts - boundaries, lengths)
+        contributions = np.minimum(self._counts[gather], query_counts[self._tokens[gather]])
+        return np.add.reduceat(contributions, boundaries)
+
+
+class GroupVerifier:
+    """Vectorized exact verification of one query against record groups.
+
+    Built once per query (scattering the query's token multiplicities into
+    a universe-sized lookup array); calling it with a group's member
+    indices returns the exact similarity of every member, bit-identical to
+    the scalar ``measure(query, record)`` walk.
+    """
+
+    __slots__ = ("view", "measure", "query_size", "_query", "_query_counts")
+
+    def __init__(self, view: ColumnarView, query: "SetRecord", measure: "Similarity") -> None:
+        self.view = view
+        self.measure = measure
+        self.query_size = len(query)
+        self._query = query
+        # The O(|universe|) scatter is deferred to the first verification:
+        # a query whose every group is pruned never pays for it.
+        self._query_counts: np.ndarray | None = None
+
+    def _scatter(self) -> np.ndarray:
+        if self._query_counts is None:
+            width = len(self.view.dataset.universe)
+            scattered = np.zeros(width, dtype=np.int64)
+            for token, count in self._query.counts().items():
+                # Tokens at or beyond the universe are phantoms (Section
+                # 3.1): they count towards |Q| but overlap no stored record.
+                if token < width:
+                    scattered[token] = count
+            self._query_counts = scattered
+        return self._query_counts
+
+    def __call__(self, member_indices: Sequence[int]) -> np.ndarray:
+        """Exact similarities for every member, aligned with the input order."""
+        members = np.asarray(member_indices, dtype=np.int64)
+        shared = self.view.overlaps(self._scatter(), members)
+        return self.measure.from_overlaps(shared, self.query_size, self.view._sizes[members])
+
+
+def make_verifier(
+    dataset: "Dataset",
+    query: "SetRecord",
+    measure: "Similarity",
+    verify: str = "columnar",
+) -> GroupVerifier | None:
+    """Resolve a ``verify`` mode into a kernel (or ``None`` for scalar).
+
+    ``"columnar"`` returns a :class:`GroupVerifier` over the dataset's
+    cached :class:`ColumnarView`; ``"scalar"`` returns ``None``, which the
+    group-visit helpers take as "verify one record at a time with the
+    measure's ``__call__``" — the original path, kept as the escape hatch
+    and test oracle.
+    """
+    if verify == "scalar":
+        return None
+    if verify != "columnar":
+        raise ValueError(f"unknown verify mode {verify!r}; expected one of {VERIFY_MODES}")
+    return dataset.columnar().verifier(query, measure)

@@ -51,6 +51,7 @@ class Dataset:
     ) -> None:
         self.universe = universe if universe is not None else TokenUniverse()
         self.records: list[SetRecord] = list(records)
+        self._columnar = None
         self._validate()
 
     def _validate(self) -> None:
@@ -113,6 +114,21 @@ class Dataset:
             )
         self.records.append(record)
         return len(self.records) - 1
+
+    def columnar(self):
+        """The cached CSR view of this dataset (built on first use).
+
+        The view is shared by every index over this dataset (single
+        engine, all shards) and kept fresh incrementally: records appended
+        after the view was built are synced in on the next use, and
+        logical deletes need no maintenance (liveness is defined by group
+        membership, not by the layout).
+        """
+        from repro.core.columnar import ColumnarView
+
+        if self._columnar is None:
+            self._columnar = ColumnarView(self)
+        return self._columnar.sync()
 
     # -- statistics and sampling -------------------------------------------
 

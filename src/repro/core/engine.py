@@ -57,11 +57,21 @@ def as_query_record(dataset: Dataset, query_tokens: Sequence[Hashable]) -> SetRe
 
 
 class LES3:
-    """Learning-based exact set similarity search engine."""
+    """Learning-based exact set similarity search engine.
 
-    def __init__(self, dataset: Dataset, tgm: TokenGroupMatrix) -> None:
+    ``verify`` is the default verification path for queries:
+    ``"columnar"`` (the vectorized kernel over the dataset's CSR view) or
+    ``"scalar"`` (the per-record walk, the escape hatch and test oracle).
+    Every query method takes a per-call override; results are
+    bit-identical either way.
+    """
+
+    def __init__(
+        self, dataset: Dataset, tgm: TokenGroupMatrix, verify: str = "columnar"
+    ) -> None:
         self.dataset = dataset
         self.tgm = tgm
+        self.verify = verify
 
     @classmethod
     def build(
@@ -72,6 +82,7 @@ class LES3:
         measure: str | Similarity = "jaccard",
         backend: str = "dense",
         seed: int = 0,
+        verify: str = "columnar",
     ) -> "LES3":
         """Partition the dataset and build the TGM.
 
@@ -101,7 +112,7 @@ class LES3:
             partitioner = L2PPartitioner(measure=measure, seed=seed)
         partition = partitioner.partition(dataset, num_groups)
         tgm = TokenGroupMatrix(dataset, partition.groups, measure, backend)
-        return cls(dataset, tgm)
+        return cls(dataset, tgm, verify=verify)
 
     @property
     def measure(self) -> Similarity:
@@ -115,21 +126,40 @@ class LES3:
         """External query tokens → SetRecord (see :func:`as_query_record`)."""
         return as_query_record(self.dataset, query_tokens)
 
-    def knn(self, query_tokens: Sequence[Hashable], k: int) -> SearchResult:
+    def _verify_mode(self, verify: str | None) -> str:
+        return self.verify if verify is None else verify
+
+    def knn(
+        self, query_tokens: Sequence[Hashable], k: int, verify: str | None = None
+    ) -> SearchResult:
         """kNN search over external tokens."""
-        return knn_search(self.dataset, self.tgm, self._as_record(query_tokens), k)
+        return knn_search(
+            self.dataset, self.tgm, self._as_record(query_tokens), k,
+            verify=self._verify_mode(verify),
+        )
 
-    def range(self, query_tokens: Sequence[Hashable], threshold: float) -> SearchResult:
+    def range(
+        self, query_tokens: Sequence[Hashable], threshold: float, verify: str | None = None
+    ) -> SearchResult:
         """Range search over external tokens."""
-        return range_search(self.dataset, self.tgm, self._as_record(query_tokens), threshold)
+        return range_search(
+            self.dataset, self.tgm, self._as_record(query_tokens), threshold,
+            verify=self._verify_mode(verify),
+        )
 
-    def knn_record(self, query: SetRecord, k: int) -> SearchResult:
+    def knn_record(self, query: SetRecord, k: int, verify: str | None = None) -> SearchResult:
         """kNN search with a pre-interned query record."""
-        return knn_search(self.dataset, self.tgm, query, k)
+        return knn_search(
+            self.dataset, self.tgm, query, k, verify=self._verify_mode(verify)
+        )
 
-    def range_record(self, query: SetRecord, threshold: float) -> SearchResult:
+    def range_record(
+        self, query: SetRecord, threshold: float, verify: str | None = None
+    ) -> SearchResult:
         """Range search with a pre-interned query record."""
-        return range_search(self.dataset, self.tgm, query, threshold)
+        return range_search(
+            self.dataset, self.tgm, query, threshold, verify=self._verify_mode(verify)
+        )
 
     def insert(self, tokens: Sequence[Hashable]) -> tuple[int, int]:
         """Insert a new set (open universe); returns (record index, group id)."""

@@ -16,6 +16,12 @@ verify one TGM's surviving groups into a shared heap / match list, and
 tie-break and stats finalization.  The batch layer and the sharded engine
 (:mod:`repro.distributed`) are built from the same pieces, so all query
 paths share one definition of result order.
+
+Verification runs through the columnar kernel by default
+(``verify="columnar"``, :mod:`repro.core.columnar`): surviving groups are
+scored in vectorized shots over the dataset's CSR view, with bit-identical
+similarities; ``verify="scalar"`` keeps the per-record walk as the escape
+hatch and test oracle.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import heapq
 
 import numpy as np
 
+from repro.core.columnar import GroupVerifier, make_verifier
 from repro.core.dataset import Dataset
 from repro.core.metrics import QueryStats
 from repro.core.sets import SetRecord
@@ -116,6 +123,28 @@ def query_group_bounds(
     return bounds
 
 
+def _verified_similarities(
+    dataset: Dataset,
+    query: SetRecord,
+    members: list[int],
+    measure: Similarity,
+    verifier: GroupVerifier | None,
+    stats: QueryStats,
+) -> zip:
+    """Exact similarities of one group's members, as (index, sim) pairs.
+
+    The vectorized kernel scores the whole group in one shot; the scalar
+    fallback walks one record at a time.  Either way every member counts
+    once towards ``candidates_verified`` / ``similarity_computations`` and
+    the similarities are bit-identical.
+    """
+    stats.candidates_verified += len(members)
+    stats.similarity_computations += len(members)
+    if verifier is not None:
+        return zip(members, verifier(members).tolist())
+    return zip(members, [measure(query, dataset.records[index]) for index in members])
+
+
 def knn_visit_groups(
     dataset: Dataset,
     tgm: TokenGroupMatrix,
@@ -126,6 +155,7 @@ def knn_visit_groups(
     stats: QueryStats,
     measure: Similarity | None = None,
     zero_candidates: list[list[int]] | None = None,
+    verifier: GroupVerifier | None = None,
 ) -> None:
     """Best-first visit of one TGM's groups, feeding a shared top-k heap.
 
@@ -135,6 +165,12 @@ def knn_visit_groups(
     sharded scatter-gather) — pruning against it stays exact because a
     group is only skipped when its bound is *strictly* below the current
     kth similarity.
+
+    With a ``verifier`` (the columnar kernel), each surviving group's
+    members are scored in one vectorized shot; heap maintenance stays
+    scalar but consumes the precomputed similarity vector.  Without one,
+    each member is verified with the scalar ``measure(query, record)``
+    walk.  Both paths produce bit-identical heaps and stats.
 
     Groups whose bound is exactly 0 share no token with the query: their
     members are provably at similarity 0 and are never verified.  Their
@@ -155,10 +191,9 @@ def knn_visit_groups(
         if len(heap) >= k and bound < heap[0][0]:
             break
         visited_groups += 1
-        for record_index in tgm.group_members[int(group_id)]:
-            similarity = measure(query, dataset.records[record_index])
-            stats.candidates_verified += 1
-            stats.similarity_computations += 1
+        members = tgm.group_members[int(group_id)]
+        scored = _verified_similarities(dataset, query, members, measure, verifier, stats)
+        for record_index, similarity in scored:
             entry = (similarity, -record_index)
             if len(heap) < k:
                 heapq.heappush(heap, entry)
@@ -205,17 +240,28 @@ def range_collect_groups(
     matches: list[tuple[int, float]],
     stats: QueryStats,
     measure: Similarity | None = None,
+    verifier: GroupVerifier | None = None,
 ) -> None:
-    """Verify one TGM's surviving groups into a shared match list."""
+    """Verify one TGM's surviving groups into a shared match list.
+
+    With a ``verifier`` each surviving group is scored by the columnar
+    kernel in one shot; the threshold filter then consumes the similarity
+    vector.  Results and stats match the scalar path bit for bit.
+    """
     measure = measure if measure is not None else tgm.measure
     surviving = np.flatnonzero(bounds >= threshold)
-    for group_id in surviving:
-        for record_index in tgm.group_members[int(group_id)]:
-            similarity = measure(query, dataset.records[record_index])
-            stats.candidates_verified += 1
-            stats.similarity_computations += 1
-            if similarity >= threshold:
-                matches.append((record_index, similarity))
+    # Range search verifies every member of every surviving group, so the
+    # whole TGM's candidates can go through the kernel in one shot — one
+    # gather/reduce instead of one per group.  Candidate order (groups in
+    # id order, members in list order) matches the scalar walk, so the
+    # match list comes out identical.
+    candidates = [
+        index for group_id in surviving for index in tgm.group_members[int(group_id)]
+    ]
+    scored = _verified_similarities(dataset, query, candidates, measure, verifier, stats)
+    for record_index, similarity in scored:
+        if similarity >= threshold:
+            matches.append((record_index, similarity))
     stats.groups_pruned += tgm.num_groups - len(surviving)
 
 
@@ -225,15 +271,24 @@ def range_search(
     query: SetRecord,
     threshold: float,
     measure: Similarity | None = None,
+    verify: str = "columnar",
 ) -> SearchResult:
-    """All sets with ``Sim(Q, S) >= threshold`` (Definition 2.2)."""
+    """All sets with ``Sim(Q, S) >= threshold`` (Definition 2.2).
+
+    ``verify`` picks the verification path: ``"columnar"`` (the
+    vectorized kernel, default) or ``"scalar"`` (the per-record walk).
+    Results are bit-identical either way.
+    """
     if not 0.0 <= threshold <= 1.0:
         raise ValueError(f"threshold must be in [0, 1], got {threshold}")
     measure = measure if measure is not None else tgm.measure
     stats = QueryStats()
     bounds = query_group_bounds(tgm, query, stats)
     matches: list[tuple[int, float]] = []
-    range_collect_groups(dataset, tgm, query, threshold, bounds, matches, stats, measure)
+    verifier = make_verifier(dataset, query, measure, verify)
+    range_collect_groups(
+        dataset, tgm, query, threshold, bounds, matches, stats, measure, verifier
+    )
     return finalize_result(matches, stats)
 
 
@@ -243,8 +298,13 @@ def knn_search(
     query: SetRecord,
     k: int,
     measure: Similarity | None = None,
+    verify: str = "columnar",
 ) -> SearchResult:
-    """The ``k`` most similar sets (Definition 2.1), best-first over groups."""
+    """The ``k`` most similar sets (Definition 2.1), best-first over groups.
+
+    ``verify`` picks the verification path (``"columnar"`` kernel or
+    ``"scalar"`` walk); results are bit-identical either way.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     measure = measure if measure is not None else tgm.measure
@@ -252,6 +312,9 @@ def knn_search(
     bounds = query_group_bounds(tgm, query, stats)
     heap: list[tuple[float, int]] = []
     zero_candidates: list[list[int]] = []
-    knn_visit_groups(dataset, tgm, query, k, bounds, heap, stats, measure, zero_candidates)
+    verifier = make_verifier(dataset, query, measure, verify)
+    knn_visit_groups(
+        dataset, tgm, query, k, bounds, heap, stats, measure, zero_candidates, verifier
+    )
     pad_zero_matches(heap, k, zero_candidates)
     return finalize_result(knn_heap_matches(heap), stats)

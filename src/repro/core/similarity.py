@@ -53,6 +53,26 @@ class Similarity(ABC):
     def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
         """Similarity of two sets given their overlap and sizes."""
 
+    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        """Vectorized :meth:`from_overlap`; arguments broadcast like numpy.
+
+        The verification kernel (:mod:`repro.core.columnar`) calls this
+        with one scalar query size and a vector of record sizes to score a
+        whole group at once.  Every built-in measure overrides it with a
+        closed-form array expression applying the *same* float64
+        operations as its scalar ``from_overlap``, so the results are
+        bit-identical; this base fallback loops the scalar method (slow
+        but always correct for third-party measures).
+        """
+        shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
+        return np.array(
+            [
+                self.from_overlap(int(o), int(a), int(b))
+                for o, a, b in zip(shared.ravel(), sizes_a.ravel(), sizes_b.ravel())
+            ],
+            dtype=np.float64,
+        ).reshape(shared.shape)
+
     @abstractmethod
     def group_upper_bound(self, covered: int, query_size: int) -> float:
         """Upper bound on ``Sim(Q, S)`` for any ``S`` in a group.
@@ -74,6 +94,12 @@ class Similarity(ABC):
         bound is monotone in the covered count for every measure, which is
         what makes coarser vocabularies (a shard's union of group
         vocabularies) sound upper bounds too.
+
+        Group scoring is on the hot path, so **every concrete measure must
+        override this** with a closed-form array expression that matches
+        its scalar :meth:`group_upper_bound` exactly (a test enforces the
+        match for every registered measure).  This base fallback loops the
+        scalar method — correct for third-party measures, but slow.
         """
         return np.array(
             [self.group_upper_bound(int(c), query_size) for c in counts],
@@ -82,6 +108,15 @@ class Similarity(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def _broadcast_int64(shared, sizes_a, sizes_b):
+    """Broadcast the three ``from_overlaps`` arguments to common-shape int64."""
+    return np.broadcast_arrays(
+        np.asarray(shared, dtype=np.int64),
+        np.asarray(sizes_a, dtype=np.int64),
+        np.asarray(sizes_b, dtype=np.int64),
+    )
 
 
 class JaccardSimilarity(Similarity):
@@ -94,6 +129,13 @@ class JaccardSimilarity(Similarity):
         if union <= 0:
             return 0.0
         return shared / union
+
+    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
+        union = sizes_a + sizes_b - shared
+        result = np.zeros(shared.shape, dtype=np.float64)
+        np.divide(shared, union, out=result, where=union > 0)
+        return result
 
     def group_upper_bound(self, covered: int, query_size: int) -> float:
         if query_size <= 0:
@@ -117,6 +159,13 @@ class DiceSimilarity(Similarity):
         if total <= 0:
             return 0.0
         return 2.0 * shared / total
+
+    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
+        total = sizes_a + sizes_b
+        result = np.zeros(shared.shape, dtype=np.float64)
+        np.divide(2.0 * shared, total, out=result, where=total > 0)
+        return result
 
     def group_upper_bound(self, covered: int, query_size: int) -> float:
         if query_size <= 0 or covered <= 0:
@@ -145,6 +194,17 @@ class CosineSimilarity(Similarity):
         if size_a <= 0 or size_b <= 0:
             return 0.0
         return shared / math.sqrt(size_a * size_b)
+
+    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
+        result = np.zeros(shared.shape, dtype=np.float64)
+        np.divide(
+            shared,
+            np.sqrt(sizes_a * sizes_b),
+            out=result,
+            where=(sizes_a > 0) & (sizes_b > 0),
+        )
+        return result
 
     def group_upper_bound(self, covered: int, query_size: int) -> float:
         if query_size <= 0 or covered <= 0:
@@ -177,6 +237,13 @@ class OverlapCoefficient(Similarity):
             return 0.0
         return shared / smallest
 
+    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
+        smallest = np.minimum(sizes_a, sizes_b)
+        result = np.zeros(shared.shape, dtype=np.float64)
+        np.divide(shared, smallest, out=result, where=smallest > 0)
+        return result
+
     def group_upper_bound(self, covered: int, query_size: int) -> float:
         if query_size <= 0 or covered <= 0:
             return 0.0
@@ -203,6 +270,12 @@ class ContainmentSimilarity(Similarity):
         if size_a <= 0:
             return 0.0
         return shared / size_a
+
+    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
+        result = np.zeros(shared.shape, dtype=np.float64)
+        np.divide(shared, sizes_a, out=result, where=sizes_a > 0)
+        return result
 
     def group_upper_bound(self, covered: int, query_size: int) -> float:
         if query_size <= 0:

@@ -59,6 +59,11 @@ class TokenGroupMatrix:
         self.measure = get_measure(measure)
         self.backend = backend
         self.group_members: list[list[int]] = [list(group) for group in groups]
+        self._group_of: dict[int, int] = {
+            record_index: group_id
+            for group_id, members in enumerate(self.group_members)
+            for record_index in members
+        }
         self._universe_size = len(dataset.universe)
         if backend == "dense":
             self._matrix = np.zeros((len(self.group_members), self._universe_size), dtype=bool)
@@ -120,17 +125,25 @@ class TokenGroupMatrix:
             if weights is None:
                 return present.sum(axis=1, dtype=np.int64)
             return present @ np.asarray(weights, dtype=np.int64)
+        if not token_ids:
+            return np.zeros(self.num_groups, dtype=np.int64)
+        query_bitmap = RoaringBitmap(token_ids)
         if weights is None:
-            query_bitmap = RoaringBitmap(token_ids)
             return np.array(
                 [bitmap.intersection_cardinality(query_bitmap) for bitmap in self._bitmaps],
                 dtype=np.int64,
             )
+        # Weighted: intersect each group once with the query bitmap, then
+        # sum the weights of the covered tokens via a boolean mask — no
+        # per-token Python membership loop.
+        tokens = np.asarray(token_ids, dtype=np.int64)
+        token_weights = np.asarray(weights, dtype=np.int64)
         counts = np.zeros(self.num_groups, dtype=np.int64)
         for group_id, bitmap in enumerate(self._bitmaps):
-            counts[group_id] = sum(
-                weight for token, weight in zip(token_ids, weights) if token in bitmap
-            )
+            covered = bitmap.intersection(query_bitmap)
+            if len(covered):
+                hits = np.fromiter(covered, dtype=np.int64)
+                counts[group_id] = token_weights[np.isin(tokens, hits)].sum()
         return counts
 
     def upper_bounds(
@@ -168,21 +181,24 @@ class TokenGroupMatrix:
         if max_token >= self._universe_size:
             self.extend_universe(max_token + 1)
         self.group_members[group_id].append(record_index)
+        self._group_of[record_index] = group_id
         self._set_bits(group_id, record.distinct)
 
     def unregister(self, record_index: int) -> int:
         """Remove a record from its group; returns the group id.
 
-        Token bits are *not* cleared (other members may share them, and a
-        spurious bit only weakens pruning, never correctness), so deletion
-        is O(group size).  Heavily-deleted groups can be refreshed by
-        rebuilding the TGM from the surviving membership.
+        The record→group map makes finding the group O(1); removing the
+        record from its membership list is O(group size).  Token bits are
+        *not* cleared (other members may share them, and a spurious bit
+        only weakens pruning, never correctness).  Heavily-deleted groups
+        can be refreshed by rebuilding the TGM from the surviving
+        membership.
         """
-        for group_id, members in enumerate(self.group_members):
-            if record_index in members:
-                members.remove(record_index)
-                return group_id
-        raise KeyError(f"record {record_index} is not registered in any group")
+        group_id = self._group_of.pop(record_index, None)
+        if group_id is None:
+            raise KeyError(f"record {record_index} is not registered in any group")
+        self.group_members[group_id].remove(record_index)
+        return group_id
 
     def rebuild_bits(self, dataset: Dataset) -> None:
         """Recompute every group's bits from its current membership.

@@ -35,6 +35,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.core.batch import batch_covered_counts
+from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3, as_query_record, suggest_num_groups
 from repro.core.metrics import QueryStats
@@ -82,12 +83,14 @@ class ShardedLES3:
         dataset: Dataset,
         tgms: Sequence[TokenGroupMatrix],
         measure: str | Similarity = "jaccard",
+        verify: str = "columnar",
     ) -> None:
         if not tgms:
             raise ValueError("a sharded engine needs at least one shard")
         self.dataset = dataset
         self.tgms: list[TokenGroupMatrix] = list(tgms)
         self.measure = get_measure(measure)
+        self.verify = verify
         self._shard_of: dict[int, int] = {}
         self._shard_loads: list[int] = [0] * len(self.tgms)
         for shard_id, tgm in enumerate(self.tgms):
@@ -123,6 +126,7 @@ class ShardedLES3:
         strategy: str = "hash",
         seed: int = 0,
         workers: int | None = None,
+        verify: str = "columnar",
     ) -> "ShardedLES3":
         """Shard the dataset and build one TGM per shard, concurrently.
 
@@ -151,7 +155,9 @@ class ShardedLES3:
         measure = get_measure(measure)
         assignments = assign_shards(dataset, num_shards, strategy)
         if not assignments:
-            return cls(dataset, [TokenGroupMatrix(dataset, [], measure, backend)], measure)
+            return cls(
+                dataset, [TokenGroupMatrix(dataset, [], measure, backend)], measure, verify
+            )
         if partitioner_factory is None:
             from repro.learn.cascade import L2PPartitioner
 
@@ -178,7 +184,7 @@ class ShardedLES3:
             shard_builder(shard_id, indices)
             for shard_id, indices in enumerate(assignments)
         ]
-        return cls(dataset, _build_concurrently(builders, workers), measure)
+        return cls(dataset, _build_concurrently(builders, workers), measure, verify)
 
     @classmethod
     def from_engine(
@@ -206,7 +212,10 @@ class ShardedLES3:
             return build
 
         builders = [shard_builder(assigned) for assigned in shard_groups]
-        return cls(engine.dataset, _build_concurrently(builders, workers), engine.measure)
+        return cls(
+            engine.dataset, _build_concurrently(builders, workers), engine.measure,
+            verify=engine.verify,
+        )
 
     # -- introspection -----------------------------------------------------
 
@@ -275,14 +284,22 @@ class ShardedLES3:
 
     # -- kNN ---------------------------------------------------------------
 
+    def _verify_mode(self, verify: str | None) -> str:
+        return self.verify if verify is None else verify
+
     def _gather_knn(
-        self, query: SetRecord, k: int, bounds: np.ndarray
+        self, query: SetRecord, k: int, bounds: np.ndarray, verify: str
     ) -> SearchResult:
-        """Scatter-gather kNN given precomputed shard bounds (exact)."""
+        """Scatter-gather kNN given precomputed shard bounds (exact).
+
+        The verification kernel (its per-query token scatter) is built
+        once and shared by every surviving shard's group visit.
+        """
         stats = QueryStats()
         order = sorted(range(self.num_shards), key=lambda s: (-bounds[s], s))
         heap: list[tuple[float, int]] = []
         zero_candidates: list[list[int]] = []
+        verifier = make_verifier(self.dataset, query, self.measure, verify)
         for position, shard_id in enumerate(order):
             bound = bounds[shard_id]
             if bound <= 0.0:
@@ -301,31 +318,38 @@ class ShardedLES3:
             group_bounds = query_group_bounds(tgm, query, stats)
             knn_visit_groups(
                 self.dataset, tgm, query, k, group_bounds, heap, stats,
-                self.measure, zero_candidates,
+                self.measure, zero_candidates, verifier,
             )
         pad_zero_matches(heap, k, zero_candidates)
         return finalize_result(knn_heap_matches(heap), stats)
 
-    def knn_record(self, query: SetRecord, k: int) -> SearchResult:
+    def knn_record(
+        self, query: SetRecord, k: int, verify: str | None = None
+    ) -> SearchResult:
         """kNN search with a pre-interned query record."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        return self._gather_knn(query, k, self.shard_bounds(query))
+        return self._gather_knn(
+            query, k, self.shard_bounds(query), self._verify_mode(verify)
+        )
 
-    def knn(self, query_tokens: Sequence[Hashable], k: int) -> SearchResult:
+    def knn(
+        self, query_tokens: Sequence[Hashable], k: int, verify: str | None = None
+    ) -> SearchResult:
         """kNN search over external tokens."""
-        return self.knn_record(as_query_record(self.dataset, query_tokens), k)
+        return self.knn_record(as_query_record(self.dataset, query_tokens), k, verify)
 
     def batch_knn_record(
-        self, queries: Sequence[SetRecord], k: int
+        self, queries: Sequence[SetRecord], k: int, verify: str | None = None
     ) -> list[SearchResult]:
         """kNN for every query; shard scoring is one matrix product."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         covered = self._batch_shard_covered(queries)
+        mode = self._verify_mode(verify)
         return [
             self._gather_knn(
-                query, k, self.measure.bounds_from_counts(covered[i], len(query))
+                query, k, self.measure.bounds_from_counts(covered[i], len(query)), mode
             )
             for i, query in enumerate(queries)
         ]
@@ -337,11 +361,13 @@ class ShardedLES3:
         query: SetRecord,
         threshold: float,
         bounds: np.ndarray,
+        verify: str,
         precomputed: dict[int, np.ndarray] | None = None,
     ) -> SearchResult:
         """Scatter-gather range search given precomputed shard bounds."""
         stats = QueryStats()
         matches: list[tuple[int, float]] = []
+        verifier = make_verifier(self.dataset, query, self.measure, verify)
         for shard_id, tgm in enumerate(self.tgms):
             if bounds[shard_id] < threshold:
                 stats.groups_pruned += tgm.num_groups
@@ -353,22 +379,33 @@ class ShardedLES3:
                 group_bounds = query_group_bounds(tgm, query, stats)
             range_collect_groups(
                 self.dataset, tgm, query, threshold, group_bounds,
-                matches, stats, self.measure,
+                matches, stats, self.measure, verifier,
             )
         return finalize_result(matches, stats)
 
-    def range_record(self, query: SetRecord, threshold: float) -> SearchResult:
+    def range_record(
+        self, query: SetRecord, threshold: float, verify: str | None = None
+    ) -> SearchResult:
         """Range search with a pre-interned query record."""
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
-        return self._gather_range(query, threshold, self.shard_bounds(query))
+        return self._gather_range(
+            query, threshold, self.shard_bounds(query), self._verify_mode(verify)
+        )
 
-    def range(self, query_tokens: Sequence[Hashable], threshold: float) -> SearchResult:
+    def range(
+        self,
+        query_tokens: Sequence[Hashable],
+        threshold: float,
+        verify: str | None = None,
+    ) -> SearchResult:
         """Range search over external tokens."""
-        return self.range_record(as_query_record(self.dataset, query_tokens), threshold)
+        return self.range_record(
+            as_query_record(self.dataset, query_tokens), threshold, verify
+        )
 
     def batch_range_record(
-        self, queries: Sequence[SetRecord], threshold: float
+        self, queries: Sequence[SetRecord], threshold: float, verify: str | None = None
     ) -> list[SearchResult]:
         """Range search for every query.
 
@@ -398,9 +435,10 @@ class ShardedLES3:
                 per_query_bounds[i][shard_id] = self.measure.bounds_from_counts(
                     counts[row], len(queries[i])
                 )
+        mode = self._verify_mode(verify)
         return [
             self._gather_range(
-                query, threshold, shard_bound_rows[i], per_query_bounds[i]
+                query, threshold, shard_bound_rows[i], mode, per_query_bounds[i]
             )
             for i, query in enumerate(queries)
         ]

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -13,6 +14,7 @@ from repro.core.similarity import (
     DiceSimilarity,
     JaccardSimilarity,
     OverlapCoefficient,
+    Similarity,
     get_measure,
 )
 
@@ -118,3 +120,20 @@ class TestCommonProperties:
         covered = len(q & s)
         bound = measure.group_upper_bound(covered, len(q))
         assert bound >= measure(SetRecord(q), SetRecord(s)) - 1e-12
+
+
+@pytest.mark.parametrize("name", sorted(MEASURES))
+class TestBoundsFromCounts:
+    """Group scoring is hot: every registered measure must override the base
+    per-element loop with an array formula that matches the scalar bound."""
+
+    def test_registered_measure_overrides_the_base_loop(self, name):
+        assert type(MEASURES[name]).bounds_from_counts is not Similarity.bounds_from_counts
+
+    @pytest.mark.parametrize("query_size", [0, 1, 5, 17])
+    def test_override_matches_scalar_group_upper_bound(self, name, query_size):
+        measure = MEASURES[name]
+        counts = np.arange(0, query_size + 2, dtype=np.int64)
+        bounds = measure.bounds_from_counts(counts, query_size)
+        expected = [measure.group_upper_bound(int(c), query_size) for c in counts]
+        assert bounds.tolist() == pytest.approx(expected)
