@@ -1,34 +1,50 @@
-"""Extension bench — TGM-accelerated similarity self-join vs quadratic scan.
+"""Self-join benchmark: columnar pairwise kernel vs the scalar per-pair walk.
 
-The join is this repo's extension of the reproduced system into the
-related-work territory the paper surveys (Section 8).  Reported: pairs
-verified and wall time, TGM join vs the quadratic all-pairs scan, across
-thresholds.
+Measures, on a clustered (topic-disjoint) database where the group-pair
+bound leaves realistic surviving group pairs, the wall time of
+``similarity_self_join`` under ``verify="scalar"`` vs ``verify="columnar"``
+across a threshold sweep — asserting bit-identical pairs before reporting
+any number — plus a sharded scatter-gather join equivalence check.
+
+Each run appends one entry to the ``BENCH_join.json`` trajectory (repo
+root by default) so the join speedup is tracked across commits.  Run
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_join.py          # full size
+    PYTHONPATH=src python benchmarks/bench_join.py --smoke  # CI-tiny
+
+The script exits non-zero if the two paths ever disagree, or (full size)
+if the best columnar speedup drops below the 3x acceptance bar.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import random
 import time
+from pathlib import Path
 
-import pytest
+from repro.core import LES3, Dataset
+from repro.distributed import ShardedLES3
+from repro.partitioning import MinTokenPartitioner
 
-from repro.core import Dataset, TokenGroupMatrix, similarity_self_join
-from repro.learn import L2PPartitioner
-
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_join.json"
 THRESHOLDS = [0.5, 0.7, 0.9]
-NUM_SETS = 800
 
 
-def topic_dataset(num_sets: int, seed: int) -> Dataset:
+def topic_dataset(num_sets: int, num_topics: int, seed: int) -> Dataset:
     """Variable-size sets over topic-disjoint vocabularies.
 
-    Both join filters need structure to bite: the size filter needs size
-    variance, the group-pair bound needs groups with small vocabulary
-    overlap — the shape of tagged corpora, where joins are actually used.
+    Both join filters need structure to bite: the group-pair bound needs
+    groups with small vocabulary overlap, the Jaccard size filter needs
+    size variance — the shape of tagged corpora, where joins are actually
+    used.
     """
     rng = random.Random(seed)
     token_lists = []
     for _ in range(num_sets):
-        topic = rng.randrange(16)
+        topic = rng.randrange(num_topics)
         vocabulary = range(topic * 40, topic * 40 + 40)
         token_lists.append(
             [str(t) for t in rng.sample(vocabulary, rng.randint(4, 14))]
@@ -36,71 +52,151 @@ def topic_dataset(num_sets: int, seed: int) -> Dataset:
     return Dataset.from_token_lists(token_lists)
 
 
-def quadratic_join(dataset, threshold, measure):
-    pairs = []
+def brute_force_join(dataset: Dataset, threshold: float, measure) -> list:
     records = dataset.records
-    comparisons = 0
+    pairs = []
     for x in range(len(records)):
         for y in range(x + 1, len(records)):
-            comparisons += 1
             similarity = measure(records[x], records[y])
             if similarity >= threshold:
                 pairs.append((x, y, similarity))
-    return pairs, comparisons
+    return sorted(pairs)
 
 
-@pytest.mark.benchmark(group="join")
-def test_join_vs_quadratic(report, benchmark):
-    dataset = topic_dataset(NUM_SETS, seed=24)
-    l2p = L2PPartitioner(
-        pairs_per_model=1_000, epochs=3, initial_groups=4, min_group_size=6, seed=0
-    )
-    tgm = TokenGroupMatrix(dataset, l2p.partition(dataset, 16).groups)
-
-    def sweep():
-        results = []
-        for threshold in THRESHOLDS:
+def bench_threshold(engine: LES3, threshold: float, repeats: int) -> dict:
+    """Scalar vs columnar self-join at one threshold; asserts identity."""
+    seconds = {}
+    results = {}
+    for mode in ("scalar", "columnar"):
+        best = float("inf")
+        for _ in range(repeats):
             start = time.perf_counter()
-            joined = similarity_self_join(dataset, tgm, threshold)
-            tgm_seconds = time.perf_counter() - start
-            start = time.perf_counter()
-            expected, comparisons = quadratic_join(dataset, threshold, tgm.measure)
-            brute_seconds = time.perf_counter() - start
-            assert joined.pairs == expected
-            results.append(
-                (
-                    threshold,
-                    len(joined),
-                    joined.stats.candidates_verified,
-                    comparisons,
-                    tgm_seconds,
-                    brute_seconds,
-                )
-            )
-        return results
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    rows = [
-        [
-            threshold,
-            pairs,
-            verified,
-            comparisons,
-            round(tgm_s, 3),
-            round(brute_s, 3),
-            f"{brute_s / tgm_s:.1f}x",
-        ]
-        for threshold, pairs, verified, comparisons, tgm_s, brute_s in results
-    ]
-    report(
-        "join",
-        f"Extension: similarity self-join, TGM vs quadratic ({NUM_SETS} sets)",
-        ["δ", "pairs", "TGM verified", "quadratic", "TGM s", "quad s", "speedup"],
-        rows,
+            results[mode] = engine.join(threshold, verify=mode)
+            best = min(best, time.perf_counter() - start)
+        seconds[mode] = best
+    assert results["columnar"].pairs == results["scalar"].pairs, (
+        f"join pairs diverged between verify modes at δ={threshold}"
     )
-    for threshold, _, verified, comparisons, tgm_s, brute_s in results:
-        assert verified < comparisons
-        if threshold >= 0.7:
-            # At selective thresholds the pruning pays for its own cost;
-            # at loose thresholds it is a wash (most pairs must be checked).
-            assert tgm_s < brute_s
+    stats = results["columnar"].stats
+    total_pairs = len(engine.dataset) * (len(engine.dataset) - 1) // 2
+    return {
+        "threshold": threshold,
+        "pairs": len(results["columnar"]),
+        "candidates": stats.candidates_verified,
+        "all_pairs": total_pairs,
+        "group_pairs_pruned": stats.groups_pruned,
+        "group_pairs_scored": stats.groups_scored,
+        "scalar_seconds": seconds["scalar"],
+        "columnar_seconds": seconds["columnar"],
+        "speedup": seconds["scalar"] / seconds["columnar"],
+    }
+
+
+def check_sharded(engine: LES3, threshold: float, num_shards: int) -> None:
+    """Sharded scatter-gather join must be bit-identical to the single engine."""
+    sharded = ShardedLES3.from_engine(engine, num_shards)
+    expected = engine.join(threshold).pairs
+    assert sharded.join(threshold).pairs == expected, (
+        f"sharded join diverged at δ={threshold}, S={num_shards}"
+    )
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    trajectory = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            trajectory = None
+        if not isinstance(trajectory, list):
+            # A run killed mid-write (or a hand edit) leaves truncated or
+            # non-list JSON; start a fresh trajectory rather than losing
+            # this (minutes-long) run too.
+            print(f"# warning: {path} held no JSON trajectory, starting fresh")
+            trajectory = []
+    trajectory.append(entry)
+    scratch = path.with_suffix(".tmp")
+    scratch.write_text(json.dumps(trajectory, indent=2) + "\n")
+    scratch.replace(path)  # atomic: never leaves a half-written trajectory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI rot canary)")
+    parser.add_argument("--sets", type=int, default=None, help="database size")
+    parser.add_argument("--repeat", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=24)
+    parser.add_argument("--shards", type=int, default=4, help="sharded equivalence check")
+    parser.add_argument(
+        "--groups", type=int, default=None,
+        help="group count (default: one per topic plus slack)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="trajectory JSON path")
+    args = parser.parse_args(argv)
+
+    num_sets = args.sets if args.sets is not None else (200 if args.smoke else 3_000)
+    repeats = args.repeat if args.repeat is not None else (1 if args.smoke else 3)
+    if num_sets <= 0 or repeats <= 0 or (args.groups is not None and args.groups <= 0):
+        parser.error("--sets, --repeat, and --groups must be positive")
+    num_topics = max(num_sets // 200, 4)
+    num_groups = args.groups if args.groups is not None else num_topics * 2
+
+    dataset = topic_dataset(num_sets, num_topics, seed=args.seed)
+    start = time.perf_counter()
+    engine = LES3.build(dataset, num_groups=num_groups, partitioner=MinTokenPartitioner())
+    build_seconds = time.perf_counter() - start
+    dataset.columnar()  # build the CSR view outside the timed region
+    print(
+        f"# {num_sets} sets, {num_topics} topics, {engine.num_groups} groups "
+        f"(build {build_seconds:.2f}s)"
+    )
+
+    if args.smoke:
+        # Tiny enough to afford the quadratic oracle: both verify paths
+        # must match the brute force, not just each other.
+        expected = brute_force_join(dataset, 0.6, engine.measure)
+        assert engine.join(0.6, verify="scalar").pairs == expected
+        assert engine.join(0.6, verify="columnar").pairs == expected
+        print("# brute-force oracle OK at δ=0.6")
+
+    rows = []
+    for threshold in THRESHOLDS:
+        row = bench_threshold(engine, threshold, repeats)
+        rows.append(row)
+        print(
+            f"δ={threshold}: {row['pairs']} pairs, verified "
+            f"{row['candidates']}/{row['all_pairs']} candidate pairs; "
+            f"scalar {row['scalar_seconds'] * 1000:.1f} ms, "
+            f"columnar {row['columnar_seconds'] * 1000:.1f} ms "
+            f"→ {row['speedup']:.2f}x"
+        )
+    check_sharded(engine, THRESHOLDS[1], args.shards)
+    print(f"# sharded join bit-identical at S={args.shards}")
+
+    best_speedup = max(row["speedup"] for row in rows)
+    append_trajectory(
+        args.out,
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "smoke": args.smoke,
+            "config": {
+                "sets": num_sets,
+                "topics": num_topics,
+                "groups": engine.num_groups,
+                "repeats": repeats,
+                "seed": args.seed,
+                "shards": args.shards,
+            },
+            "thresholds": rows,
+            "best_speedup": best_speedup,
+        },
+    )
+    print(f"# appended to {args.out}")
+    if not args.smoke and best_speedup < 3.0:
+        print("FAIL: columnar join speedup below the 3x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

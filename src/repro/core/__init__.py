@@ -5,7 +5,13 @@ from repro.core.columnar import ColumnarView, GroupVerifier, make_verifier
 from repro.core.dataset import Dataset, DatasetStats
 from repro.core.engine import LES3
 from repro.core.htgm import HierarchicalTGM
-from repro.core.join import JoinResult, similarity_self_join
+from repro.core.join import (
+    JoinResult,
+    best_feasible_pair_bound,
+    group_join_profiles,
+    similarity_join_between,
+    similarity_self_join,
+)
 from repro.core.metrics import (
     QueryStats,
     knn_pruning_efficiency,
@@ -41,6 +47,9 @@ __all__ = [
     "LES3",
     "HierarchicalTGM",
     "JoinResult",
+    "best_feasible_pair_bound",
+    "group_join_profiles",
+    "similarity_join_between",
     "similarity_self_join",
     "QueryStats",
     "knn_pruning_efficiency",

@@ -42,11 +42,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.sets import SetRecord
     from repro.core.similarity import Similarity
 
-__all__ = ["ColumnarView", "GroupVerifier", "make_verifier", "VERIFY_MODES"]
+__all__ = [
+    "ColumnarView",
+    "GroupVerifier",
+    "make_verifier",
+    "VERIFY_MODES",
+    "DEFAULT_TILE_CELLS",
+]
 
 VERIFY_MODES = ("columnar", "scalar")
 
 _MIN_CAPACITY = 1024
+
+# Tiling budget for blockwise pairwise kernels: the largest intermediate
+# (a dense per-row count table or a gathered contribution buffer) holds at
+# most this many int64 cells (2M cells = 16 MiB), however large the
+# record blocks are.
+DEFAULT_TILE_CELLS = 1 << 21
 
 
 def _grow(array: np.ndarray, used: int, extra: int) -> np.ndarray:
@@ -152,12 +164,31 @@ class ColumnarView:
         """Bytes held by the CSR arrays (capacity, not just used cells)."""
         return sum(a.nbytes for a in (self._tokens, self._counts, self._offsets, self._sizes))
 
+    def sizes_of(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Full multiset sizes of the listed records, as an int64 vector."""
+        return self._sizes[np.asarray(record_indices, dtype=np.int64)]
+
     # -- verification ------------------------------------------------------
 
     def verifier(self, query: "SetRecord", measure: "Similarity") -> "GroupVerifier":
         """A per-query kernel scoring whole groups against ``query``."""
         self.sync()
         return GroupVerifier(self, query, measure)
+
+    def _gather(self, members: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated CSR slices of the listed records.
+
+        Returns ``(tokens, counts, boundaries, lengths)``: the records'
+        token and multiplicity entries back to back, the exclusive prefix
+        sums marking where each record starts, and the per-record entry
+        counts.
+        """
+        starts = self._offsets[members]
+        lengths = self._offsets[members + 1] - starts
+        total = int(lengths.sum())
+        boundaries = np.cumsum(lengths) - lengths  # exclusive prefix sums
+        gather = np.arange(total, dtype=np.int64) + np.repeat(starts - boundaries, lengths)
+        return self._tokens[gather], self._counts[gather], boundaries, lengths
 
     def overlaps(self, query_counts: np.ndarray, member_indices: Sequence[int]) -> np.ndarray:
         """Multiset overlap of the scattered query with each listed record.
@@ -170,13 +201,89 @@ class ColumnarView:
         members = np.asarray(member_indices, dtype=np.int64)
         if members.size == 0:
             return np.zeros(0, dtype=np.int64)
-        starts = self._offsets[members]
-        lengths = self._offsets[members + 1] - starts
-        total = int(lengths.sum())
-        boundaries = np.cumsum(lengths) - lengths  # exclusive prefix sums
-        gather = np.arange(total, dtype=np.int64) + np.repeat(starts - boundaries, lengths)
-        contributions = np.minimum(self._counts[gather], query_counts[self._tokens[gather]])
+        tokens, counts, boundaries, _ = self._gather(members)
+        contributions = np.minimum(counts, query_counts[tokens])
         return np.add.reduceat(contributions, boundaries)
+
+    def pairwise_overlaps(
+        self,
+        row_indices: Sequence[int],
+        col_indices: Sequence[int],
+        max_cells: int = DEFAULT_TILE_CELLS,
+    ) -> np.ndarray:
+        """Full pairwise multiset overlap matrix between two record blocks.
+
+        ``result[i, j] = Σ_t min(count_rows[i](t), count_cols[j](t))`` —
+        the exact multiset overlap of every row record with every column
+        record, as an int64 matrix of shape ``(len(rows), len(cols))``.
+        This is the self-join's verification kernel: one call scores a
+        whole group pair.
+
+        Memory stays bounded by blockwise tiling: a row block is scattered
+        into a dense per-row count table over only the block's *distinct*
+        tokens (not the whole universe — a column token the block never
+        holds maps to a trailing all-zero sentinel column), and column
+        records are gathered in chunks whose contribution buffer also
+        stays under ``max_cells`` — so arbitrarily large groups never
+        materialize more than ~2·``max_cells`` int64 cells of
+        intermediates (plus the result matrix itself), and the cost per
+        call scales with the records' entries, not the universe width.
+        """
+        self.sync()
+        rows = np.asarray(row_indices, dtype=np.int64)
+        cols = np.asarray(col_indices, dtype=np.int64)
+        result = np.zeros((len(rows), len(cols)), dtype=np.int64)
+        if rows.size == 0 or cols.size == 0:
+            return result
+        max_cells = max(int(max_cells), 1)
+        row_nnz = self._offsets[rows + 1] - self._offsets[rows]
+        col_nnz = self._offsets[cols + 1] - self._offsets[cols]
+        col_cum = np.cumsum(col_nnz)
+        r0 = 0
+        while r0 < len(rows):
+            # Grow the row block while its count table — at most
+            # (rows × block entries + sentinel) cells — fits the budget.
+            r1 = r0 + 1
+            nnz = int(row_nnz[r0])
+            while r1 < len(rows):
+                grown = nnz + int(row_nnz[r1])
+                if (r1 + 1 - r0) * (grown + 1) > max_cells:
+                    break
+                nnz = grown
+                r1 += 1
+            block = rows[r0:r1]
+            tokens, counts, _, lengths = self._gather(block)
+            vocab = np.unique(tokens)
+            if vocab.size:
+                table = np.zeros((len(block), vocab.size + 1), dtype=np.int64)
+                positions = np.searchsorted(vocab, tokens)
+                table[np.repeat(np.arange(len(block)), lengths), positions] = counts
+                # Column chunks sized so the (block × chunk-nnz)
+                # contribution buffer respects the cell budget; always at
+                # least one record.
+                budget = max(max_cells // len(block), 1)
+                c0 = 0
+                while c0 < len(cols):
+                    base = int(col_cum[c0 - 1]) if c0 else 0
+                    c1 = max(
+                        int(np.searchsorted(col_cum, base + budget, side="right")),
+                        c0 + 1,
+                    )
+                    chunk_tokens, chunk_counts, boundaries, _ = self._gather(cols[c0:c1])
+                    positions = np.searchsorted(vocab, chunk_tokens)
+                    positions[
+                        (positions == vocab.size)
+                        | (vocab[np.minimum(positions, vocab.size - 1)] != chunk_tokens)
+                    ] = vocab.size  # tokens outside the block → zero column
+                    contributions = np.minimum(
+                        chunk_counts[None, :], table[:, positions]
+                    )
+                    result[r0:r1, c0:c1] = np.add.reduceat(
+                        contributions, boundaries, axis=1
+                    )
+                    c0 = c1
+            r0 = r1
+        return result
 
 
 class GroupVerifier:

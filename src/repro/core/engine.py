@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Hashable, Sequence
 
 from repro.core.dataset import Dataset
+from repro.core.join import JoinResult, similarity_self_join
 from repro.core.search import SearchResult, knn_search, range_search
 from repro.core.sets import SetRecord
 from repro.core.similarity import Similarity
@@ -72,6 +73,10 @@ class LES3:
         self.dataset = dataset
         self.tgm = tgm
         self.verify = verify
+        # Logically deleted record indices.  Record slots are never reused,
+        # so this only grows; persistence writes it to the manifest and
+        # validation treats these as intentional orphans.
+        self.removed: set[int] = set()
 
     @classmethod
     def build(
@@ -161,13 +166,21 @@ class LES3:
             self.dataset, self.tgm, query, threshold, verify=self._verify_mode(verify)
         )
 
+    def join(self, threshold: float, verify: str | None = None) -> JoinResult:
+        """Exact similarity self-join: all pairs with ``Sim >= threshold``."""
+        return similarity_self_join(
+            self.dataset, self.tgm, threshold, verify=self._verify_mode(verify)
+        )
+
     def insert(self, tokens: Sequence[Hashable]) -> tuple[int, int]:
         """Insert a new set (open universe); returns (record index, group id)."""
         return insert_set(self.dataset, self.tgm, tokens)
 
     def remove(self, record_index: int) -> int:
         """Logically delete a set; searches no longer return it."""
-        return remove_set(self.tgm, record_index)
+        group_id = remove_set(self.tgm, record_index)
+        self.removed.add(record_index)
+        return group_id
 
     def tokens_of(self, record_index: int) -> list[Hashable]:
         """External tokens of a stored record (for presenting results)."""

@@ -5,12 +5,20 @@ result makes the index reusable across processes.  The on-disk layout is a
 directory of human-auditable files — no pickling:
 
     <dir>/
-      manifest.json    # measure, backend, universe size, format version
+      manifest.json    # measure, backend, universe size, format version,
+                       # verify mode, logically deleted record indices
       dataset.txt      # one set per line (external tokens)
       groups.json      # record-index lists per group
 
 The TGM is rebuilt from the groups at load time (cheaper than
 serialising bitmaps, and immune to backend format drift).
+
+Deletes are logical: a removed record keeps its line in ``dataset.txt``
+(indices are stable) but belongs to no group.  Format v2 records those
+indices in the manifest's ``deleted`` list so the load-time coverage
+check can tell an intentional tombstone from a corrupt ``groups.json``;
+v1 directories (written before deletes were persistable) are still read,
+with an empty deleted set.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.core.columnar import VERIFY_MODES
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3
 from repro.core.similarity import get_measure
@@ -25,7 +34,8 @@ from repro.core.tgm import TokenGroupMatrix
 
 __all__ = ["save_engine", "load_engine"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_engine(engine: LES3, directory: str | Path) -> None:
@@ -35,23 +45,38 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
     engine.dataset.save(directory / "dataset.txt")
     with open(directory / "groups.json", "w") as handle:
         json.dump(engine.tgm.group_members, handle)
+    # The engine's own delete log, NOT the records missing from the groups:
+    # a record that is unassigned without having been removed is an orphan
+    # (partitioner bug, hand-built TGM), and writing it as a tombstone
+    # would silently legitimize it — the load-time coverage check must
+    # keep catching that mismatch.
+    deleted = sorted(engine.removed)
     manifest = {
         "format_version": _FORMAT_VERSION,
         "measure": engine.measure.name,
         "backend": engine.tgm.backend,
         "num_records": len(engine.dataset),
         "universe_size": len(engine.dataset.universe),
+        "verify": engine.verify,
+        "deleted": deleted,
     }
     with open(directory / "manifest.json", "w") as handle:
         json.dump(manifest, handle, indent=2)
 
 
 def load_engine(directory: str | Path) -> LES3:
-    """Load an engine persisted by :func:`save_engine`."""
+    """Load an engine persisted by :func:`save_engine`.
+
+    Reads the current format (v2) and v1 directories (no ``deleted`` /
+    ``verify`` fields: nothing was removed, verification defaults to
+    columnar).  The groups plus the deleted list must cover the dataset
+    exactly once; the loaded engine re-applies the deletions, so queries
+    answer identically to the engine that was saved.
+    """
     directory = Path(directory)
     with open(directory / "manifest.json") as handle:
         manifest = json.load(handle)
-    if manifest.get("format_version") != _FORMAT_VERSION:
+    if manifest.get("format_version") not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported index format version {manifest.get('format_version')!r}"
         )
@@ -61,12 +86,33 @@ def load_engine(directory: str | Path) -> LES3:
             f"dataset.txt holds {len(dataset)} records, manifest says "
             f"{manifest['num_records']} — index directory is corrupt"
         )
+    deleted_raw = manifest.get("deleted", [])
+    if not isinstance(deleted_raw, list) or not all(
+        isinstance(index, int) and not isinstance(index, bool)
+        and 0 <= index < len(dataset)
+        for index in deleted_raw
+    ):
+        raise ValueError(
+            "manifest 'deleted' must list record indices inside the dataset"
+        )
+    deleted = set(deleted_raw)
+    verify = manifest.get("verify", "columnar")
+    if verify not in VERIFY_MODES:
+        raise ValueError(
+            f"manifest 'verify' must be one of {VERIFY_MODES}, got {verify!r}"
+        )
     with open(directory / "groups.json") as handle:
         groups = json.load(handle)
     assigned = sorted(index for group in groups for index in group)
-    if assigned != list(range(len(dataset))):
-        raise ValueError("groups.json does not cover the dataset exactly once")
+    expected = sorted(set(range(len(dataset))) - deleted)
+    if assigned != expected:
+        raise ValueError(
+            "groups.json does not cover the dataset exactly once "
+            "(manifest-deleted records excepted)"
+        )
     tgm = TokenGroupMatrix(
         dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
     )
-    return LES3(dataset, tgm)
+    engine = LES3(dataset, tgm, verify=verify)
+    engine.removed = set(deleted)
+    return engine

@@ -45,6 +45,11 @@ class Similarity(ABC):
     """
 
     name: str = "abstract"
+    #: Whether ``Sim(A, B) == Sim(B, A)``.  Asymmetric measures (e.g.
+    #: containment) must set this False so order-sensitive consumers — the
+    #: self-join reports ``Sim(S_x, S_y)`` with ``x < y`` — orient the
+    #: arguments canonically instead of by iteration order.
+    symmetric: bool = True
 
     def __call__(self, a: SetRecord, b: SetRecord) -> float:
         return self.from_overlap(overlap(a, b), len(a), len(b))
@@ -72,6 +77,22 @@ class Similarity(ABC):
             ],
             dtype=np.float64,
         ).reshape(shared.shape)
+
+    def from_overlap_matrix(self, shared, sizes_a, sizes_b) -> np.ndarray:
+        """Pairwise similarity matrix from an overlap matrix and two size vectors.
+
+        ``shared`` is the ``(len(sizes_a), len(sizes_b))`` integer overlap
+        matrix of two record blocks (row record × column record);
+        ``sizes_a`` / ``sizes_b`` are the blocks' multiset sizes.  The
+        result applies :meth:`from_overlaps` under outer broadcasting, so
+        every cell goes through the measure's own vectorized formula — the
+        *same* float64 operations as the scalar ``from_overlap``, making
+        the matrix bit-identical to the per-pair walk.  This is the kernel
+        entry point of the columnar self-join (:mod:`repro.core.join`).
+        """
+        sizes_a = np.asarray(sizes_a, dtype=np.int64)
+        sizes_b = np.asarray(sizes_b, dtype=np.int64)
+        return self.from_overlaps(shared, sizes_a[:, None], sizes_b[None, :])
 
     @abstractmethod
     def group_upper_bound(self, covered: int, query_size: int) -> float:
@@ -265,6 +286,7 @@ class ContainmentSimilarity(Similarity):
     """
 
     name = "containment"
+    symmetric = False
 
     def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
         if size_a <= 0:

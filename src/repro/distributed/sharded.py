@@ -38,6 +38,13 @@ from repro.core.batch import batch_covered_counts
 from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3, as_query_record, suggest_num_groups
+from repro.core.join import (
+    JoinResult,
+    best_feasible_pair_bound,
+    group_join_profiles,
+    similarity_join_between,
+    similarity_self_join,
+)
 from repro.core.metrics import QueryStats
 from repro.core.search import (
     SearchResult,
@@ -442,6 +449,82 @@ class ShardedLES3:
             )
             for i, query in enumerate(queries)
         ]
+
+    # -- self-join ---------------------------------------------------------
+
+    def join(self, threshold: float, verify: str | None = None) -> JoinResult:
+        """Exact similarity self-join over all shards (scatter-gather).
+
+        Within-shard pairs come from each shard's own
+        :func:`~repro.core.join.similarity_self_join`; cross-shard pairs
+        from pairwise :func:`~repro.core.join.similarity_join_between`
+        calls.  A shard *pair* is skipped wholesale when its vocabulary
+        bound — ``best_feasible_pair_bound`` over ``|vocab_s ∩ vocab_t|``
+        and the shards' minimum live record sizes — cannot reach the
+        threshold: shard vocabularies contain every group vocabulary and
+        the bound is monotone in the cap and antitone in the minimum
+        sizes, so the shard-pair bound dominates every group-pair bound
+        it covers.  Shards tile the record pairs exactly once, so the
+        sorted result is bit-identical to a single-engine join for any
+        shard count, placement, or per-shard partitioner.
+        """
+        mode = self._verify_mode(verify)
+        stats = QueryStats()
+        pairs: list[tuple[int, int, float]] = []
+        # One group profile per shard, shared by the within-shard joins and
+        # every cross-shard call — not rebuilt once per shard pair.  The
+        # shard-level vocabulary and minimum size fall out of the profile
+        # (live members only, tighter than the lingering self._vocab bits):
+        # the profile's token columns *are* the shard's live vocabulary.
+        profiles = [
+            group_join_profiles(self.dataset, tgm.group_members)
+            for tgm in self.tgms
+        ]
+        shard_vocab = [columns for _, _, columns in profiles]
+        min_sizes = []
+        live_groups = []
+        for _, group_mins, _ in profiles:
+            live = group_mins[group_mins > 0]  # empty groups profile as 0
+            min_sizes.append(int(live.min()) if live.size else 0)
+            live_groups.append(int(live.size))
+        for shard_id, tgm in enumerate(self.tgms):
+            if min_sizes[shard_id] == 0:  # no live records in this shard
+                continue
+            result = similarity_self_join(
+                self.dataset, tgm, threshold, verify=mode, profiles=profiles[shard_id]
+            )
+            pairs.extend(result.pairs)
+            stats.merge(result.stats)
+        for s in range(self.num_shards):
+            if min_sizes[s] == 0:
+                continue
+            for t in range(s + 1, self.num_shards):
+                if min_sizes[t] == 0:
+                    continue
+                cap = len(
+                    np.intersect1d(shard_vocab[s], shard_vocab[t], assume_unique=True)
+                )
+                bound = best_feasible_pair_bound(
+                    self.measure, cap, min_sizes[s], min_sizes[t]
+                )
+                if bound < threshold:
+                    # Every live group pair the shard pair covers is pruned
+                    # in one stroke, without computing its cap or bound
+                    # (empty groups are never scored on the unpruned path
+                    # either, so the counters stay comparable).
+                    covered = live_groups[s] * live_groups[t]
+                    stats.groups_scored += covered
+                    stats.groups_pruned += covered
+                    continue
+                result = similarity_join_between(
+                    self.dataset, self.tgms[s], self.tgms[t], threshold, verify=mode,
+                    profiles_a=profiles[s], profiles_b=profiles[t],
+                )
+                pairs.extend(result.pairs)
+                stats.merge(result.stats)
+        pairs.sort()
+        stats.result_size = len(pairs)
+        return JoinResult(pairs, stats)
 
     # -- updates -----------------------------------------------------------
 

@@ -60,6 +60,127 @@ class TestRoundTrip:
         assert load_engine(tmp_path / "index").tgm.num_groups == engine.tgm.num_groups
 
 
+class TestDeleteRoundTrip:
+    """An engine that saw remove_set must save and load (manifest v2)."""
+
+    def assert_same_answers(self, engine, loaded, queries, threshold=0.4, k=5):
+        for query in queries:
+            tokens = [engine.dataset.universe.token_of(t) for t in query.distinct]
+            loaded_tokens = [str(t) for t in tokens]
+            live_range = {
+                (frozenset(str(t) for t in engine.tokens_of(i)), s)
+                for i, s in engine.range(tokens, threshold).matches
+            }
+            reloaded_range = {
+                (frozenset(str(t) for t in loaded.tokens_of(i)), s)
+                for i, s in loaded.range(loaded_tokens, threshold).matches
+            }
+            assert live_range == reloaded_range
+            live_knn = [s for _, s in engine.knn(tokens, k).matches]
+            reloaded_knn = [s for _, s in loaded.knn(loaded_tokens, k).matches]
+            assert live_knn == reloaded_knn
+
+    def test_round_trip_after_removes(self, engine, tmp_path):
+        engine.remove(2)
+        engine.remove(17)
+        engine.remove(105)
+        save_engine(engine, tmp_path / "index")
+        loaded = load_engine(tmp_path / "index")
+        assert loaded.removed == {2, 17, 105}
+        assert len(loaded.dataset) == len(engine.dataset)  # indices stay stable
+        self.assert_same_answers(engine, loaded, sample_queries(engine.dataset, 8, seed=44))
+        assert loaded.join(0.6).pairs == engine.join(0.6).pairs
+
+    def test_round_trip_after_interleaved_updates(self, engine, tmp_path):
+        engine.remove(0)
+        engine.insert(["brand", "new", "tokens"])
+        engine.remove(30)
+        engine.insert(["9000"])
+        save_engine(engine, tmp_path / "index")
+        loaded = load_engine(tmp_path / "index")
+        assert loaded.removed == {0, 30}
+        self.assert_same_answers(engine, loaded, sample_queries(engine.dataset, 6, seed=45))
+        assert loaded.join(0.5).pairs == engine.join(0.5).pairs
+
+    def test_verify_mode_round_trips(self, engine, tmp_path):
+        engine.verify = "scalar"
+        save_engine(engine, tmp_path / "index")
+        assert load_engine(tmp_path / "index").verify == "scalar"
+        engine.verify = "columnar"
+        save_engine(engine, tmp_path / "index")
+        assert load_engine(tmp_path / "index").verify == "columnar"
+
+    def test_v1_directories_still_load(self, engine, tmp_path):
+        """Pre-delete-aware manifests (format 1) must keep loading."""
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        del manifest["deleted"]
+        del manifest["verify"]
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = load_engine(tmp_path / "index")
+        assert loaded.removed == set()
+        assert loaded.verify == "columnar"
+        assert loaded.tgm.num_groups == engine.tgm.num_groups
+
+    def test_deleted_out_of_range_rejected(self, engine, tmp_path):
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["deleted"] = [len(engine.dataset) + 5]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="deleted"):
+            load_engine(tmp_path / "index")
+
+    def test_unknown_verify_mode_rejected(self, engine, tmp_path):
+        """A corrupt 'verify' fails at load, not at the first query."""
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["verify"] = "scalr"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="verify"):
+            load_engine(tmp_path / "index")
+
+    def test_orphaned_record_is_not_laundered_into_tombstone(self, engine, tmp_path):
+        """save writes the engine's delete log, not the unassigned records.
+
+        A record missing from every group *without* having been removed is
+        an orphan (partitioner bug, hand-built TGM); the saved index must
+        keep failing the load-time coverage check instead of silently
+        legitimizing it as a delete.
+        """
+        for members in engine.tgm.group_members:
+            if members:
+                members.pop()  # orphan one record behind the engine's back
+                break
+        save_engine(engine, tmp_path / "index")
+        with pytest.raises(ValueError, match="cover"):
+            load_engine(tmp_path / "index")
+
+    @pytest.mark.parametrize("bad", [["0"], [True], [1.5], "0", {"a": 1}])
+    def test_deleted_non_integer_rejected(self, engine, tmp_path, bad):
+        """Corrupt 'deleted' entries must raise ValueError, not TypeError."""
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["deleted"] = bad
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="deleted"):
+            load_engine(tmp_path / "index")
+
+    def test_deleted_record_still_grouped_rejected(self, engine, tmp_path):
+        """A record cannot be both deleted and a group member."""
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["deleted"] = [0]  # record 0 is still in groups.json
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="cover"):
+            load_engine(tmp_path / "index")
+
+
 class TestCorruptionDetection:
     def test_version_mismatch(self, engine, tmp_path):
         save_engine(engine, tmp_path / "index")

@@ -216,6 +216,54 @@ class TestUpdateEquivalence:
         assert_equivalent(single, sharded, queries, ks=(4,), thresholds=(0.4,))
 
 
+class TestJoinEquivalence:
+    """The scatter-gather self-join must be bit-identical to the single engine."""
+
+    @pytest.fixture(scope="class")
+    def zipf(self):
+        return zipf_dataset(150, 240, (2, 8), seed=43)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_shard_counts(self, zipf, shards):
+        single, sharded = build_pair(zipf, shards=shards)
+        for threshold in (0.4, 0.7, 1.0):
+            expected = single.join(threshold).pairs
+            assert sharded.join(threshold).pairs == expected
+            assert sharded.join(threshold, verify="scalar").pairs == expected
+
+    @pytest.mark.parametrize("strategy", ["hash", "size", "range"])
+    def test_placement_strategies(self, zipf, strategy):
+        single, sharded = build_pair(zipf, shards=4, strategy=strategy)
+        assert sharded.join(0.5).pairs == single.join(0.5).pairs
+
+    @pytest.mark.parametrize("measure", ["cosine", "dice", "containment"])
+    def test_other_measures(self, zipf, measure):
+        single, sharded = build_pair(zipf, shards=3, measure=measure)
+        assert sharded.join(0.6).pairs == single.join(0.6).pairs
+
+    def test_from_engine_resharding(self, zipf):
+        single = LES3.build(zipf, num_groups=8, partitioner=MinTokenPartitioner())
+        for shards in (2, 6):
+            resharded = ShardedLES3.from_engine(single, shards)
+            assert resharded.join(0.5).pairs == single.join(0.5).pairs
+
+    def test_join_after_updates(self):
+        dataset_a = zipf_dataset(110, 180, (2, 6), seed=47)
+        dataset_b = zipf_dataset(110, 180, (2, 6), seed=47)
+        single = LES3.build(dataset_a, num_groups=6, partitioner=MinTokenPartitioner())
+        sharded = ShardedLES3.build(
+            dataset_b, 3, num_groups=6, partitioner_factory=minitoken_factory
+        )
+        for tokens in (["5", "6", "7"], ["fresh", "tokens"], ["2", "2", "3"]):
+            single.insert(tokens)
+            sharded.insert(tokens)
+        for record_index in (0, 17, 93):
+            single.remove(record_index)
+            sharded.remove(record_index)
+        for threshold in (0.3, 0.8):
+            assert sharded.join(threshold).pairs == single.join(threshold).pairs
+
+
 class TestMultisetEquivalence:
     def test_multiset_records_and_queries(self):
         token_lists = [

@@ -74,6 +74,43 @@ class TestQueries:
         assert "0.0000" in capsys.readouterr().out
 
 
+class TestJoin:
+    def test_join_outputs_pairs(self, index_dir, capsys):
+        code = main(["join", str(index_dir), "--threshold", "0.9"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pairs" in captured.err
+        assert "pruned" in captured.err
+
+    def test_join_verify_both_reports_speedup(self, index_dir, capsys):
+        code = main(["join", str(index_dir), "--threshold", "0.8", "--verify", "both"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().err
+
+    def test_join_sharded_identical_output(self, index_dir, capsys):
+        args = ["join", str(index_dir), "--threshold", "0.5", "--limit", "1000000"]
+        assert main(args) == 0
+        single = capsys.readouterr()
+        assert main(args + ["--shards", "3"]) == 0
+        sharded = capsys.readouterr()
+        assert single.out and sharded.out == single.out
+        # Identical pairs and candidate counts may differ only in pruning.
+        assert single.err.split(";")[0] == sharded.err.split(";")[0]
+
+    def test_join_limit_truncates(self, index_dir, capsys):
+        assert main(["join", str(index_dir), "--threshold", "0.1", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert len([line for line in out.splitlines() if line.startswith("0") or line.startswith("1")]) <= 3
+
+    def test_join_rejects_bad_arguments(self, index_dir, capsys):
+        assert main(["join", str(index_dir), "--threshold", "0.0"]) == 1
+        assert "threshold" in capsys.readouterr().err
+        assert main(["join", str(index_dir), "--threshold", "0.5", "--shards", "0"]) == 1
+        assert "--shards" in capsys.readouterr().err
+        assert main(["join", str(index_dir), "--threshold", "0.5", "--limit", "-1"]) == 1
+        assert "--limit" in capsys.readouterr().err
+
+
 class TestStatsAndValidate:
     def test_stats(self, data_file, capsys):
         assert main(["stats", str(data_file)]) == 0
@@ -83,6 +120,17 @@ class TestStatsAndValidate:
 
     def test_validate_healthy(self, index_dir, capsys):
         assert main(["validate", str(index_dir)]) == 0
+        assert "index OK" in capsys.readouterr().out
+
+    def test_validate_accepts_index_with_deletes(self, index_dir, tmp_path, capsys):
+        from repro.core import load_engine, save_engine
+
+        engine = load_engine(index_dir)
+        engine.remove(0)
+        engine.remove(7)
+        target = tmp_path / "with-deletes"
+        save_engine(engine, target)
+        assert main(["validate", str(target)]) == 0
         assert "index OK" in capsys.readouterr().out
 
     def test_validate_corrupt(self, index_dir, tmp_path, capsys):
