@@ -20,11 +20,11 @@ if the best columnar speedup drops below the 3x acceptance bar.
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import time
 from pathlib import Path
 
+from repro.bench import append_trajectory
 from repro.core import LES3, Dataset
 from repro.distributed import ShardedLES3
 from repro.partitioning import MinTokenPartitioner
@@ -99,25 +99,6 @@ def check_sharded(engine: LES3, threshold: float, num_shards: int) -> None:
     assert sharded.join(threshold).pairs == expected, (
         f"sharded join diverged at δ={threshold}, S={num_shards}"
     )
-
-
-def append_trajectory(path: Path, entry: dict) -> None:
-    trajectory = []
-    if path.exists():
-        try:
-            trajectory = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            trajectory = None
-        if not isinstance(trajectory, list):
-            # A run killed mid-write (or a hand edit) leaves truncated or
-            # non-list JSON; start a fresh trajectory rather than losing
-            # this (minutes-long) run too.
-            print(f"# warning: {path} held no JSON trajectory, starting fresh")
-            trajectory = []
-    trajectory.append(entry)
-    scratch = path.with_suffix(".tmp")
-    scratch.write_text(json.dumps(trajectory, indent=2) + "\n")
-    scratch.replace(path)  # atomic: never leaves a half-written trajectory
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,120 +1,222 @@
-"""Sharded scatter-gather: batch-query throughput vs shard count.
+"""Sharded scatter-gather: execution modes, shard counts, and the lifecycle.
 
-A 12 000-set clustered database (noisy copies of per-cluster templates,
-each cluster owning a contiguous token block) is served by ``ShardedLES3``
-at S ∈ {1, 2, 4, 8} with locality-preserving (``"range"``) placement.
+A clustered database (noisy copies of per-cluster templates, each cluster
+owning a contiguous token block) is served by ``ShardedLES3`` at
+S ∈ {1, 4, 8} with locality-preserving (``"range"``) placement, then
+**saved, reloaded, and benchmarked in all three execution modes**
+(``parallel="serial"|"thread"|"process"``):
 
-What sharding buys on one core is the *hierarchical bound*: the shard
-vocabulary prunes whole shards before their per-group bounds are even
-computed, so the per-query scoring cost shrinks as shards get finer —
-while every shard count returns bit-identical results.  (On multi-core
-hardware the per-shard scoring additionally parallelises; this benchmark
-measures the single-thread algorithmic effect only.)
+* the serial numbers isolate the *hierarchical bound* — the shard
+  vocabulary prunes whole shards before their per-group bounds are even
+  computed, so per-query scoring shrinks as shards get finer;
+* the thread/process numbers measure the scatter-gather pool on top of
+  it (process workers are rehydrated from the saved directory, so this
+  also times the real worker path, payload conversion included).
+
+Every combination is asserted bit-identical before any number is
+reported, and the save → load round trip is asserted bit-identical at
+every shard count.  Each run appends one entry to the
+``BENCH_sharded.json`` trajectory (repo root by default).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py          # full size
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke  # CI-tiny
+
+The script exits non-zero if any mode or any shard count ever disagrees,
+or (full size, machines with ≥ 4 cores) if the best process-mode range
+speedup over serial at the same S drops below 1.1x.  On smaller machines
+the speedup is recorded but not enforced — a one-core container cannot
+demonstrate process parallelism, only its overhead.
 """
 
+from __future__ import annotations
+
+import argparse
+import os
 import random
+import tempfile
 import time
+from pathlib import Path
 
-import pytest
-
+from repro.bench import append_trajectory
 from repro.core.dataset import Dataset
 from repro.core.sets import SetRecord
 from repro.core.tokens import TokenUniverse
-from repro.distributed import ShardedLES3
+from repro.distributed import ShardedLES3, load_sharded, save_sharded
 from repro.partitioning import MinTokenPartitioner
 from repro.workloads import sample_queries
 
-NUM_SETS = 12_000
-NUM_CLUSTERS = 480
-BLOCK = 40
-TEMPLATE_SIZE = 15
-SET_SIZE = 12
-NOISE = 0.02
-NUM_GROUPS = 480
-NUM_QUERIES = 200
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+SHARD_COUNTS = (1, 4, 8)
+MODES = ("serial", "thread", "process")
 K = 10
 THRESHOLD = 0.6
-SHARD_COUNTS = (1, 2, 4, 8)
-REPEATS = 2
 
 
-def clustered_block_dataset(seed: int = 0) -> Dataset:
+def clustered_block_dataset(
+    num_sets: int, num_clusters: int, seed: int = 0
+) -> Dataset:
     """Template clusters over contiguous token blocks (locality-shardable)."""
+    block, template_size, set_size, noise = 40, 15, 12, 0.02
     rng = random.Random(seed)
-    num_tokens = NUM_CLUSTERS * BLOCK
+    num_tokens = num_clusters * block
     templates = [
-        rng.sample(range(c * BLOCK, (c + 1) * BLOCK), TEMPLATE_SIZE)
-        for c in range(NUM_CLUSTERS)
+        rng.sample(range(c * block, (c + 1) * block), template_size)
+        for c in range(num_clusters)
     ]
     records = []
-    for i in range(NUM_SETS):
-        tokens = set(rng.sample(templates[i % NUM_CLUSTERS], SET_SIZE))
-        if rng.random() < NOISE:
+    for i in range(num_sets):
+        tokens = set(rng.sample(templates[i % num_clusters], set_size))
+        if rng.random() < noise:
             tokens.discard(next(iter(tokens)))
             tokens.add(rng.randrange(num_tokens))
         records.append(SetRecord(tokens))
     return Dataset(records, TokenUniverse(range(num_tokens)))
 
 
-@pytest.mark.benchmark(group="sharded")
-def test_sharded_batch_throughput(report, benchmark):
-    dataset = clustered_block_dataset()
-    queries = sample_queries(dataset, NUM_QUERIES, seed=1)
+def check_round_trip(engine: ShardedLES3, loaded: ShardedLES3, queries) -> None:
+    """Loaded engine must answer exactly like the one that was saved."""
+    local = sample_queries(loaded.dataset, len(queries), seed=1)
+    assert [r.matches for r in loaded.batch_knn_record(local, K)] == [
+        r.matches for r in engine.batch_knn_record(queries, K)
+    ], "save -> load changed kNN answers"
+    assert [r.matches for r in loaded.batch_range_record(local, THRESHOLD)] == [
+        r.matches for r in engine.batch_range_record(queries, THRESHOLD)
+    ], "save -> load changed range answers"
+    assert loaded.join(THRESHOLD).pairs == engine.join(THRESHOLD).pairs, (
+        "save -> load changed join pairs"
+    )
 
-    def evaluate():
-        results = {}
-        reference = None
+
+def bench_modes(loaded: ShardedLES3, queries, repeats: int) -> dict:
+    """Time every execution mode; assert bit-identical matches throughout."""
+    row: dict = {}
+    reference = None
+    for mode in MODES:
+        if mode == "process":
+            # Warm the pool (fork + first rehydration) outside the timing.
+            loaded.batch_knn_record(queries[:2], K, parallel=mode)
+        knn_best = range_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            knn_results = loaded.batch_knn_record(queries, K, parallel=mode)
+            knn_best = min(knn_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            range_results = loaded.batch_range_record(queries, THRESHOLD, parallel=mode)
+            range_best = min(range_best, time.perf_counter() - start)
+        matches = (
+            [r.matches for r in knn_results],
+            [r.matches for r in range_results],
+        )
+        if reference is None:
+            reference = matches
+        else:
+            assert matches == reference, f"parallel={mode!r} changed the answers"
+        row[mode] = {
+            "knn_qps": len(queries) / knn_best,
+            "range_qps": len(queries) / range_best,
+        }
+    row["process_speedup_knn"] = row["process"]["knn_qps"] / row["serial"]["knn_qps"]
+    row["process_speedup_range"] = (
+        row["process"]["range_qps"] / row["serial"]["range_qps"]
+    )
+    row["thread_speedup_range"] = row["thread"]["range_qps"] / row["serial"]["range_qps"]
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI rot canary)")
+    parser.add_argument("--sets", type=int, default=None, help="database size")
+    parser.add_argument("--queries", type=int, default=None, help="batch size")
+    parser.add_argument("--repeat", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="trajectory JSON path")
+    args = parser.parse_args(argv)
+
+    num_sets = args.sets if args.sets is not None else (600 if args.smoke else 12_000)
+    num_queries = args.queries if args.queries is not None else (30 if args.smoke else 200)
+    repeats = args.repeat if args.repeat is not None else (1 if args.smoke else 2)
+    if num_sets <= 0 or num_queries <= 0 or repeats <= 0:
+        parser.error("--sets, --queries, and --repeat must be positive")
+    num_clusters = max(num_sets // 25, 4)
+    num_groups = num_clusters
+
+    dataset = clustered_block_dataset(num_sets, num_clusters, seed=args.seed)
+    queries = sample_queries(dataset, num_queries, seed=1)
+    dataset.columnar()  # whole-database one-time cost, outside every timing
+    print(
+        f"# {num_sets} sets, {num_clusters} clusters, {num_groups} groups, "
+        f"{num_queries} queries, {os.cpu_count()} core(s)"
+    )
+
+    rows = []
+    with tempfile.TemporaryDirectory() as scratch:
         for shards in SHARD_COUNTS:
             start = time.perf_counter()
             engine = ShardedLES3.build(
-                dataset,
-                shards,
-                num_groups=NUM_GROUPS,
+                dataset, shards, num_groups=num_groups,
                 partitioner_factory=lambda shard_id: MinTokenPartitioner(),
-                strategy="range",
-                workers=1,
+                strategy="range", workers=1,
             )
             build_seconds = time.perf_counter() - start
-            knn_best = range_best = float("inf")
-            for _ in range(REPEATS):
-                start = time.perf_counter()
-                knn_results = engine.batch_knn_record(queries, K)
-                knn_best = min(knn_best, time.perf_counter() - start)
-                start = time.perf_counter()
-                range_results = engine.batch_range_record(queries, THRESHOLD)
-                range_best = min(range_best, time.perf_counter() - start)
-            matches = (
-                [result.matches for result in knn_results],
-                [result.matches for result in range_results],
+            index_dir = Path(scratch) / f"S{shards}"
+            start = time.perf_counter()
+            save_sharded(engine, index_dir)
+            save_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            loaded = load_sharded(index_dir)
+            load_seconds = time.perf_counter() - start
+            check_round_trip(engine, loaded, queries)
+            local_queries = sample_queries(loaded.dataset, num_queries, seed=1)
+            loaded.dataset.columnar()
+            with loaded:
+                row = bench_modes(loaded, local_queries, repeats)
+            row.update(
+                shards=shards,
+                build_seconds=build_seconds,
+                save_seconds=save_seconds,
+                load_seconds=load_seconds,
             )
-            if reference is None:
-                reference = matches
-            else:
-                # Exactness: every shard count returns identical results.
-                assert matches == reference
-            results[shards] = (
-                build_seconds,
-                NUM_QUERIES / knn_best,
-                NUM_QUERIES / range_best,
+            rows.append(row)
+            print(
+                f"S={shards}: build {build_seconds:.2f}s, save {save_seconds:.2f}s, "
+                f"load {load_seconds:.2f}s, round-trip OK; "
+                + ", ".join(
+                    f"{mode} knn {row[mode]['knn_qps']:,.0f} q/s / "
+                    f"range {row[mode]['range_qps']:,.0f} q/s"
+                    for mode in MODES
+                )
+                + f"; process speedup knn {row['process_speedup_knn']:.2f}x, "
+                f"range {row['process_speedup_range']:.2f}x"
             )
-        return results
 
-    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
-    rows = [
-        [shards, round(build, 2), round(knn_qps), round(range_qps)]
-        for shards, (build, knn_qps, range_qps) in results.items()
-    ]
-    report(
-        "sharded",
-        f"Sharded scatter-gather ({NUM_SETS} sets, {NUM_GROUPS} groups, k={K}, δ={THRESHOLD})",
-        ["shards", "build s", "knn q/s", "range q/s"],
-        rows,
+    best_process_range = max(row["process_speedup_range"] for row in rows)
+    append_trajectory(
+        args.out,
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "smoke": args.smoke,
+            "config": {
+                "sets": num_sets,
+                "clusters": num_clusters,
+                "groups": num_groups,
+                "queries": num_queries,
+                "repeats": repeats,
+                "seed": args.seed,
+                "k": K,
+                "threshold": THRESHOLD,
+                "cpus": os.cpu_count(),
+            },
+            "shard_counts": rows,
+            "best_process_range_speedup": best_process_range,
+        },
     )
-    single_knn, single_range = results[1][1], results[1][2]
-    multi_knn = max(results[s][1] for s in SHARD_COUNTS if s > 1)
-    multi_range = max(results[s][2] for s in SHARD_COUNTS if s > 1)
-    # Shard pruning must pay for its overhead: batch throughput improves
-    # with shard count on clustered data (range dramatically, kNN modestly
-    # because exact verification is irreducible).
-    assert multi_range > single_range * 1.2
-    assert multi_knn > single_knn
+    print(f"# appended to {args.out}")
+    if not args.smoke and (os.cpu_count() or 1) >= 4 and best_process_range < 1.1:
+        print("FAIL: process-mode range speedup below the 1.1x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,13 +24,13 @@ The script exits non-zero if the two paths ever disagree.
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench import append_trajectory
 from repro.core.batch import batch_knn_search, batch_range_search
 from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
@@ -128,14 +128,6 @@ def bench_end_to_end(engine: LES3, queries, threshold: float, k: int, repeats: i
             "speedup": seconds["scalar"] / seconds["columnar"],
         }
     return out
-
-
-def append_trajectory(path: Path, entry: dict) -> None:
-    trajectory = []
-    if path.exists():
-        trajectory = json.loads(path.read_text())
-    trajectory.append(entry)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:

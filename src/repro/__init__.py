@@ -18,6 +18,7 @@ from repro.core import (
     DatasetStats,
     HierarchicalTGM,
     JaccardSimilarity,
+    PersistenceError,
     SearchResult,
     SetRecord,
     Similarity,
@@ -25,11 +26,13 @@ from repro.core import (
     TokenUniverse,
     get_measure,
     knn_search,
+    load_engine,
     range_search,
+    save_engine,
 )
-from repro.distributed import ShardedLES3
+from repro.distributed import ShardedLES3, load_sharded, save_sharded
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LES3",
@@ -37,6 +40,7 @@ __all__ = [
     "DatasetStats",
     "HierarchicalTGM",
     "JaccardSimilarity",
+    "PersistenceError",
     "SearchResult",
     "SetRecord",
     "ShardedLES3",
@@ -46,5 +50,9 @@ __all__ = [
     "get_measure",
     "knn_search",
     "range_search",
+    "save_engine",
+    "load_engine",
+    "save_sharded",
+    "load_sharded",
     "__version__",
 ]

@@ -1,5 +1,13 @@
 """Benchmark harness helpers shared by the ``benchmarks/`` modules."""
 
 from repro.bench.harness import Timer, format_table, geometric_mean, print_table, time_calls
+from repro.bench.trajectory import append_trajectory
 
-__all__ = ["Timer", "format_table", "geometric_mean", "print_table", "time_calls"]
+__all__ = [
+    "Timer",
+    "append_trajectory",
+    "format_table",
+    "geometric_mean",
+    "print_table",
+    "time_calls",
+]

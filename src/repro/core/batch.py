@@ -74,7 +74,11 @@ def batch_covered_counts(
         return np.zeros((0, tgm.num_groups), dtype=np.int64)
     weighted = query_weight_matrix(queries, tgm.universe_size)
     # (queries × tokens) @ (tokens × groups) — multiplicity-weighted coverage.
-    return weighted @ tgm._matrix.T.astype(np.int64)
+    # The product runs in float64 so it goes through BLAS (an int64 matmul
+    # falls back to numpy's slow generic loop); every partial sum is an
+    # integer far below 2^53, so the rounded counts are exact.
+    counts = weighted.astype(np.float64) @ tgm._matrix.T.astype(np.float64)
+    return np.rint(counts).astype(np.int64)
 
 
 def batch_range_search(

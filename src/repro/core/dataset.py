@@ -42,7 +42,37 @@ class DatasetStats:
 
 
 class Dataset:
-    """A database of sets ``D`` with its token universe ``T``."""
+    """A database of sets ``D`` with its token universe ``T``.
+
+    Parameters
+    ----------
+    records : iterable of SetRecord, optional
+        The stored sets; token ids must already be interned in
+        ``universe`` (use :meth:`from_token_lists` for raw tokens).
+    universe : TokenUniverse, optional
+        The token universe the records are expressed in; a fresh empty
+        universe when omitted.
+
+    Attributes
+    ----------
+    records : list of SetRecord
+        The stored sets; record *indices* into this list are the ids all
+        engines report, and they stay stable across logical deletes.
+    universe : TokenUniverse
+        Bidirectional external-token ↔ dense-id mapping, shared by every
+        index over this dataset.
+
+    Examples
+    --------
+    >>> from repro import Dataset
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c", "c"]])
+    >>> len(dataset)
+    2
+    >>> len(dataset[1])                       # multiset size counts duplicates
+    3
+    >>> dataset.stats().universe_size
+    3
+    """
 
     def __init__(
         self,

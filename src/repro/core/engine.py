@@ -60,11 +60,41 @@ def as_query_record(dataset: Dataset, query_tokens: Sequence[Hashable]) -> SetRe
 class LES3:
     """Learning-based exact set similarity search engine.
 
-    ``verify`` is the default verification path for queries:
-    ``"columnar"`` (the vectorized kernel over the dataset's CSR view) or
-    ``"scalar"`` (the per-record walk, the escape hatch and test oracle).
-    Every query method takes a per-call override; results are
-    bit-identical either way.
+    The single-node facade: a learned partition of the dataset, the TGM
+    filter built over it, and exact bound-based kNN/range/join on top.
+    Construct via :meth:`build`; persist with
+    :func:`~repro.core.persistence.save_engine`; scale out by handing it
+    to :meth:`repro.distributed.ShardedLES3.from_engine`.
+
+    Parameters
+    ----------
+    dataset : Dataset
+        The database of sets the engine answers queries over.
+    tgm : TokenGroupMatrix
+        A built token-group matrix whose groups cover the dataset.
+    verify : {"columnar", "scalar"}, default ``"columnar"``
+        Default candidate-verification path: the vectorized kernel over
+        the dataset's CSR view, or the per-record walk (the escape hatch
+        and test oracle).  Every query method takes a per-call override;
+        results are bit-identical either way.
+
+    Attributes
+    ----------
+    removed : set of int
+        Logically deleted record indices (the persistence tombstone log);
+        record slots are never reused.
+
+    Examples
+    --------
+    >>> from repro import Dataset, LES3
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> engine = LES3.build(dataset, num_groups=2)
+    >>> engine.knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
+    >>> engine.range(["b", "c"], threshold=0.3).matches
+    [(1, 1.0), (0, 0.3333333333333333)]
+    >>> engine.join(0.3).pairs
+    [(0, 1, 0.3333333333333333)]
     """
 
     def __init__(

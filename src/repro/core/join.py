@@ -305,14 +305,44 @@ def similarity_self_join(
 ) -> JoinResult:
     """All pairs with ``Sim >= threshold`` (x < y), exactly.
 
-    ``verify`` picks the verification path: ``"columnar"`` (the blockwise
-    pairwise kernel, default) or ``"scalar"`` (the per-pair walk).  The
-    returned pairs are bit-identical either way; only the cost counters
-    differ (the scalar walk skips size-filtered Jaccard pairs before
-    computing a similarity, the kernel scores every cell of a surviving
-    group pair).  ``max_cells`` caps the kernel's intermediate buffers;
-    ``profiles`` accepts a precomputed :func:`group_join_profiles` for
-    this TGM (it must reflect the current memberships).
+    Parameters
+    ----------
+    dataset : Dataset
+        The shared database of sets.
+    tgm : TokenGroupMatrix
+        A built TGM over ``dataset``; its groups drive the group-pair
+        vocabulary pruning.
+    threshold : float
+        The join threshold δ, in ``(0, 1]``.
+    verify : {"columnar", "scalar"}, default ``"columnar"``
+        Verification path: the blockwise pairwise kernel, or the
+        per-pair walk.  The returned pairs are bit-identical either way;
+        only the cost counters differ (the scalar walk skips
+        size-filtered Jaccard pairs before computing a similarity, the
+        kernel scores every cell of a surviving group pair).
+    max_cells : int, optional
+        Cap on the kernel's intermediate buffers, in int64 cells.
+    profiles : tuple, optional
+        A precomputed :func:`group_join_profiles` for this TGM (must
+        reflect the current memberships).
+
+    Returns
+    -------
+    JoinResult
+        ``pairs`` — sorted ``(x, y, Sim(S_x, S_y))`` triples with
+        ``x < y`` (asymmetric measures are oriented by record index) —
+        plus the cost counters in ``stats``.
+
+    Examples
+    --------
+    >>> from repro import Dataset, LES3
+    >>> from repro.core import similarity_self_join
+    >>> dataset = Dataset.from_token_lists(
+    ...     [["a", "b"], ["a", "b", "c"], ["x", "y"]]
+    ... )
+    >>> engine = LES3.build(dataset, num_groups=2)
+    >>> similarity_self_join(dataset, engine.tgm, 0.5).pairs
+    [(0, 1, 0.6666666666666666)]
     """
     _check_join_args(threshold, verify)
     measure = tgm.measure

@@ -19,10 +19,22 @@ indices in the manifest's ``deleted`` list so the load-time coverage
 check can tell an intentional tombstone from a corrupt ``groups.json``;
 v1 directories (written before deletes were persistable) are still read,
 with an empty deleted set.
+
+The building blocks — :func:`write_index_files`, :func:`read_index_json`,
+:func:`parse_manifest_state`, :func:`read_groups` — are shared with the
+sharded lifecycle (:mod:`repro.distributed.persistence`): each shard
+subdirectory of a sharded save carries the same v2 ``manifest.json`` +
+``groups.json`` pair, so the v2 invariants (``deleted``, ``verify``)
+carry over unchanged.  See ``docs/persistence.md`` for the full on-disk
+format reference.
+
+Every integrity failure raises :class:`PersistenceError` (a
+:class:`ValueError` subclass), never a wrong-answer engine.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -32,36 +44,249 @@ from repro.core.engine import LES3
 from repro.core.similarity import get_measure
 from repro.core.tgm import TokenGroupMatrix
 
-__all__ = ["save_engine", "load_engine"]
+__all__ = [
+    "PersistenceError",
+    "save_engine",
+    "load_engine",
+    "engine_manifest",
+    "write_index_files",
+    "read_index_json",
+    "parse_manifest_state",
+    "read_groups",
+    "file_digest",
+    "check_dataset_digest",
+    "SHARDED_MANIFEST_KEY",
+]
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 
+#: Manifest key that marks a directory as a *sharded* save.  The single
+#: format discriminator shared by :func:`read_index_manifest`, the
+#: sharded loader, and the CLI's auto-detection
+#: (:func:`repro.distributed.persistence.is_sharded_index`).
+SHARDED_MANIFEST_KEY = "sharded_format_version"
+
+
+def file_digest(path: str | Path) -> str:
+    """``sha256:<hex>`` over a file's bytes (the manifest digest format)."""
+    return "sha256:" + hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def check_dataset_digest(manifest: dict, directory: Path) -> None:
+    """Verify ``dataset.txt`` against the manifest's recorded digest.
+
+    Manifests written before the digest existed (single-engine saves up
+    to v2-without-digest) simply skip the check; when the field is
+    present, a mismatch — tampering, or a re-save that crashed between
+    the dataset write and the manifest write — refuses to load.
+    """
+    recorded = manifest.get("dataset_digest")
+    if recorded is None:
+        return
+    actual = file_digest(directory / "dataset.txt")
+    if recorded != actual:
+        raise PersistenceError(
+            f"dataset.txt digest mismatch (manifest {recorded!r}, file "
+            f"{actual!r}) — index directory is corrupt or mid-rewrite"
+        )
+
+
+class PersistenceError(ValueError):
+    """An index directory cannot be read or written safely.
+
+    Raised for every integrity failure — unknown format versions,
+    truncated or non-JSON files, record-count mismatches, coverage
+    violations, digest mismatches of sharded saves.  Subclasses
+    :class:`ValueError` so pre-existing ``except ValueError`` call sites
+    keep working.  Loading never "repairs" a corrupt directory: for an
+    exact search engine a silently wrong index is the worst failure
+    mode, so any inconsistency raises instead of answering queries.
+    """
+
+
+# -- shared low-level pieces (also used by the sharded lifecycle) ----------
+
+
+def engine_manifest(
+    measure: str,
+    backend: str,
+    num_records: int,
+    universe_size: int,
+    verify: str,
+    deleted: list[int],
+) -> dict:
+    """The single-engine (and per-shard) v2 manifest dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "measure": measure,
+        "backend": backend,
+        "num_records": num_records,
+        "universe_size": universe_size,
+        "verify": verify,
+        "deleted": deleted,
+    }
+
+
+def write_index_files(directory: str | Path, groups: list[list[int]], manifest: dict) -> None:
+    """Write ``groups.json`` + ``manifest.json`` into ``directory``.
+
+    Creates the directory if missing.  This is the v2 writer shared by
+    :func:`save_engine` (which adds ``dataset.txt``) and the per-shard
+    subdirectories of :func:`repro.distributed.persistence.save_sharded`
+    (which store the dataset once at the top level instead).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "groups.json", "w") as handle:
+        json.dump(groups, handle)
+    with open(directory / "manifest.json", "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def read_index_json(path: str | Path, description: str):
+    """Parse one JSON file of an index directory.
+
+    A missing file propagates :class:`FileNotFoundError` (the caller
+    decides whether that means "no index here" or "corrupt index"); a
+    truncated or otherwise non-JSON file raises :class:`PersistenceError`
+    naming the file.
+    """
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"{description} at {path} is not valid JSON "
+            f"(truncated write or corruption): {error}"
+        ) from error
+
+
+def parse_manifest_state(manifest: dict, num_records: int) -> tuple[set[int], str]:
+    """Validate and extract the v2 state fields: ``(deleted, verify)``.
+
+    Applies the v1 defaults (nothing deleted, columnar verification) when
+    the fields are absent; raises :class:`PersistenceError` when they are
+    present but malformed.
+    """
+    deleted_raw = manifest.get("deleted", [])
+    if not isinstance(deleted_raw, list) or not all(
+        isinstance(index, int) and not isinstance(index, bool)
+        and 0 <= index < num_records
+        for index in deleted_raw
+    ):
+        raise PersistenceError(
+            "manifest 'deleted' must list record indices inside the dataset"
+        )
+    verify = manifest.get("verify", "columnar")
+    if verify not in VERIFY_MODES:
+        raise PersistenceError(
+            f"manifest 'verify' must be one of {VERIFY_MODES}, got {verify!r}"
+        )
+    return set(deleted_raw), verify
+
+
+def read_groups(directory: str | Path) -> list[list[int]]:
+    """Read and shape-check ``groups.json`` (content checks are separate)."""
+    groups = read_index_json(Path(directory) / "groups.json", "groups file")
+    if not isinstance(groups, list) or not all(
+        isinstance(group, list)
+        and all(isinstance(index, int) and not isinstance(index, bool) for index in group)
+        for group in groups
+    ):
+        raise PersistenceError(
+            f"groups.json in {directory} must hold lists of record indices"
+        )
+    return groups
+
+
+def check_exact_cover(
+    groups: list[list[int]], deleted: set[int], num_records: int, context: str
+) -> None:
+    """Groups plus tombstones must cover ``range(num_records)`` exactly once."""
+    assigned = sorted(index for group in groups for index in group)
+    expected = sorted(set(range(num_records)) - deleted)
+    if assigned != expected:
+        raise PersistenceError(
+            f"{context} does not cover the dataset exactly once "
+            "(manifest-deleted records excepted)"
+        )
+
+
+def read_index_manifest(directory: str | Path) -> dict:
+    """Read a *single-engine* manifest, rejecting foreign formats clearly."""
+    manifest = read_index_json(Path(directory) / "manifest.json", "index manifest")
+    if not isinstance(manifest, dict):
+        raise PersistenceError(f"index manifest in {directory} must be a JSON object")
+    if SHARDED_MANIFEST_KEY in manifest:
+        raise PersistenceError(
+            f"{directory} holds a sharded index; load it with "
+            "repro.distributed.load_sharded (or `repro` commands, which "
+            "auto-detect it)"
+        )
+    if manifest.get("format_version") not in _SUPPORTED_VERSIONS:
+        raise PersistenceError(
+            f"unsupported index format version {manifest.get('format_version')!r}"
+        )
+    return manifest
+
+
+# -- the public single-engine API ------------------------------------------
+
 
 def save_engine(engine: LES3, directory: str | Path) -> None:
-    """Persist a built engine to ``directory`` (created if missing)."""
+    """Persist a built engine to ``directory`` (created if missing).
+
+    Parameters
+    ----------
+    engine : LES3
+        A built engine; its dataset, group structure, verify mode, and
+        delete log are all captured.
+    directory : str or Path
+        Target directory; created if missing, overwritten if present.
+
+    Returns
+    -------
+    None
+        The directory holds ``manifest.json``, ``dataset.txt``, and
+        ``groups.json`` afterwards (format v2, human-auditable).
+
+    See Also
+    --------
+    load_engine : the inverse operation.
+    repro.distributed.persistence.save_sharded : the sharded variant.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import Dataset, LES3
+    >>> from repro.core import save_engine, load_engine
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> engine = LES3.build(dataset, num_groups=2)
+    >>> path = os.path.join(tempfile.mkdtemp(), "index")
+    >>> save_engine(engine, path)
+    >>> load_engine(path).knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     engine.dataset.save(directory / "dataset.txt")
-    with open(directory / "groups.json", "w") as handle:
-        json.dump(engine.tgm.group_members, handle)
     # The engine's own delete log, NOT the records missing from the groups:
     # a record that is unassigned without having been removed is an orphan
     # (partitioner bug, hand-built TGM), and writing it as a tombstone
     # would silently legitimize it — the load-time coverage check must
     # keep catching that mismatch.
-    deleted = sorted(engine.removed)
-    manifest = {
-        "format_version": _FORMAT_VERSION,
-        "measure": engine.measure.name,
-        "backend": engine.tgm.backend,
-        "num_records": len(engine.dataset),
-        "universe_size": len(engine.dataset.universe),
-        "verify": engine.verify,
-        "deleted": deleted,
-    }
-    with open(directory / "manifest.json", "w") as handle:
-        json.dump(manifest, handle, indent=2)
+    manifest = engine_manifest(
+        measure=engine.measure.name,
+        backend=engine.tgm.backend,
+        num_records=len(engine.dataset),
+        universe_size=len(engine.dataset.universe),
+        verify=engine.verify,
+        deleted=sorted(engine.removed),
+    )
+    manifest["dataset_digest"] = file_digest(directory / "dataset.txt")
+    write_index_files(directory, engine.tgm.group_members, manifest)
 
 
 def load_engine(directory: str | Path) -> LES3:
@@ -72,44 +297,40 @@ def load_engine(directory: str | Path) -> LES3:
     columnar).  The groups plus the deleted list must cover the dataset
     exactly once; the loaded engine re-applies the deletions, so queries
     answer identically to the engine that was saved.
+
+    Parameters
+    ----------
+    directory : str or Path
+        An index directory written by :func:`save_engine`.
+
+    Returns
+    -------
+    LES3
+        A rebuilt engine answering knn/range/join queries identically to
+        the one that was saved, delete log and verify mode included.
+
+    Raises
+    ------
+    PersistenceError
+        If any file is corrupt, the format version is unknown, the
+        groups don't cover the dataset exactly once, or the directory
+        holds a *sharded* index (use
+        :func:`repro.distributed.load_sharded` for those).
+    FileNotFoundError
+        If the directory or one of its files does not exist.
     """
     directory = Path(directory)
-    with open(directory / "manifest.json") as handle:
-        manifest = json.load(handle)
-    if manifest.get("format_version") not in _SUPPORTED_VERSIONS:
-        raise ValueError(
-            f"unsupported index format version {manifest.get('format_version')!r}"
-        )
+    manifest = read_index_manifest(directory)
+    check_dataset_digest(manifest, directory)
     dataset = Dataset.load(directory / "dataset.txt")
     if len(dataset) != manifest["num_records"]:
-        raise ValueError(
+        raise PersistenceError(
             f"dataset.txt holds {len(dataset)} records, manifest says "
             f"{manifest['num_records']} — index directory is corrupt"
         )
-    deleted_raw = manifest.get("deleted", [])
-    if not isinstance(deleted_raw, list) or not all(
-        isinstance(index, int) and not isinstance(index, bool)
-        and 0 <= index < len(dataset)
-        for index in deleted_raw
-    ):
-        raise ValueError(
-            "manifest 'deleted' must list record indices inside the dataset"
-        )
-    deleted = set(deleted_raw)
-    verify = manifest.get("verify", "columnar")
-    if verify not in VERIFY_MODES:
-        raise ValueError(
-            f"manifest 'verify' must be one of {VERIFY_MODES}, got {verify!r}"
-        )
-    with open(directory / "groups.json") as handle:
-        groups = json.load(handle)
-    assigned = sorted(index for group in groups for index in group)
-    expected = sorted(set(range(len(dataset))) - deleted)
-    if assigned != expected:
-        raise ValueError(
-            "groups.json does not cover the dataset exactly once "
-            "(manifest-deleted records excepted)"
-        )
+    deleted, verify = parse_manifest_state(manifest, len(dataset))
+    groups = read_groups(directory)
+    check_exact_cover(groups, deleted, len(dataset), "groups.json")
     tgm = TokenGroupMatrix(
         dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
     )

@@ -42,6 +42,32 @@ class Similarity(ABC):
     Subclasses implement :meth:`from_overlap` (similarity given the overlap
     and the two set sizes) and :meth:`group_upper_bound` (the Theorem 3.1
     bound).  ``__call__`` computes the exact similarity of two records.
+    For hot-path speed, concrete measures additionally override the
+    vectorized variants (:meth:`from_overlaps`, :meth:`bounds_from_counts`)
+    with closed-form array expressions that apply the *same* float64
+    operations as their scalar counterparts — results stay bit-identical.
+
+    Attributes
+    ----------
+    name : str
+        Registry key (``get_measure(name)``) and manifest identifier.
+    symmetric : bool
+        Whether ``Sim(A, B) == Sim(B, A)``; asymmetric measures (e.g.
+        containment) set this False so order-sensitive consumers orient
+        arguments canonically.
+
+    Examples
+    --------
+    >>> from repro.core import SetRecord, get_measure
+    >>> measure = get_measure("jaccard")
+    >>> measure(SetRecord([1, 2, 3]), SetRecord([2, 3, 4]))
+    0.5
+    >>> measure.from_overlap(2, 3, 3)           # same pair, from counts
+    0.5
+    >>> measure.group_upper_bound(covered=2, query_size=3)
+    0.6666666666666666
+    >>> measure.bounds_from_counts([0, 1, 3], query_size=3)
+    array([0.        , 0.33333333, 1.        ])
     """
 
     name: str = "abstract"

@@ -2,11 +2,24 @@
 
 Section 7.2 of the paper leaves parallel/distributed deployment as future
 work; this package supplies the scatter-gather layer: deterministic shard
-placement (:mod:`repro.distributed.sharding`) and the exact sharded engine
-(:class:`ShardedLES3`) with hierarchical shard → group → record bounds.
+placement (:mod:`repro.distributed.sharding`), the exact sharded engine
+(:class:`ShardedLES3`) with hierarchical shard → group → record bounds
+and three execution modes (``parallel="serial"|"thread"|"process"``),
+and the sharded persistence lifecycle
+(:mod:`repro.distributed.persistence`: :func:`save_sharded` /
+:func:`load_sharded`, which also arm the process-pool workers).
 """
 
-from repro.distributed.sharded import ShardedLES3
+from repro.distributed.persistence import load_sharded, save_sharded
+from repro.distributed.sharded import PARALLEL_MODES, ShardedLES3
 from repro.distributed.sharding import SHARD_STRATEGIES, assign_shards, record_shard_hash
 
-__all__ = ["ShardedLES3", "assign_shards", "record_shard_hash", "SHARD_STRATEGIES"]
+__all__ = [
+    "ShardedLES3",
+    "save_sharded",
+    "load_sharded",
+    "assign_shards",
+    "record_shard_hash",
+    "SHARD_STRATEGIES",
+    "PARALLEL_MODES",
+]

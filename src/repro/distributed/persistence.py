@@ -1,0 +1,555 @@
+"""Sharded engine lifecycle: durable saves, parallel loads, process workers.
+
+A :class:`~repro.distributed.sharded.ShardedLES3` persists as one
+directory holding the dataset *once* plus one subdirectory per shard:
+
+    <dir>/
+      manifest.json      # sharded manifest v1: placement policy, shard
+                         # count, measure, verify, per-shard digests
+      dataset.txt        # the global dataset, one set per line
+      shard-0000/
+        manifest.json    # the single-engine v2 manifest (deleted, verify)
+        groups.json      # the shard's groups, *global* record indices
+      shard-0001/
+        ...
+
+Each shard subdirectory reuses the single-engine v2 writer
+(:func:`repro.core.persistence.write_index_files`), so the v2 invariants
+— the ``deleted`` tombstone log and the ``verify`` mode — carry over
+unchanged; only the dataset and the coverage check move up a level
+(shard groups cover the dataset *jointly*, checked globally at load).
+The top-level manifest records a SHA-256 digest of every shard's files,
+so a truncated or tampered shard fails loudly instead of loading a
+wrong-answer engine.  All integrity failures raise
+:class:`~repro.core.persistence.PersistenceError`.
+
+This module also hosts the **process-mode worker**: the ``"process"``
+execution mode of :class:`~repro.distributed.sharded.ShardedLES3` ships
+picklable task descriptors (not closures) to a ``ProcessPoolExecutor``
+whose workers call :func:`run_shard_task` — rehydrating their shard from
+the saved directory on first use and caching it for the rest of the
+pool's life.  Queries travel as external-token payloads
+(:func:`query_payload`) so a worker's independently re-interned token
+universe answers bit-identically to the parent's.
+
+See ``docs/persistence.md`` for the full on-disk format reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import shutil
+from pathlib import Path
+
+from repro.core.columnar import VERIFY_MODES
+from repro.core.dataset import Dataset
+from repro.core.persistence import (
+    SHARDED_MANIFEST_KEY,
+    PersistenceError,
+    check_dataset_digest,
+    check_exact_cover,
+    engine_manifest,
+    file_digest,
+    parse_manifest_state,
+    read_groups,
+    read_index_json,
+    write_index_files,
+)
+from repro.core.sets import SetRecord
+from repro.core.similarity import get_measure
+from repro.core.tgm import TokenGroupMatrix
+from repro.distributed.sharded import (
+    ShardedLES3,
+    _build_concurrently,
+    _shard_knn_batch,
+    _shard_range_batch,
+)
+
+__all__ = [
+    "save_sharded",
+    "load_sharded",
+    "is_sharded_index",
+    "query_payload",
+    "run_shard_task",
+    "SHARDED_FORMAT_VERSION",
+]
+
+SHARDED_FORMAT_VERSION = 1
+
+_SHARD_DIR_PATTERN = re.compile(r"shard-\d{4}$")
+_SHARD_FILES = ("manifest.json", "groups.json")
+
+
+def is_sharded_index(directory: str | Path) -> bool:
+    """True when ``directory`` holds a *sharded* save (vs single-engine).
+
+    The discriminator is the presence of
+    :data:`~repro.core.persistence.SHARDED_MANIFEST_KEY` in the top-level
+    ``manifest.json``.  Unreadable or non-JSON manifests answer False —
+    this is a cheap router (the CLI's auto-detection); the actual loaders
+    do the integrity checking.
+    """
+    manifest = Path(directory) / "manifest.json"
+    if not manifest.is_file():
+        return False
+    try:
+        data = json.loads(manifest.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(data, dict) and SHARDED_MANIFEST_KEY in data
+
+
+def shard_dir_name(shard_id: int) -> str:
+    """Canonical subdirectory name of shard ``shard_id`` (``shard-0042``)."""
+    return f"shard-{shard_id:04d}"
+
+
+def _shard_digest(shard_dir: Path) -> str:
+    """SHA-256 over the shard's files, in fixed order."""
+    digest = hashlib.sha256()
+    for name in _SHARD_FILES:
+        try:
+            digest.update((shard_dir / name).read_bytes())
+        except FileNotFoundError as error:
+            raise PersistenceError(
+                f"shard directory {shard_dir} is missing {name}"
+            ) from error
+    return "sha256:" + digest.hexdigest()
+
+
+# -- save ------------------------------------------------------------------
+
+
+def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
+    """Persist a built sharded engine to ``directory`` (created if missing).
+
+    The global dataset is written once; every shard gets a subdirectory
+    with the standard single-engine v2 ``manifest.json`` (carrying that
+    shard's ``deleted`` tombstones and the engine's ``verify`` mode) and
+    ``groups.json`` (global record indices).  The top-level manifest
+    records the placement policy, the shard count, and a digest of every
+    shard's files.  Stale ``shard-NNNN`` subdirectories from a previous
+    save with more shards are removed.
+
+    On success the engine's :attr:`~repro.distributed.sharded.ShardedLES3.source_dir`
+    is set to ``directory``, which is what arms the ``"process"``
+    execution mode (workers rehydrate from there).
+
+    Parameters
+    ----------
+    engine : ShardedLES3
+        The engine to persist; dataset, shard groups, placement policy,
+        verify mode, and delete log are all captured.
+    directory : str or Path
+        Target directory; created if missing, overwritten if present.
+
+    See Also
+    --------
+    load_sharded : the inverse operation.
+    repro.core.persistence.save_engine : the single-engine variant.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    engine.dataset.save(directory / "dataset.txt")
+    deleted_of_shard: dict[int, list[int]] = {}
+    for record_index, shard_id in engine.removed.items():
+        deleted_of_shard.setdefault(shard_id, []).append(record_index)
+    entries = []
+    for shard_id, tgm in enumerate(engine.tgms):
+        shard_dir = directory / shard_dir_name(shard_id)
+        manifest = engine_manifest(
+            measure=engine.measure.name,
+            backend=tgm.backend,
+            num_records=len(engine.dataset),
+            universe_size=len(engine.dataset.universe),
+            verify=engine.verify,
+            deleted=sorted(deleted_of_shard.get(shard_id, [])),
+        )
+        write_index_files(shard_dir, tgm.group_members, manifest)
+        entries.append(
+            {"directory": shard_dir_name(shard_id), "digest": _shard_digest(shard_dir)}
+        )
+    # A re-save with fewer shards must not leave shard-0007/ lying around
+    # for a hand-rolled reader to trip over; only our own canonical shard
+    # subdirectories are ever removed.
+    for child in directory.iterdir():
+        if (
+            child.is_dir()
+            and _SHARD_DIR_PATTERN.fullmatch(child.name)
+            and child.name not in {entry["directory"] for entry in entries}
+        ):
+            shutil.rmtree(child)
+    top = {
+        "sharded_format_version": SHARDED_FORMAT_VERSION,
+        "num_shards": engine.num_shards,
+        "placement": engine.placement,
+        "measure": engine.measure.name,
+        "verify": engine.verify,
+        "num_records": len(engine.dataset),
+        "universe_size": len(engine.dataset.universe),
+        "dataset_digest": file_digest(directory / "dataset.txt"),
+        "shards": entries,
+    }
+    payload = json.dumps(top, indent=2) + "\n"
+    (directory / "manifest.json").write_text(payload)
+    engine._source_dir = str(directory)
+    engine._source_epoch = hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- load ------------------------------------------------------------------
+
+
+def _read_sharded_manifest(directory: Path) -> dict:
+    manifest = read_index_json(directory / "manifest.json", "sharded manifest")
+    if not isinstance(manifest, dict):
+        raise PersistenceError(f"sharded manifest in {directory} must be a JSON object")
+    if SHARDED_MANIFEST_KEY not in manifest:
+        raise PersistenceError(
+            f"{directory} holds a single-engine index (no {SHARDED_MANIFEST_KEY!r}); "
+            "load it with repro.core.load_engine"
+        )
+    if manifest[SHARDED_MANIFEST_KEY] != SHARDED_FORMAT_VERSION:
+        raise PersistenceError(
+            "unsupported sharded index format version "
+            f"{manifest[SHARDED_MANIFEST_KEY]!r}"
+        )
+    return manifest
+
+
+def _shard_entries(manifest: dict, directory: Path) -> list[Path]:
+    num_shards = manifest.get("num_shards")
+    entries = manifest.get("shards")
+    if not isinstance(num_shards, int) or num_shards < 1:
+        raise PersistenceError(
+            f"sharded manifest 'num_shards' must be a positive integer, got {num_shards!r}"
+        )
+    if not isinstance(entries, list):
+        raise PersistenceError("sharded manifest 'shards' must be a list")
+    if len(entries) != num_shards:
+        raise PersistenceError(
+            f"shard count mismatch: manifest declares {num_shards} shard(s) "
+            f"but lists {len(entries)} shard entr{'y' if len(entries) == 1 else 'ies'}"
+        )
+    shard_dirs = []
+    for shard_id, entry in enumerate(entries):
+        expected_name = shard_dir_name(shard_id)
+        if not isinstance(entry, dict) or entry.get("directory") != expected_name:
+            raise PersistenceError(
+                f"shard entry {shard_id} must reference subdirectory "
+                f"{expected_name!r}, got {entry!r}"
+            )
+        shard_dir = directory / expected_name
+        if not shard_dir.is_dir():
+            raise PersistenceError(
+                f"missing shard subdirectory {expected_name!r} in {directory}"
+            )
+        digest = entry.get("digest")
+        actual = _shard_digest(shard_dir)
+        if digest != actual:
+            raise PersistenceError(
+                f"shard {expected_name!r} digest mismatch (manifest {digest!r}, "
+                f"files {actual!r}) — truncated write or tampering; refusing to load"
+            )
+        shard_dirs.append(shard_dir)
+    return shard_dirs
+
+
+def _read_shard(
+    shard_dir: Path, num_records: int, measure_name: str
+) -> tuple[list[list[int]], str, set[int], str]:
+    """Read one shard subdirectory: ``(groups, backend, deleted, verify)``."""
+    manifest = read_index_json(shard_dir / "manifest.json", "shard manifest")
+    if not isinstance(manifest, dict):
+        raise PersistenceError(f"shard manifest in {shard_dir} must be a JSON object")
+    if manifest.get("format_version") != 2:
+        raise PersistenceError(
+            f"shard manifest in {shard_dir} has unsupported format version "
+            f"{manifest.get('format_version')!r} (sharded saves write v2)"
+        )
+    if manifest.get("measure") != measure_name:
+        raise PersistenceError(
+            f"shard manifest in {shard_dir} is for measure "
+            f"{manifest.get('measure')!r}, top-level manifest says {measure_name!r}"
+        )
+    if manifest.get("num_records") != num_records:
+        raise PersistenceError(
+            f"shard manifest in {shard_dir} says {manifest.get('num_records')!r} "
+            f"records, dataset holds {num_records}"
+        )
+    deleted, verify = parse_manifest_state(manifest, num_records)
+    return read_groups(shard_dir), manifest["backend"], deleted, verify
+
+
+def load_sharded(
+    directory: str | Path,
+    parallel: str | None = None,
+    workers: int | None = None,
+) -> ShardedLES3:
+    """Load a sharded engine persisted by :func:`save_sharded`.
+
+    Every shard's digest is verified, the shard groups plus tombstones
+    must cover the dataset exactly once *globally*, and the per-shard
+    TGMs are rebuilt concurrently (``workers`` threads, defaulting to one
+    per shard up to the core count).  The loaded engine answers
+    knn/range/join queries bit-identically to the engine that was saved,
+    deletes included, and is immediately eligible for
+    ``parallel="process"`` execution (its
+    :attr:`~repro.distributed.sharded.ShardedLES3.source_dir` points at
+    ``directory``).
+
+    Parameters
+    ----------
+    directory : str or Path
+        A directory written by :func:`save_sharded`.
+    parallel : {"serial", "thread", "process"}, optional
+        Default execution mode of the returned engine (``"serial"`` when
+        omitted).
+    workers : int, optional
+        Threads for the concurrent TGM rebuilds.
+
+    Returns
+    -------
+    ShardedLES3
+
+    Raises
+    ------
+    PersistenceError
+        On any integrity failure: unknown format version, shard-count
+        mismatch, missing shard subdirectory, digest mismatch, truncated
+        JSON, measure/record-count inconsistencies, or a coverage
+        violation.
+    FileNotFoundError
+        If ``directory`` (or its top-level manifest/dataset) is absent.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> from repro import Dataset, ShardedLES3
+    >>> from repro.distributed import save_sharded, load_sharded
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> engine = ShardedLES3.build(dataset, num_shards=2, num_groups=2)
+    >>> path = os.path.join(tempfile.mkdtemp(), "sharded-index")
+    >>> save_sharded(engine, path)
+    >>> load_sharded(path).knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
+    """
+    directory = Path(directory)
+    top = _read_sharded_manifest(directory)
+    shard_dirs = _shard_entries(top, directory)
+    check_dataset_digest(top, directory)
+    dataset = Dataset.load(directory / "dataset.txt")
+    if len(dataset) != top.get("num_records"):
+        raise PersistenceError(
+            f"dataset.txt holds {len(dataset)} records, sharded manifest says "
+            f"{top.get('num_records')!r} — index directory is corrupt"
+        )
+    measure_name = top.get("measure")
+    measure = get_measure(measure_name)
+    verify = top.get("verify", "columnar")
+    if verify not in VERIFY_MODES:
+        raise PersistenceError(
+            f"sharded manifest 'verify' must be one of {VERIFY_MODES}, got {verify!r}"
+        )
+    all_groups: list[list[list[int]]] = []
+    backends: list[str] = []
+    removed: dict[int, int] = {}
+    for shard_id, shard_dir in enumerate(shard_dirs):
+        groups, backend, deleted, shard_verify = _read_shard(
+            shard_dir, len(dataset), measure_name
+        )
+        if shard_verify != verify:
+            raise PersistenceError(
+                f"shard manifest in {shard_dir} has verify {shard_verify!r}, "
+                f"top-level manifest says {verify!r}"
+            )
+        all_groups.append(groups)
+        backends.append(backend)
+        for record_index in deleted:
+            if record_index in removed:
+                raise PersistenceError(
+                    f"record {record_index} is tombstoned by more than one shard"
+                )
+            removed[record_index] = shard_id
+    check_exact_cover(
+        [group for groups in all_groups for group in groups],
+        set(removed),
+        len(dataset),
+        "the union of the shard groups",
+    )
+
+    def shard_builder(groups: list[list[int]], backend: str):
+        def build() -> TokenGroupMatrix:
+            return TokenGroupMatrix(dataset, groups, measure, backend)
+
+        return build
+
+    builders = [
+        shard_builder(groups, backend) for groups, backend in zip(all_groups, backends)
+    ]
+    engine = ShardedLES3(
+        dataset,
+        _build_concurrently(builders, workers),
+        measure,
+        verify=verify,
+        parallel=parallel if parallel is not None else "serial",
+    )
+    engine.removed = removed
+    engine.placement = top.get("placement", "custom")
+    engine._source_dir = str(directory)
+    engine._source_epoch = hashlib.sha256(
+        (directory / "manifest.json").read_bytes()
+    ).hexdigest()
+    return engine
+
+
+# -- query payloads (parent process -> worker process) ---------------------
+
+
+def query_payload(dataset: Dataset, query: SetRecord) -> tuple:
+    """Encode a query record as a picklable, universe-independent payload.
+
+    A worker process re-interns the saved ``dataset.txt``, so its token
+    *ids* need not match the parent's — but the saved file stores
+    ``str(token)`` forms, which is exactly the normal form this payload
+    uses.  Known tokens travel as ``(str_form, multiplicity)`` pairs;
+    tokens outside the parent's universe (phantoms — they count towards
+    ``|Q|`` but match nothing) travel as bare multiplicities.  Overlaps,
+    sizes, and therefore similarities are integer/float64-identical on
+    both sides.
+    """
+    universe = dataset.universe
+    universe_size = len(universe)
+    known: list[tuple[str, int]] = []
+    phantom: list[int] = []
+    for token_id, count in sorted(query.counts().items()):
+        if token_id < universe_size:
+            known.append((str(universe.token_of(token_id)), count))
+        else:
+            phantom.append(count)
+    return (known, phantom)
+
+
+def payload_record(dataset: Dataset, payload: tuple) -> SetRecord:
+    """Decode :func:`query_payload` against this process's universe."""
+    known, phantom = payload
+    universe = dataset.universe
+    next_phantom = len(universe)
+    token_ids: list[int] = []
+    for token, count in known:
+        token_id = universe.get_id(token)
+        if token_id is None:
+            token_id = next_phantom
+            next_phantom += 1
+        token_ids.extend([token_id] * count)
+    for count in phantom:
+        token_ids.extend([next_phantom] * count)
+        next_phantom += 1
+    return SetRecord(token_ids)
+
+
+# -- the process-pool worker ----------------------------------------------
+#
+# One cache per worker process, keyed by (directory, epoch): the first
+# task against a saved index loads the dataset (once per directory) and
+# the touched shards (once each); every later task reuses them.  A
+# re-save bumps the epoch (the digest of the top-level manifest), which
+# drops the stale entries.
+
+_worker_datasets: dict[tuple[str, str], Dataset] = {}
+_worker_tgms: dict[tuple[str, str, int], TokenGroupMatrix] = {}
+_worker_profiles: dict[tuple[str, str, int], tuple] = {}
+
+
+def _evict_stale(directory: str, epoch: str) -> None:
+    for cache in (_worker_datasets, _worker_tgms, _worker_profiles):
+        for key in [k for k in cache if k[0] == directory and k[1] != epoch]:
+            del cache[key]
+
+
+def _worker_dataset(directory: str, epoch: str) -> Dataset:
+    key = (directory, epoch)
+    if key not in _worker_datasets:
+        _evict_stale(directory, epoch)
+        _worker_datasets[key] = Dataset.load(Path(directory) / "dataset.txt")
+    return _worker_datasets[key]
+
+
+def _worker_tgm(directory: str, epoch: str, shard_id: int) -> TokenGroupMatrix:
+    key = (directory, epoch, shard_id)
+    if key not in _worker_tgms:
+        dataset = _worker_dataset(directory, epoch)
+        shard_dir = Path(directory) / shard_dir_name(shard_id)
+        manifest = read_index_json(shard_dir / "manifest.json", "shard manifest")
+        groups = read_groups(shard_dir)
+        _worker_tgms[key] = TokenGroupMatrix(
+            dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
+        )
+    return _worker_tgms[key]
+
+
+def _worker_profile(directory: str, epoch: str, shard_id: int) -> tuple:
+    key = (directory, epoch, shard_id)
+    if key not in _worker_profiles:
+        from repro.core.join import group_join_profiles
+
+        dataset = _worker_dataset(directory, epoch)
+        tgm = _worker_tgm(directory, epoch, shard_id)
+        _worker_profiles[key] = group_join_profiles(dataset, tgm.group_members)
+    return _worker_profiles[key]
+
+
+def run_shard_task(directory: str, task: tuple, epoch: str = "") -> object:
+    """Execute one picklable shard task inside a worker process.
+
+    Task descriptors (dispatched by the ``"process"`` execution mode of
+    :class:`~repro.distributed.sharded.ShardedLES3`):
+
+    * ``("knn", shard_id, [(query_id, payload), ...], k, verify)``
+    * ``("range", shard_id, [(query_id, payload), ...], threshold, verify)``
+    * ``("join_self", shard_id, threshold, verify)``
+    * ``("join_between", shard_a, shard_b, threshold, verify)``
+
+    The query kinds return ``[(query_id, matches, stats), ...]``; the
+    join kinds return ``(pairs, stats)``.  All record indices are global
+    (shard groups are stored with global indices), so partials merge
+    without translation.
+    """
+    kind = task[0]
+    dataset = _worker_dataset(directory, epoch)
+    if kind == "knn":
+        _, shard_id, items, k, verify = task
+        tgm = _worker_tgm(directory, epoch, shard_id)
+        batch = [(qid, payload_record(dataset, payload)) for qid, payload in items]
+        return _shard_knn_batch(dataset, tgm, batch, k, tgm.measure, verify)
+    if kind == "range":
+        _, shard_id, items, threshold, verify = task
+        tgm = _worker_tgm(directory, epoch, shard_id)
+        batch = [(qid, payload_record(dataset, payload)) for qid, payload in items]
+        return _shard_range_batch(dataset, tgm, batch, threshold, tgm.measure, verify)
+    if kind == "join_self":
+        from repro.core.join import similarity_self_join
+
+        _, shard_id, threshold, verify = task
+        tgm = _worker_tgm(directory, epoch, shard_id)
+        result = similarity_self_join(
+            dataset, tgm, threshold, verify=verify,
+            profiles=_worker_profile(directory, epoch, shard_id),
+        )
+        return (result.pairs, result.stats)
+    if kind == "join_between":
+        from repro.core.join import similarity_join_between
+
+        _, shard_a, shard_b, threshold, verify = task
+        result = similarity_join_between(
+            dataset,
+            _worker_tgm(directory, epoch, shard_a),
+            _worker_tgm(directory, epoch, shard_b),
+            threshold,
+            verify=verify,
+            profiles_a=_worker_profile(directory, epoch, shard_a),
+            profiles_b=_worker_profile(directory, epoch, shard_b),
+        )
+        return (result.pairs, result.stats)
+    raise ValueError(f"unknown shard task kind {kind!r}")

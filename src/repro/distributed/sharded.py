@@ -16,20 +16,40 @@ of one level), and queries are answered by scatter-gather:
    strictly exceeds a shard's bound, that shard — and every shard after
    it — is skipped *before its per-group bounds are even computed*.
 3. **Gather.**  Surviving shards are searched with the exact same group
-   visit used by the single engine (:func:`repro.core.search`), feeding
-   one shared top-k heap / match list, and the merge applies the
-   canonical ``(-similarity, index)`` tie-break.
+   visit used by the single engine (:func:`repro.core.search`), and the
+   merge applies the canonical ``(-similarity, index)`` tie-break.
 
 Results are therefore *bit-identical* to a single :class:`repro.core.LES3`
 over the same data — same records, same similarities, same order — for
 any shard count, any placement strategy, and any per-shard partitioner.
 Sharding is purely a throughput/scale knob, never a correctness one.
+
+**Execution modes.**  Shard work can run three ways (``parallel=``):
+
+* ``"serial"`` — one thread, shards visited in descending bound order
+  into a shared top-k heap with cross-shard early termination; the
+  lowest-latency mode on one core.
+* ``"thread"`` — surviving shards are searched concurrently in a thread
+  pool over the in-memory TGMs.  Helps when verification is
+  numpy-heavy (the kernel releases the GIL inside BLAS/ufuncs).
+* ``"process"`` — surviving shards are dispatched to a
+  ``ProcessPoolExecutor`` as *picklable task descriptors*; each worker
+  process rehydrates its shard from the engine's saved directory
+  (:func:`repro.distributed.persistence.load_sharded` /
+  :func:`~repro.distributed.persistence.save_sharded`) and caches it
+  across tasks, sidestepping the GIL entirely.
+
+All three modes return bit-identical matches; only the cost counters
+differ (the parallel modes cannot early-terminate across shards, so they
+may verify more candidates than ``"serial"``).  See
+``docs/architecture.md`` for the data-flow picture.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -51,6 +71,7 @@ from repro.core.search import (
     finalize_result,
     knn_heap_matches,
     knn_visit_groups,
+    match_sort_key,
     pad_zero_matches,
     prepare_query,
     query_group_bounds,
@@ -62,7 +83,9 @@ from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set
 from repro.distributed.sharding import assign_shards, lpt_balance
 
-__all__ = ["ShardedLES3"]
+__all__ = ["ShardedLES3", "PARALLEL_MODES"]
+
+PARALLEL_MODES = ("serial", "thread", "process")
 
 
 def _build_concurrently(builders, workers: int | None):
@@ -76,13 +99,120 @@ def _build_concurrently(builders, workers: int | None):
         return [future.result() for future in futures]
 
 
+# -- per-shard partial searches -------------------------------------------
+#
+# Module-level (hence picklable) building blocks of the parallel execution
+# modes: each computes one shard's *complete local answer* for a batch of
+# queries, so partials from different shards can be merged with the
+# canonical (-similarity, index) tie-break without any shared state.  The
+# thread mode calls them directly over the in-memory TGMs; the process
+# mode calls them inside workers that rehydrated the shard from disk
+# (:func:`repro.distributed.persistence.run_shard_task`).
+
+
+def _shard_knn_batch(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    items: list[tuple[int, SetRecord]],
+    k: int,
+    measure: Similarity,
+    verify: str,
+) -> list[tuple[int, list[tuple[int, float]], QueryStats]]:
+    """Shard-local exact top-k (zero-padded) for ``(query_id, query)`` items.
+
+    Every global top-k answer is inside its own shard's local top-k, and
+    the local zero padding keeps the shard's smallest-index zero-similarity
+    members available, so merging the per-shard partials and keeping the
+    global k best under the canonical order reproduces the single-engine
+    answer exactly.
+    """
+    results = []
+    for query_id, query in items:
+        stats = QueryStats()
+        bounds = query_group_bounds(tgm, query, stats)
+        heap: list[tuple[float, int]] = []
+        zero_candidates: list[list[int]] = []
+        verifier = make_verifier(dataset, query, measure, verify)
+        knn_visit_groups(
+            dataset, tgm, query, k, bounds, heap, stats,
+            measure, zero_candidates, verifier,
+        )
+        pad_zero_matches(heap, k, zero_candidates)
+        results.append((query_id, knn_heap_matches(heap), stats))
+    return results
+
+
+def _shard_range_batch(
+    dataset: Dataset,
+    tgm: TokenGroupMatrix,
+    items: list[tuple[int, SetRecord]],
+    threshold: float,
+    measure: Similarity,
+    verify: str,
+) -> list[tuple[int, list[tuple[int, float]], QueryStats]]:
+    """Shard-local range matches for ``(query_id, query)`` items."""
+    results = []
+    for query_id, query in items:
+        stats = QueryStats()
+        bounds = query_group_bounds(tgm, query, stats)
+        matches: list[tuple[int, float]] = []
+        verifier = make_verifier(dataset, query, measure, verify)
+        range_collect_groups(
+            dataset, tgm, query, threshold, bounds, matches, stats, measure, verifier
+        )
+        results.append((query_id, matches, stats))
+    return results
+
+
 class ShardedLES3:
     """Sharded, exact set similarity search over one logical dataset.
 
-    All shards share the global :class:`Dataset` (records and token
-    universe); each shard's TGM owns a disjoint subset of the record
-    indices.  Construct via :meth:`build` (partition from scratch) or
-    :meth:`from_engine` (re-shard an existing single-node engine).
+    All shards share the global :class:`~repro.core.dataset.Dataset`
+    (records and token universe); each shard's TGM owns a disjoint subset
+    of the record indices.  Construct via :meth:`build` (partition from
+    scratch) or :meth:`from_engine` (re-shard an existing single-node
+    engine); persist with
+    :func:`repro.distributed.persistence.save_sharded` and restore with
+    :func:`~repro.distributed.persistence.load_sharded`.
+
+    Parameters
+    ----------
+    dataset : Dataset
+        The shared database of sets.
+    tgms : sequence of TokenGroupMatrix
+        One TGM per shard, over disjoint record subsets of ``dataset``.
+    measure : str or Similarity, default ``"jaccard"``
+        The similarity measure; must match every shard TGM's measure.
+    verify : {"columnar", "scalar"}, default ``"columnar"``
+        Default candidate-verification path (per-query override on every
+        query method); results are bit-identical either way.
+    parallel : {"serial", "thread", "process"}, default ``"serial"``
+        Default execution mode for shard work (per-query override on
+        every query method); results are bit-identical in every mode.
+
+    Attributes
+    ----------
+    placement : str
+        The record-placement policy this engine was built with
+        (``"hash"``/``"size"``/``"range"`` from :meth:`build`, ``"lpt"``
+        from :meth:`from_engine`, ``"custom"`` for hand-built shards);
+        recorded in the sharded manifest on save.
+    removed : dict[int, int]
+        Logically deleted record index → the shard it was removed from
+        (the persistence tombstone log).
+    query_workers : int or None
+        Pool size for the thread/process execution modes; defaults to
+        ``min(num_shards, cpu_count)``.
+
+    Examples
+    --------
+    >>> from repro import Dataset, ShardedLES3
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> sharded = ShardedLES3.build(dataset, num_shards=2, num_groups=2)
+    >>> sharded.knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
+    >>> sharded.range(["x", "y"], threshold=0.5).matches
+    [(2, 1.0)]
     """
 
     def __init__(
@@ -91,13 +221,29 @@ class ShardedLES3:
         tgms: Sequence[TokenGroupMatrix],
         measure: str | Similarity = "jaccard",
         verify: str = "columnar",
+        parallel: str = "serial",
     ) -> None:
         if not tgms:
             raise ValueError("a sharded engine needs at least one shard")
+        if parallel not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
+            )
         self.dataset = dataset
         self.tgms: list[TokenGroupMatrix] = list(tgms)
         self.measure = get_measure(measure)
         self.verify = verify
+        self.parallel = parallel
+        self.placement = "custom"
+        # Logically deleted record index -> shard it was removed from.
+        # Queries never consult this (liveness is group membership); it is
+        # the tombstone log the sharded manifests persist.
+        self.removed: dict[int, int] = {}
+        self.query_workers: int | None = None
+        self._source_dir: str | None = None
+        self._source_epoch: str | None = None
+        self._thread_executor: ThreadPoolExecutor | None = None
+        self._process_executor: ProcessPoolExecutor | None = None
         self._shard_of: dict[int, int] = {}
         self._shard_loads: list[int] = [0] * len(self.tgms)
         for shard_id, tgm in enumerate(self.tgms):
@@ -134,37 +280,49 @@ class ShardedLES3:
         seed: int = 0,
         workers: int | None = None,
         verify: str = "columnar",
+        parallel: str = "serial",
     ) -> "ShardedLES3":
         """Shard the dataset and build one TGM per shard, concurrently.
 
         Parameters
         ----------
-        dataset:
+        dataset : Dataset
             The database of sets (shared, not copied, across shards).
-        num_shards:
+        num_shards : int
             Target shard count ``S``; clipped to the dataset size.
-        num_groups:
+        num_groups : int, optional
             *Total* group budget, split across shards proportionally to
             shard size; defaults to the paper's per-shard rule of thumb.
-        partitioner_factory:
+        partitioner_factory : callable, optional
             ``shard_id -> Partitioner``; each shard needs its own instance
             because partitioners carry training state.  Defaults to the
             L2P cascade seeded per shard.
-        measure, backend, seed:
+        measure, backend, seed :
             As in :meth:`repro.core.LES3.build`.
-        strategy:
-            Record placement — ``"hash"``, ``"size"`` or ``"range"``
-            (see :mod:`repro.distributed.sharding`).
-        workers:
+        strategy : {"hash", "size", "range"}, default ``"hash"``
+            Record placement (see :mod:`repro.distributed.sharding`);
+            recorded as :attr:`placement`.
+        workers : int, optional
             Threads for the concurrent shard builds; defaults to
             ``min(num_shards, cpu_count)``.
+        verify, parallel :
+            Default verification path and execution mode of the engine.
+
+        Returns
+        -------
+        ShardedLES3
+            A built engine answering queries bit-identically to a single
+            :class:`~repro.core.engine.LES3` over the same data.
         """
         measure = get_measure(measure)
         assignments = assign_shards(dataset, num_shards, strategy)
         if not assignments:
-            return cls(
-                dataset, [TokenGroupMatrix(dataset, [], measure, backend)], measure, verify
+            engine = cls(
+                dataset, [TokenGroupMatrix(dataset, [], measure, backend)],
+                measure, verify, parallel,
             )
+            engine.placement = strategy
+            return engine
         if partitioner_factory is None:
             from repro.learn.cascade import L2PPartitioner
 
@@ -191,17 +349,28 @@ class ShardedLES3:
             shard_builder(shard_id, indices)
             for shard_id, indices in enumerate(assignments)
         ]
-        return cls(dataset, _build_concurrently(builders, workers), measure, verify)
+        engine = cls(
+            dataset, _build_concurrently(builders, workers), measure, verify, parallel
+        )
+        engine.placement = strategy
+        return engine
 
     @classmethod
     def from_engine(
-        cls, engine: LES3, num_shards: int, workers: int | None = None
+        cls,
+        engine: LES3,
+        num_shards: int,
+        workers: int | None = None,
+        parallel: str = "serial",
     ) -> "ShardedLES3":
         """Re-shard a built single-node engine without re-partitioning.
 
         The engine's existing groups are balanced across shards (largest
         groups first, each to the lightest shard), preserving the learned
         partitioning — only per-shard TGMs are rebuilt, concurrently.
+        The engine's delete log carries over (tombstones are attributed
+        to shard 0: they belong to no group, so the choice is pure
+        bookkeeping for persistence).
         """
         if num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -219,10 +388,64 @@ class ShardedLES3:
             return build
 
         builders = [shard_builder(assigned) for assigned in shard_groups]
-        return cls(
+        sharded = cls(
             engine.dataset, _build_concurrently(builders, workers), engine.measure,
-            verify=engine.verify,
+            verify=engine.verify, parallel=parallel,
         )
+        sharded.placement = "lpt"
+        sharded.removed = {record_index: 0 for record_index in engine.removed}
+        return sharded
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def source_dir(self) -> str | None:
+        """Directory this engine is persisted in and in sync with, if any.
+
+        Set by :func:`~repro.distributed.persistence.save_sharded` and
+        :func:`~repro.distributed.persistence.load_sharded`; cleared by
+        any in-memory mutation (:meth:`insert` / :meth:`remove`), because
+        the on-disk shards would no longer reproduce this engine.  The
+        ``"process"`` execution mode rehydrates its workers from here.
+        """
+        return self._source_dir
+
+    def _require_source_dir(self) -> str:
+        if self._source_dir is None:
+            raise ValueError(
+                'parallel="process" rehydrates shard workers from disk, but this '
+                "engine has no saved directory in sync with its state — persist it "
+                "with save_sharded(engine, directory) or load it with "
+                "load_sharded(directory) first (inserts/removes invalidate the save)"
+            )
+        return self._source_dir
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_executor is None:
+            workers = self.query_workers or min(self.num_shards, os.cpu_count() or 1)
+            self._thread_executor = ThreadPoolExecutor(max_workers=max(workers, 1))
+        return self._thread_executor
+
+    def _processes(self) -> ProcessPoolExecutor:
+        if self._process_executor is None:
+            workers = self.query_workers or min(self.num_shards, os.cpu_count() or 1)
+            self._process_executor = ProcessPoolExecutor(max_workers=max(workers, 1))
+        return self._process_executor
+
+    def close(self) -> None:
+        """Shut down the lazily created thread/process pools (idempotent)."""
+        for attribute in ("_thread_executor", "_process_executor"):
+            pool = getattr(self, attribute)
+            if pool is not None:
+                pool.shutdown(wait=True)
+                setattr(self, attribute, None)
+
+    def __enter__(self) -> "ShardedLES3":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- introspection -----------------------------------------------------
 
@@ -289,15 +512,175 @@ class ShardedLES3:
                 weighted[i, column_of[token]] = weight
         return weighted @ self._vocab[:, union].T.astype(np.int64)
 
-    # -- kNN ---------------------------------------------------------------
+    def _batch_shard_bound_rows(self, queries: Sequence[SetRecord]) -> list[np.ndarray]:
+        covered = self._batch_shard_covered(queries)
+        return [
+            self.measure.bounds_from_counts(covered[i], len(query))
+            for i, query in enumerate(queries)
+        ]
+
+    # -- mode resolution ---------------------------------------------------
 
     def _verify_mode(self, verify: str | None) -> str:
         return self.verify if verify is None else verify
 
+    def _resolve_parallel(self, parallel: str | None) -> str:
+        mode = self.parallel if parallel is None else parallel
+        if mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {mode!r}; expected one of {PARALLEL_MODES}"
+            )
+        return mode
+
+    # -- parallel scatter-gather (thread / process) ------------------------
+
+    def _presync_columnar(self, verify: str, mode: str) -> None:
+        """Sync the shared CSR view *before* a thread-pool fan-out.
+
+        ``ColumnarView.sync`` mutates the view in place when records were
+        appended since the last sync; letting pool tasks trigger that
+        concurrently would corrupt it under its readers.  Synced here, on
+        the dispatching thread, the tasks only ever read it.
+        """
+        if mode == "thread" and verify == "columnar":
+            self.dataset.columnar()
+
+    def _scatter_batches(
+        self,
+        shard_items: list[list[int]],
+        queries: Sequence[SetRecord],
+        mode: str,
+        make_task,
+        run_local,
+    ):
+        """Dispatch per-shard query batches; yield their partial results.
+
+        ``shard_items[shard_id]`` lists the query positions the shard must
+        answer.  Thread mode runs ``run_local(shard_id, items)`` over the
+        in-memory TGMs; process mode ships ``make_task(shard_id, payloads)``
+        descriptors to workers rehydrated from :attr:`source_dir`.
+        """
+        futures = []
+        if mode == "thread":
+            pool = self._threads()
+            for shard_id, items in enumerate(shard_items):
+                if items:
+                    batch = [(i, queries[i]) for i in items]
+                    futures.append(pool.submit(run_local, shard_id, batch))
+        else:
+            from repro.distributed.persistence import query_payload, run_shard_task
+
+            directory = self._require_source_dir()
+            pool = self._processes()
+            # A query surviving the bound in several shards is encoded once.
+            payload_cache: dict[int, tuple] = {}
+
+            def payload_of(i: int) -> tuple:
+                if i not in payload_cache:
+                    payload_cache[i] = query_payload(self.dataset, queries[i])
+                return payload_cache[i]
+
+            for shard_id, items in enumerate(shard_items):
+                if items:
+                    payloads = [(i, payload_of(i)) for i in items]
+                    futures.append(
+                        pool.submit(
+                            run_shard_task, directory,
+                            make_task(shard_id, payloads), self._source_epoch or "",
+                        )
+                    )
+        for future in futures:
+            yield from future.result()
+
+    def _parallel_knn(
+        self, queries: Sequence[SetRecord], k: int, verify: str, mode: str
+    ) -> list[SearchResult]:
+        """kNN for a batch with per-shard partials merged canonically.
+
+        Shards whose bound is 0 for a query are never dispatched: their
+        members are provably at similarity 0, so the parent contributes
+        the shard's ``k`` smallest member indices as zero-padding
+        candidates directly, exactly like the serial path's
+        :func:`~repro.core.search.pad_zero_matches` would.
+        """
+        self._presync_columnar(verify, mode)
+        bound_rows = self._batch_shard_bound_rows(queries)
+        merged: list[list[tuple[int, float]]] = [[] for _ in queries]
+        stats: list[QueryStats] = [QueryStats() for _ in queries]
+        shard_items: list[list[int]] = [[] for _ in range(self.num_shards)]
+        zero_pads: dict[int, list[tuple[int, float]]] = {}
+        for i in range(len(queries)):
+            for shard_id, tgm in enumerate(self.tgms):
+                if bound_rows[i][shard_id] > 0.0:
+                    shard_items[shard_id].append(i)
+                    continue
+                if shard_id not in zero_pads:
+                    zero_pads[shard_id] = [
+                        (index, 0.0)
+                        for index in heapq.nsmallest(
+                            k, (m for members in tgm.group_members for m in members)
+                        )
+                    ]
+                merged[i].extend(zero_pads[shard_id])
+                stats[i].groups_pruned += tgm.num_groups
+
+        def run_local(shard_id: int, batch):
+            return _shard_knn_batch(
+                self.dataset, self.tgms[shard_id], batch, k, self.measure, verify
+            )
+
+        def make_task(shard_id: int, payloads):
+            return ("knn", shard_id, payloads, k, verify)
+
+        for query_id, matches, partial_stats in self._scatter_batches(
+            shard_items, queries, mode, make_task, run_local
+        ):
+            merged[query_id].extend(matches)
+            stats[query_id].merge(partial_stats)
+        return [
+            finalize_result(sorted(merged[i], key=match_sort_key)[:k], stats[i])
+            for i in range(len(queries))
+        ]
+
+    def _parallel_range(
+        self, queries: Sequence[SetRecord], threshold: float, verify: str, mode: str
+    ) -> list[SearchResult]:
+        """Range search for a batch with per-shard partials concatenated."""
+        self._presync_columnar(verify, mode)
+        bound_rows = self._batch_shard_bound_rows(queries)
+        merged: list[list[tuple[int, float]]] = [[] for _ in queries]
+        stats: list[QueryStats] = [QueryStats() for _ in queries]
+        shard_items: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for i in range(len(queries)):
+            for shard_id, tgm in enumerate(self.tgms):
+                if bound_rows[i][shard_id] >= threshold:
+                    shard_items[shard_id].append(i)
+                else:
+                    stats[i].groups_pruned += tgm.num_groups
+
+        def run_local(shard_id: int, batch):
+            return _shard_range_batch(
+                self.dataset, self.tgms[shard_id], batch, threshold, self.measure, verify
+            )
+
+        def make_task(shard_id: int, payloads):
+            return ("range", shard_id, payloads, threshold, verify)
+
+        for query_id, matches, partial_stats in self._scatter_batches(
+            shard_items, queries, mode, make_task, run_local
+        ):
+            merged[query_id].extend(matches)
+            stats[query_id].merge(partial_stats)
+        return [
+            finalize_result(merged[i], stats[i]) for i in range(len(queries))
+        ]
+
+    # -- kNN ---------------------------------------------------------------
+
     def _gather_knn(
         self, query: SetRecord, k: int, bounds: np.ndarray, verify: str
     ) -> SearchResult:
-        """Scatter-gather kNN given precomputed shard bounds (exact).
+        """Serial scatter-gather kNN given precomputed shard bounds (exact).
 
         The verification kernel (its per-query token scatter) is built
         once and shared by every surviving shard's group visit.
@@ -331,33 +714,51 @@ class ShardedLES3:
         return finalize_result(knn_heap_matches(heap), stats)
 
     def knn_record(
-        self, query: SetRecord, k: int, verify: str | None = None
+        self,
+        query: SetRecord,
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """kNN search with a pre-interned query record."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        return self._gather_knn(
-            query, k, self.shard_bounds(query), self._verify_mode(verify)
-        )
+        mode = self._resolve_parallel(parallel)
+        if mode == "serial":
+            return self._gather_knn(
+                query, k, self.shard_bounds(query), self._verify_mode(verify)
+            )
+        return self._parallel_knn([query], k, self._verify_mode(verify), mode)[0]
 
     def knn(
-        self, query_tokens: Sequence[Hashable], k: int, verify: str | None = None
+        self,
+        query_tokens: Sequence[Hashable],
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """kNN search over external tokens."""
-        return self.knn_record(as_query_record(self.dataset, query_tokens), k, verify)
+        return self.knn_record(
+            as_query_record(self.dataset, query_tokens), k, verify, parallel
+        )
 
     def batch_knn_record(
-        self, queries: Sequence[SetRecord], k: int, verify: str | None = None
+        self,
+        queries: Sequence[SetRecord],
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> list[SearchResult]:
         """kNN for every query; shard scoring is one matrix product."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        covered = self._batch_shard_covered(queries)
-        mode = self._verify_mode(verify)
+        mode = self._resolve_parallel(parallel)
+        if mode != "serial":
+            return self._parallel_knn(queries, k, self._verify_mode(verify), mode)
+        bound_rows = self._batch_shard_bound_rows(queries)
+        verify = self._verify_mode(verify)
         return [
-            self._gather_knn(
-                query, k, self.measure.bounds_from_counts(covered[i], len(query)), mode
-            )
+            self._gather_knn(query, k, bound_rows[i], verify)
             for i, query in enumerate(queries)
         ]
 
@@ -371,7 +772,7 @@ class ShardedLES3:
         verify: str,
         precomputed: dict[int, np.ndarray] | None = None,
     ) -> SearchResult:
-        """Scatter-gather range search given precomputed shard bounds."""
+        """Serial scatter-gather range search given precomputed shard bounds."""
         stats = QueryStats()
         matches: list[tuple[int, float]] = []
         verifier = make_verifier(self.dataset, query, self.measure, verify)
@@ -391,49 +792,62 @@ class ShardedLES3:
         return finalize_result(matches, stats)
 
     def range_record(
-        self, query: SetRecord, threshold: float, verify: str | None = None
+        self,
+        query: SetRecord,
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """Range search with a pre-interned query record."""
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
-        return self._gather_range(
-            query, threshold, self.shard_bounds(query), self._verify_mode(verify)
-        )
+        mode = self._resolve_parallel(parallel)
+        if mode == "serial":
+            return self._gather_range(
+                query, threshold, self.shard_bounds(query), self._verify_mode(verify)
+            )
+        return self._parallel_range([query], threshold, self._verify_mode(verify), mode)[0]
 
     def range(
         self,
         query_tokens: Sequence[Hashable],
         threshold: float,
         verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """Range search over external tokens."""
         return self.range_record(
-            as_query_record(self.dataset, query_tokens), threshold, verify
+            as_query_record(self.dataset, query_tokens), threshold, verify, parallel
         )
 
     def batch_range_record(
-        self, queries: Sequence[SetRecord], threshold: float, verify: str | None = None
+        self,
+        queries: Sequence[SetRecord],
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> list[SearchResult]:
         """Range search for every query.
 
-        Shard scoring is one matrix product for the whole batch; each
-        shard's per-group scoring then runs only for the queries the
-        shard-level bound could not prune — on the dense backend as one
-        (sub-batch × tokens) product per shard.
+        Shard scoring is one matrix product for the whole batch.  In the
+        serial mode each shard's per-group scoring then runs only for the
+        queries the shard-level bound could not prune — on the dense
+        backend as one (sub-batch × tokens) product per shard; the
+        thread/process modes dispatch the same sub-batches to the pool
+        and merge the partial match lists canonically.
         """
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
-        covered = self._batch_shard_covered(queries)
-        shard_bound_rows = [
-            self.measure.bounds_from_counts(covered[i], len(query))
-            for i, query in enumerate(queries)
-        ]
+        mode = self._resolve_parallel(parallel)
+        if mode != "serial":
+            return self._parallel_range(queries, threshold, self._verify_mode(verify), mode)
+        bound_rows = self._batch_shard_bound_rows(queries)
         # Per shard: batch-score the surviving sub-batch of queries.
         per_query_bounds: list[dict[int, np.ndarray]] = [{} for _ in queries]
         for shard_id, tgm in enumerate(self.tgms):
             survivors = [
                 i for i in range(len(queries))
-                if shard_bound_rows[i][shard_id] >= threshold
+                if bound_rows[i][shard_id] >= threshold
             ]
             if not survivors:
                 continue
@@ -442,17 +856,22 @@ class ShardedLES3:
                 per_query_bounds[i][shard_id] = self.measure.bounds_from_counts(
                     counts[row], len(queries[i])
                 )
-        mode = self._verify_mode(verify)
+        verify = self._verify_mode(verify)
         return [
             self._gather_range(
-                query, threshold, shard_bound_rows[i], mode, per_query_bounds[i]
+                query, threshold, bound_rows[i], verify, per_query_bounds[i]
             )
             for i, query in enumerate(queries)
         ]
 
     # -- self-join ---------------------------------------------------------
 
-    def join(self, threshold: float, verify: str | None = None) -> JoinResult:
+    def join(
+        self,
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> JoinResult:
         """Exact similarity self-join over all shards (scatter-gather).
 
         Within-shard pairs come from each shard's own
@@ -466,9 +885,13 @@ class ShardedLES3:
         sizes, so the shard-pair bound dominates every group-pair bound
         it covers.  Shards tile the record pairs exactly once, so the
         sorted result is bit-identical to a single-engine join for any
-        shard count, placement, or per-shard partitioner.
+        shard count, placement, or per-shard partitioner — and for any
+        execution mode: the thread/process modes dispatch the same
+        within-shard and shard-pair tasks to a pool instead of running
+        them inline.
         """
         mode = self._verify_mode(verify)
+        execution = self._resolve_parallel(parallel)
         stats = QueryStats()
         pairs: list[tuple[int, int, float]] = []
         # One group profile per shard, shared by the within-shard joins and
@@ -487,17 +910,11 @@ class ShardedLES3:
             live = group_mins[group_mins > 0]  # empty groups profile as 0
             min_sizes.append(int(live.min()) if live.size else 0)
             live_groups.append(int(live.size))
-        for shard_id, tgm in enumerate(self.tgms):
-            if min_sizes[shard_id] == 0:  # no live records in this shard
-                continue
-            result = similarity_self_join(
-                self.dataset, tgm, threshold, verify=mode, profiles=profiles[shard_id]
-            )
-            pairs.extend(result.pairs)
-            stats.merge(result.stats)
-        for s in range(self.num_shards):
-            if min_sizes[s] == 0:
-                continue
+        self_tasks = [
+            shard_id for shard_id in range(self.num_shards) if min_sizes[shard_id] > 0
+        ]
+        pair_tasks: list[tuple[int, int]] = []
+        for s in self_tasks:
             for t in range(s + 1, self.num_shards):
                 if min_sizes[t] == 0:
                     continue
@@ -516,12 +933,66 @@ class ShardedLES3:
                     stats.groups_scored += covered
                     stats.groups_pruned += covered
                     continue
-                result = similarity_join_between(
+                pair_tasks.append((s, t))
+        results: list[JoinResult]
+        if execution == "serial":
+            results = [
+                similarity_self_join(
+                    self.dataset, self.tgms[s], threshold, verify=mode,
+                    profiles=profiles[s],
+                )
+                for s in self_tasks
+            ] + [
+                similarity_join_between(
                     self.dataset, self.tgms[s], self.tgms[t], threshold, verify=mode,
                     profiles_a=profiles[s], profiles_b=profiles[t],
                 )
-                pairs.extend(result.pairs)
-                stats.merge(result.stats)
+                for s, t in pair_tasks
+            ]
+        elif execution == "thread":
+            self._presync_columnar(mode, execution)
+            pool = self._threads()
+            futures = [
+                pool.submit(
+                    similarity_self_join,
+                    self.dataset, self.tgms[s], threshold, verify=mode,
+                    profiles=profiles[s],
+                )
+                for s in self_tasks
+            ] + [
+                pool.submit(
+                    similarity_join_between,
+                    self.dataset, self.tgms[s], self.tgms[t], threshold, verify=mode,
+                    profiles_a=profiles[s], profiles_b=profiles[t],
+                )
+                for s, t in pair_tasks
+            ]
+            results = [future.result() for future in futures]
+        else:
+            from repro.distributed.persistence import run_shard_task
+
+            directory = self._require_source_dir()
+            pool = self._processes()
+            epoch = self._source_epoch or ""
+            futures = [
+                pool.submit(
+                    run_shard_task, directory, ("join_self", s, threshold, mode), epoch
+                )
+                for s in self_tasks
+            ] + [
+                pool.submit(
+                    run_shard_task, directory,
+                    ("join_between", s, t, threshold, mode), epoch,
+                )
+                for s, t in pair_tasks
+            ]
+            results = [
+                JoinResult(task_pairs, task_stats)
+                for task_pairs, task_stats in (future.result() for future in futures)
+            ]
+        for result in results:
+            pairs.extend(result.pairs)
+            stats.merge(result.stats)
         pairs.sort()
         stats.result_size = len(pairs)
         return JoinResult(pairs, stats)
@@ -533,7 +1004,9 @@ class ShardedLES3:
 
         Returns ``(record_index, shard_id, group_id)``.  Within the target
         shard the group is chosen exactly like the single engine's
-        insertion (highest bound, ties to the smallest group).
+        insertion (highest bound, ties to the smallest group).  Mutating
+        the engine invalidates :attr:`source_dir` (the on-disk shards no
+        longer reproduce this state) until the next ``save_sharded``.
         """
         loads = self._shard_loads
         shard_id = min(range(self.num_shards), key=lambda s: (loads[s], s))
@@ -547,6 +1020,8 @@ class ShardedLES3:
             extra = np.zeros((self.num_shards, width - self._vocab.shape[1]), dtype=bool)
             self._vocab = np.concatenate([self._vocab, extra], axis=1)
         self._vocab[shard_id, list(record.distinct)] = True
+        self._source_dir = None
+        self._source_epoch = None
         return record_index, shard_id, group_id
 
     def remove(self, record_index: int) -> tuple[int, int]:
@@ -554,6 +1029,8 @@ class ShardedLES3:
 
         Like the single engine, vocabulary bits linger until a rebuild —
         sound (bounds only loosen), and a shard rebuild restores tightness.
+        The tombstone is logged in :attr:`removed` so the next
+        ``save_sharded`` persists it; :attr:`source_dir` is invalidated.
         """
         shard_id = self._shard_of.get(record_index)
         if shard_id is None:
@@ -561,6 +1038,9 @@ class ShardedLES3:
         group_id = self.tgms[shard_id].unregister(record_index)
         del self._shard_of[record_index]
         self._shard_loads[shard_id] -= 1
+        self.removed[record_index] = shard_id
+        self._source_dir = None
+        self._source_epoch = None
         return shard_id, group_id
 
     def __repr__(self) -> str:

@@ -42,6 +42,11 @@ def lpt_balance(sizes: list[int], num_bins: int) -> list[list[int]]:
     item indices per bin.  This single definition of the balance policy is
     shared by the ``"size"`` record placement and the group re-balancing
     of ``ShardedLES3.from_engine``.
+
+    Examples
+    --------
+    >>> lpt_balance([5, 3, 3, 2], num_bins=2)   # loads: [5, 3+3] then 2 -> bin 0
+    [[0, 3], [1, 2]]
     """
     bins: list[list[int]] = [[] for _ in range(num_bins)]
     loads = [0] * num_bins
@@ -96,6 +101,27 @@ def assign_shards(
 
     Every record lands in exactly one shard; empty shards are dropped (a
     dataset smaller than ``num_shards`` yields fewer shards).
+
+    Parameters
+    ----------
+    dataset : Dataset
+        The database to place.
+    num_shards : int
+        Target shard count (positive).
+    strategy : {"hash", "size", "range"}, default ``"hash"``
+        Placement policy; exactness never depends on it.
+
+    Returns
+    -------
+    list of list of int
+        Disjoint record-index lists covering the dataset exactly once.
+
+    Examples
+    --------
+    >>> from repro import Dataset
+    >>> dataset = Dataset.from_token_lists([["a"], ["b"], ["a", "b"], ["c"]])
+    >>> assign_shards(dataset, 2, strategy="range")  # by minimum token id
+    [[0, 2], [1, 3]]
     """
     if num_shards < 1:
         raise ValueError(f"num_shards must be positive, got {num_shards}")

@@ -210,3 +210,22 @@ class TestCorruptionDetection:
     def test_missing_directory(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_engine(tmp_path / "nope")
+
+    def test_tampered_dataset_same_count(self, engine, tmp_path):
+        """Editing dataset.txt without changing the record count is caught."""
+        save_engine(engine, tmp_path / "index")
+        data_path = tmp_path / "index" / "dataset.txt"
+        lines = data_path.read_text().splitlines()
+        lines[0] = "totally different tokens"
+        data_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="digest"):
+            load_engine(tmp_path / "index")
+
+    def test_digestless_v2_manifest_still_loads(self, engine, tmp_path):
+        """Saves written before dataset_digest existed skip the check."""
+        save_engine(engine, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["dataset_digest"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_engine(tmp_path / "index").tgm.num_groups == engine.tgm.num_groups

@@ -1,0 +1,199 @@
+"""Execution modes: serial, thread, and process must be bit-identical.
+
+``parallel=`` is a throughput knob like sharding itself — for every
+query kind (single, batch, join), every mode must return the same
+records with the same similarities in the same order.  The process mode
+additionally exercises the worker-rehydration path: queries travel as
+picklable payloads and the workers answer from shards reloaded off disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import zipf_dataset
+from repro.distributed import ShardedLES3, load_sharded, save_sharded
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import perturbed_queries, sample_queries
+
+
+def minitoken_factory(shard_id: int) -> MinTokenPartitioner:
+    return MinTokenPartitioner()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return zipf_dataset(160, 240, (2, 8), seed=29)
+
+
+@pytest.fixture(scope="module")
+def engine(dataset):
+    return ShardedLES3.build(
+        dataset, 4, num_groups=10,
+        partitioner_factory=minitoken_factory, strategy="range",
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return sample_queries(dataset, 10, seed=1) + perturbed_queries(dataset, 6, seed=2)
+
+
+@pytest.fixture(scope="module")
+def saved_engine(engine, tmp_path_factory):
+    """The engine, armed for process mode by a save (module-scoped pool)."""
+    save_sharded(engine, tmp_path_factory.mktemp("parallel") / "idx")
+    yield engine
+    engine.close()
+
+
+class TestThreadMode:
+    def test_knn_identical(self, engine, queries):
+        for query in queries:
+            for k in (1, 3, 10):
+                assert (
+                    engine.knn_record(query, k, parallel="thread").matches
+                    == engine.knn_record(query, k).matches
+                )
+
+    def test_range_identical(self, engine, queries):
+        for query in queries:
+            for threshold in (0.0, 0.3, 0.7, 1.0):
+                assert (
+                    engine.range_record(query, threshold, parallel="thread").matches
+                    == engine.range_record(query, threshold).matches
+                )
+
+    def test_batch_identical(self, engine, queries):
+        serial_knn = [r.matches for r in engine.batch_knn_record(queries, 5)]
+        serial_range = [r.matches for r in engine.batch_range_record(queries, 0.4)]
+        assert [
+            r.matches for r in engine.batch_knn_record(queries, 5, parallel="thread")
+        ] == serial_knn
+        assert [
+            r.matches
+            for r in engine.batch_range_record(queries, 0.4, parallel="thread")
+        ] == serial_range
+
+    def test_join_identical(self, engine):
+        for threshold in (0.3, 0.6, 0.9):
+            assert (
+                engine.join(threshold, parallel="thread").pairs
+                == engine.join(threshold).pairs
+            )
+
+    def test_k_exceeding_database(self, engine, dataset, queries):
+        k = len(dataset.records) + 10
+        for query in queries[:3]:
+            assert (
+                engine.knn_record(query, k, parallel="thread").matches
+                == engine.knn_record(query, k).matches
+            )
+
+    def test_scalar_verify_composes(self, engine, queries):
+        for query in queries[:4]:
+            assert (
+                engine.knn_record(query, 5, verify="scalar", parallel="thread").matches
+                == engine.knn_record(query, 5).matches
+            )
+
+
+class TestProcessMode:
+    def test_knn_identical(self, saved_engine, queries):
+        for query in queries[:8]:
+            for k in (1, 5):
+                assert (
+                    saved_engine.knn_record(query, k, parallel="process").matches
+                    == saved_engine.knn_record(query, k).matches
+                )
+
+    def test_batch_identical(self, saved_engine, queries):
+        assert [
+            r.matches
+            for r in saved_engine.batch_knn_record(queries, 5, parallel="process")
+        ] == [r.matches for r in saved_engine.batch_knn_record(queries, 5)]
+        assert [
+            r.matches
+            for r in saved_engine.batch_range_record(queries, 0.4, parallel="process")
+        ] == [r.matches for r in saved_engine.batch_range_record(queries, 0.4)]
+
+    def test_join_identical(self, saved_engine):
+        assert (
+            saved_engine.join(0.5, parallel="process").pairs
+            == saved_engine.join(0.5).pairs
+        )
+
+    def test_unknown_token_queries(self, saved_engine):
+        """Phantom tokens survive the payload round trip (count to |Q|)."""
+        for tokens in (["nope"], ["nope", "nada"], [0, "ghost", "ghost"]):
+            assert (
+                saved_engine.knn(tokens, 5, parallel="process").matches
+                == saved_engine.knn(tokens, 5).matches
+            )
+            assert (
+                saved_engine.range(tokens, 0.1, parallel="process").matches
+                == saved_engine.range(tokens, 0.1).matches
+            )
+
+    def test_loaded_engine_is_armed(self, saved_engine, queries):
+        with load_sharded(saved_engine.source_dir, parallel="process") as loaded:
+            local = sample_queries(loaded.dataset, 6, seed=7)
+            assert [
+                r.matches for r in loaded.batch_knn_record(local, 5)
+            ] == [r.matches for r in loaded.batch_knn_record(local, 5, parallel=None)]
+            # parallel=None resolves to the engine default ("process").
+            assert loaded.parallel == "process"
+            assert [
+                r.matches
+                for r in loaded.batch_knn_record(local, 5, parallel="serial")
+            ] == [r.matches for r in loaded.batch_knn_record(local, 5)]
+
+
+class TestModeResolution:
+    def test_unknown_mode_rejected(self, engine, queries):
+        with pytest.raises(ValueError, match="parallel mode"):
+            engine.knn_record(queries[0], 3, parallel="gpu")
+        with pytest.raises(ValueError, match="parallel mode"):
+            ShardedLES3(engine.dataset, engine.tgms, engine.measure, parallel="gpu")
+
+    def test_process_without_save_rejected(self, dataset, queries):
+        fresh = ShardedLES3.build(
+            dataset, 2, num_groups=6, partitioner_factory=minitoken_factory
+        )
+        with pytest.raises(ValueError, match="save_sharded"):
+            fresh.knn_record(queries[0], 3, parallel="process")
+
+    def test_mutation_disarms_process_mode(self, dataset, queries, tmp_path):
+        fresh = ShardedLES3.build(
+            dataset, 2, num_groups=6, partitioner_factory=minitoken_factory
+        )
+        save_sharded(fresh, tmp_path / "idx")
+        fresh.insert(["brand", "new"])
+        with pytest.raises(ValueError, match="save_sharded"):
+            fresh.knn_record(queries[0], 3, parallel="process")
+        # Re-saving re-arms it, with the new record visible to the workers.
+        save_sharded(fresh, tmp_path / "idx")
+        with fresh:
+            assert (
+                fresh.knn(["brand", "new"], 1, parallel="process").matches
+                == fresh.knn(["brand", "new"], 1).matches
+            )
+
+    def test_default_mode_attribute(self, dataset):
+        engine = ShardedLES3.build(
+            dataset, 2, num_groups=6,
+            partitioner_factory=minitoken_factory, parallel="thread",
+        )
+        local = sample_queries(dataset, 4, seed=3)
+        # parallel=None on the call resolves to the engine's default.
+        assert [
+            r.matches for r in engine.batch_knn_record(local, 3)
+        ] == [r.matches for r in engine.batch_knn_record(local, 3, parallel="serial")]
+        engine.close()
+
+    def test_close_is_idempotent(self, dataset):
+        engine = ShardedLES3.build(
+            dataset, 2, num_groups=6, partitioner_factory=minitoken_factory
+        )
+        engine.close()
+        engine.close()

@@ -209,6 +209,112 @@ class TestSharded:
         assert "threshold" in capsys.readouterr().err
 
 
+@pytest.fixture(scope="module")
+def sharded_dir(tmp_path_factory, index_dir):
+    sharded = tmp_path_factory.mktemp("cli") / "sharded"
+    assert main(["save", str(index_dir), str(sharded), "--shards", "3"]) == 0
+    return sharded
+
+
+class TestShardedLifecycle:
+    def test_save_writes_sharded_layout(self, sharded_dir):
+        assert (sharded_dir / "manifest.json").exists()
+        assert (sharded_dir / "dataset.txt").exists()
+        assert (sharded_dir / "shard-0000" / "groups.json").exists()
+        assert (sharded_dir / "shard-0002" / "manifest.json").exists()
+
+    def test_load_summarizes_both_kinds(self, index_dir, sharded_dir, capsys):
+        assert main(["load", str(sharded_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "sharded index" in out and "3 shard(s)" in out
+        assert main(["load", str(index_dir)]) == 0
+        assert "single-engine index" in capsys.readouterr().out
+
+    def test_load_reports_saved_verify_mode(self, tmp_path, index_dir, capsys):
+        """The summary shows the persisted verify mode, not the CLI default."""
+        from repro.core import load_engine, save_engine
+
+        engine = load_engine(index_dir)
+        engine.verify = "scalar"
+        save_engine(engine, tmp_path / "scalar-index")
+        assert main(["load", str(tmp_path / "scalar-index")]) == 0
+        assert "verify 'scalar'" in capsys.readouterr().out
+
+    def test_sharded_queries_identical_to_single(self, index_dir, sharded_dir,
+                                                 data_file, capsys):
+        query = data_file.read_text().splitlines()[0]
+        assert main(["knn", str(index_dir), "--query", query, "-k", "4"]) == 0
+        single = capsys.readouterr().out
+        for parallel in ("serial", "thread", "process"):
+            args = ["knn", str(sharded_dir), "--query", query, "-k", "4",
+                    "--parallel", parallel]
+            assert main(args) == 0
+            assert capsys.readouterr().out == single
+
+    def test_join_on_sharded_dir(self, index_dir, sharded_dir, capsys):
+        assert main(["join", str(index_dir), "--threshold", "0.8"]) == 0
+        single = capsys.readouterr().out
+        assert main(["join", str(sharded_dir), "--threshold", "0.8",
+                     "--parallel", "process"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_bench_on_sharded_dir(self, sharded_dir, capsys):
+        assert main(["bench", str(sharded_dir), "--queries", "10", "-k", "3",
+                     "--threshold", "0.6", "--parallel", "process"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out and "parallel=process" in out
+
+    def test_validate_sharded(self, sharded_dir, capsys):
+        assert main(["validate", str(sharded_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0000" in out and out.strip().endswith("index OK")
+
+    def test_validate_sharded_corrupt(self, tmp_path, index_dir, capsys):
+        sharded = tmp_path / "corrupt"
+        assert main(["save", str(index_dir), str(sharded), "--shards", "2"]) == 0
+        capsys.readouterr()
+        manifest = sharded / "shard-0001" / "manifest.json"
+        manifest.write_text(manifest.read_text()[:30])
+        assert main(["validate", str(sharded)]) == 2
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_save_rejects_sharded_input(self, sharded_dir, tmp_path, capsys):
+        assert main(["save", str(sharded_dir), str(tmp_path / "again"),
+                     "--shards", "2"]) == 1
+        assert "already a sharded index" in capsys.readouterr().err
+
+    def test_save_rejects_nonpositive_shards(self, index_dir, tmp_path, capsys):
+        assert main(["save", str(index_dir), str(tmp_path / "out"),
+                     "--shards", "0"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_reshard_of_sharded_dir_rejected(self, sharded_dir, capsys):
+        assert main(["knn", str(sharded_dir), "--query", "a", "-k", "1",
+                     "--shards", "4"]) == 1
+        assert "already" in capsys.readouterr().err
+
+    def test_process_mode_needs_sharded_dir(self, index_dir, capsys):
+        assert main(["knn", str(index_dir), "--query", "a", "-k", "1",
+                     "--parallel", "process"]) == 1
+        assert "repro save" in capsys.readouterr().err
+        assert main(["bench", str(index_dir), "--queries", "5",
+                     "--parallel", "process"]) == 1
+        assert "repro save" in capsys.readouterr().err
+
+    def test_thread_mode_needs_shards(self, index_dir, capsys):
+        assert main(["knn", str(index_dir), "--query", "a", "-k", "1",
+                     "--parallel", "thread"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_thread_mode_with_reshard(self, index_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[1]
+        assert main(["knn", str(index_dir), "--query", query, "-k", "3"]) == 0
+        single = capsys.readouterr().out
+        assert main(["knn", str(index_dir), "--query", query, "-k", "3",
+                     "--shards", "2", "--parallel", "thread"]) == 0
+        assert capsys.readouterr().out == single
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
