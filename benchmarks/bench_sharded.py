@@ -13,6 +13,14 @@ S ∈ {1, 4, 8} with locality-preserving (``"range"``) placement, then
   it (process workers are rehydrated from the saved directory, so this
   also times the real worker path, payload conversion included).
 
+Each shard count also measures the **out-of-core load paths**: every
+load mode (``"memory"``, ``"mmap"``, ``"lazy"``) runs in a fresh
+subprocess that reports wall-clock load time and the resident-set (RSS)
+delta the load caused, and the mmap-loaded engine's serial query
+throughput is compared against the in-memory one (matches asserted
+bit-identical first).  ``--mode`` picks which load path the execution-mode
+benchmark itself runs on.
+
 Every combination is asserted bit-identical before any number is
 reported, and the save → load round trip is asserted bit-identical at
 every shard count.  Each run appends one entry to the
@@ -20,19 +28,23 @@ every shard count.  Each run appends one entry to the
 
     PYTHONPATH=src python benchmarks/bench_sharded.py          # full size
     PYTHONPATH=src python benchmarks/bench_sharded.py --smoke  # CI-tiny
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke --mode mmap
 
-The script exits non-zero if any mode or any shard count ever disagrees,
-or (full size, machines with ≥ 4 cores) if the best process-mode range
-speedup over serial at the same S drops below 1.1x.  On smaller machines
-the speedup is recorded but not enforced — a one-core container cannot
-demonstrate process parallelism, only its overhead.
+The script exits non-zero if any mode or any shard count ever disagrees;
+on full-size runs it additionally enforces (machines with ≥ 4 cores) the
+1.1x process-mode range speedup bar, and — any machine — that the
+mmap-backed loads (``mmap`` or ``lazy``) beat the in-memory load by ≥ 5x
+on load time or resident memory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -48,8 +60,96 @@ from repro.workloads import sample_queries
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
 SHARD_COUNTS = (1, 4, 8)
 MODES = ("serial", "thread", "process")
+LOAD_MODES = ("memory", "mmap", "lazy")
 K = 10
 THRESHOLD = 0.6
+
+# Runs in a fresh interpreter per (directory, load mode): the parent's heap
+# would drown the signal, a child's RSS delta is exactly what the load costs.
+_MEASURE_SNIPPET = """\
+import json, sys, time
+
+def rss_bytes():
+    try:
+        with open('/proc/self/status') as handle:
+            for line in handle:
+                if line.startswith('VmRSS:'):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource  # non-Linux fallback: peak RSS (coarser, still a delta)
+    scale = 1024 if sys.platform != 'darwin' else 1
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
+
+from repro.distributed import load_sharded
+
+directory, mode = sys.argv[1], sys.argv[2]
+before = rss_bytes()
+start = time.perf_counter()
+engine = load_sharded(directory, mode=mode)
+cold_seconds = time.perf_counter() - start
+rss_delta = rss_bytes() - before
+# The second load times the load path itself, free of one-shot interpreter
+# and library initialization; the first engine is dropped so the modes'
+# steady-state numbers stay comparable.
+del engine
+start = time.perf_counter()
+engine = load_sharded(directory, mode=mode)
+seconds = time.perf_counter() - start
+print(json.dumps({
+    'seconds': seconds,
+    'cold_seconds': cold_seconds,
+    'rss_bytes': rss_delta,
+}))
+"""
+
+
+def measure_load(directory: Path, mode: str) -> dict:
+    """Load time and RSS delta of one load mode, in a fresh subprocess."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(filter(None, [src, env.get("PYTHONPATH")]))
+    result = subprocess.run(
+        [sys.executable, "-c", _MEASURE_SNIPPET, str(directory), mode],
+        capture_output=True, text=True, env=env,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"load measurement ({mode}) failed: {result.stderr}")
+    return json.loads(result.stdout)
+
+
+def bench_load_paths(index_dir: Path, loaded: ShardedLES3, queries) -> dict:
+    """Per-mode load cost plus mmap-vs-memory serial query throughput.
+
+    ``loaded`` is the already-loaded in-memory reference engine; the
+    mmap engine's batch answers are asserted bit-identical to it before
+    any throughput is reported.
+    """
+    out: dict = {mode: measure_load(index_dir, mode) for mode in LOAD_MODES}
+    memory = out["memory"]
+    for mode in ("mmap", "lazy"):
+        out[f"{mode}_load_speedup"] = memory["seconds"] / max(out[mode]["seconds"], 1e-9)
+        out[f"{mode}_rss_improvement"] = memory["rss_bytes"] / max(out[mode]["rss_bytes"], 1)
+    with load_sharded(index_dir, mode="mmap") as mapped:
+        mapped_queries = sample_queries(mapped.dataset, len(queries), seed=1)
+        # Warm-up pass: fault the touched pages in before timing, so the
+        # number reflects steady-state mmap throughput, not first-touch IO.
+        mapped.batch_knn_record(mapped_queries, K)
+        start = time.perf_counter()
+        knn_results = mapped.batch_knn_record(mapped_queries, K)
+        knn_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        range_results = mapped.batch_range_record(mapped_queries, THRESHOLD)
+        range_seconds = time.perf_counter() - start
+        assert [r.matches for r in knn_results] == [
+            r.matches for r in loaded.batch_knn_record(queries, K)
+        ], "mmap load changed kNN answers"
+        assert [r.matches for r in range_results] == [
+            r.matches for r in loaded.batch_range_record(queries, THRESHOLD)
+        ], "mmap load changed range answers"
+        out["mmap_knn_qps"] = len(queries) / knn_seconds
+        out["mmap_range_qps"] = len(queries) / range_seconds
+    return out
 
 
 def clustered_block_dataset(
@@ -130,6 +230,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queries", type=int, default=None, help="batch size")
     parser.add_argument("--repeat", type=int, default=None, help="timing repetitions")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode", default="memory", choices=list(LOAD_MODES),
+        help="load path of the engine the execution-mode benchmark runs on "
+        "(the load-path comparison itself always measures all three)",
+    )
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="trajectory JSON path")
     args = parser.parse_args(argv)
 
@@ -164,23 +269,26 @@ def main(argv: list[str] | None = None) -> int:
             save_sharded(engine, index_dir)
             save_seconds = time.perf_counter() - start
             start = time.perf_counter()
-            loaded = load_sharded(index_dir)
+            loaded = load_sharded(index_dir, mode=args.mode)
             load_seconds = time.perf_counter() - start
             check_round_trip(engine, loaded, queries)
             local_queries = sample_queries(loaded.dataset, num_queries, seed=1)
             loaded.dataset.columnar()
+            row = {"load_paths": bench_load_paths(index_dir, loaded, local_queries)}
             with loaded:
-                row = bench_modes(loaded, local_queries, repeats)
+                row.update(bench_modes(loaded, local_queries, repeats))
             row.update(
                 shards=shards,
                 build_seconds=build_seconds,
                 save_seconds=save_seconds,
                 load_seconds=load_seconds,
+                queries_mode=args.mode,
             )
             rows.append(row)
+            paths = row["load_paths"]
             print(
                 f"S={shards}: build {build_seconds:.2f}s, save {save_seconds:.2f}s, "
-                f"load {load_seconds:.2f}s, round-trip OK; "
+                f"load[{args.mode}] {load_seconds:.2f}s, round-trip OK; "
                 + ", ".join(
                     f"{mode} knn {row[mode]['knn_qps']:,.0f} q/s / "
                     f"range {row[mode]['range_qps']:,.0f} q/s"
@@ -189,8 +297,30 @@ def main(argv: list[str] | None = None) -> int:
                 + f"; process speedup knn {row['process_speedup_knn']:.2f}x, "
                 f"range {row['process_speedup_range']:.2f}x"
             )
+            print(
+                f"S={shards} load paths: "
+                + ", ".join(
+                    f"{mode} {paths[mode]['seconds'] * 1000:.0f} ms / "
+                    f"{paths[mode]['rss_bytes'] / 1e6:.1f} MB"
+                    for mode in LOAD_MODES
+                )
+                + f"; mmap speedup {paths['mmap_load_speedup']:.1f}x load / "
+                f"{paths['mmap_rss_improvement']:.1f}x RSS, "
+                f"lazy {paths['lazy_load_speedup']:.1f}x load / "
+                f"{paths['lazy_rss_improvement']:.1f}x RSS; "
+                f"mmap serial knn {paths['mmap_knn_qps']:,.0f} q/s, "
+                f"range {paths['mmap_range_qps']:,.0f} q/s"
+            )
 
     best_process_range = max(row["process_speedup_range"] for row in rows)
+    best_out_of_core = max(
+        row["load_paths"][key]
+        for row in rows
+        for key in (
+            "mmap_load_speedup", "mmap_rss_improvement",
+            "lazy_load_speedup", "lazy_rss_improvement",
+        )
+    )
     append_trajectory(
         args.out,
         {
@@ -209,11 +339,18 @@ def main(argv: list[str] | None = None) -> int:
             },
             "shard_counts": rows,
             "best_process_range_speedup": best_process_range,
+            "best_out_of_core_improvement": best_out_of_core,
         },
     )
     print(f"# appended to {args.out}")
     if not args.smoke and (os.cpu_count() or 1) >= 4 and best_process_range < 1.1:
         print("FAIL: process-mode range speedup below the 1.1x acceptance bar")
+        return 1
+    if not args.smoke and best_out_of_core < 5.0:
+        print(
+            "FAIL: mmap-backed loads beat the in-memory load by "
+            f"{best_out_of_core:.1f}x at best — below the 5x acceptance bar"
+        )
         return 1
     return 0
 

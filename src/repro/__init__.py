@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.distributed import ShardedLES3, load_sharded, save_sharded
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "LES3",

@@ -4,12 +4,12 @@ Usage::
 
     repro build data.txt index --groups 64
     repro save index sharded-index --shards 4
-    repro load sharded-index
+    repro load sharded-index --mode lazy
     repro knn index --query "a b c" -k 10 --shards 4
     repro knn sharded-index --query "a b c" -k 10 --parallel process
-    repro range index --query "a b c" --threshold 0.7
+    repro range index --query "a b c" --threshold 0.7 --mode mmap
     repro join sharded-index --threshold 0.8 --verify both --parallel thread
-    repro bench sharded-index --queries 200 -k 10 --verify both
+    repro bench sharded-index --queries 200 -k 10 --verify both --mode mmap
     repro stats data.txt
     repro validate sharded-index
 
@@ -23,7 +23,10 @@ execution mode (``process`` needs a sharded index directory — its
 workers rehydrate from disk).  ``--verify`` picks the
 candidate-verification path (``columnar`` kernel by default, ``scalar``
 as the escape hatch; ``join``/``bench`` accept ``both`` to time each and
-report the speedup — results are identical in every combination).
+report the speedup).  ``--mode memory|mmap|lazy`` picks the dataset load
+path (parse ``dataset.txt``, map the binary ``dataset.bin``, or
+additionally build shard indexes on demand).  Results are identical in
+every combination.  See ``docs/cli.md`` for the complete reference.
 """
 
 from __future__ import annotations
@@ -48,10 +51,29 @@ class _CliError(Exception):
     """A user-facing CLI argument/usage error (printed, exit code 1)."""
 
 
+def _reject_lazy_on_single_engine(mode: str) -> None:
+    """``--mode lazy`` only makes sense against a sharded directory."""
+    if mode == "lazy":
+        raise _CliError(
+            "--mode lazy builds *shard* indexes on demand, which needs a "
+            "sharded index directory; use --mode mmap here, or create a "
+            "sharded save with `repro save <index> <out> --shards S`"
+        )
+
+
 def _add_parallel_flag(command) -> None:
     command.add_argument(
         "--parallel", default="serial", choices=["serial", "thread", "process"],
         help="sharded execution mode (process needs a sharded index directory)",
+    )
+
+
+def _add_mode_flag(command) -> None:
+    command.add_argument(
+        "--mode", default="memory", choices=["memory", "mmap", "lazy"],
+        help="dataset load path: parse dataset.txt into RAM (memory), map the "
+        "binary dataset.bin (mmap), or additionally build shard indexes on "
+        "demand (lazy; sharded directories only) — results are identical",
     )
 
 
@@ -82,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     load = commands.add_parser("load", help="load an index (either kind) and summarize it")
     load.add_argument("index", help="index directory (single-engine or sharded)")
+    _add_mode_flag(load)
 
     knn = commands.add_parser("knn", help="k nearest neighbours of a query set")
     knn.add_argument("index", help="index directory (single-engine or sharded)")
@@ -92,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", default="columnar", choices=["columnar", "scalar"],
         help="verification path (results are identical)",
     )
+    _add_mode_flag(knn)
     _add_parallel_flag(knn)
 
     range_cmd = commands.add_parser("range", help="all sets within a similarity threshold")
@@ -103,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", default="columnar", choices=["columnar", "scalar"],
         help="verification path (results are identical)",
     )
+    _add_mode_flag(range_cmd)
     _add_parallel_flag(range_cmd)
 
     join = commands.add_parser("join", help="exact similarity self-join of the indexed data")
@@ -114,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", default="columnar", choices=["columnar", "scalar", "both"],
         help="verification path; 'both' times each and reports the speedup",
     )
+    _add_mode_flag(join)
     _add_parallel_flag(join)
 
     bench = commands.add_parser("bench", help="batch-query throughput of a built index")
@@ -128,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", default="columnar", choices=["columnar", "scalar", "both"],
         help="verification path; 'both' times each and reports the speedup",
     )
+    _add_mode_flag(bench)
     _add_parallel_flag(bench)
 
     stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
@@ -183,15 +210,19 @@ def _print_matches(engine, matches) -> None:
 
 
 def _load_query_engine(args):
-    """Load either index kind, honouring ``--shards`` and ``--parallel``.
+    """Load either index kind, honouring ``--shards``/``--parallel``/``--mode``.
 
     Single-engine directories are optionally re-sharded in memory
     (``--shards S``); sharded directories load as-is (they already fix
     their shard count).  ``--parallel process`` requires a sharded
-    directory: its workers rehydrate shards from the save.
+    directory: its workers rehydrate shards from the save.  ``--mode
+    mmap`` maps the binary ``dataset.bin`` instead of parsing
+    ``dataset.txt``; ``--mode lazy`` additionally builds shard indexes on
+    first visit (sharded directories only).
     """
     parallel = getattr(args, "parallel", "serial")
     shards = getattr(args, "shards", 1)
+    mode = getattr(args, "mode", "memory")
     # Subcommands without a --verify flag (e.g. `load`) must not override
     # the verify mode the manifest restored.
     verify = getattr(args, "verify", None)
@@ -201,9 +232,10 @@ def _load_query_engine(args):
                 "--shards re-shards single-engine indexes; this index is already "
                 "sharded (its shard count is fixed by the save)"
             )
-        engine = load_sharded(args.index, parallel=parallel)
+        engine = load_sharded(args.index, parallel=parallel, mode=mode)
     else:
-        engine = load_engine(args.index)
+        _reject_lazy_on_single_engine(mode)
+        engine = load_engine(args.index, mode=mode)
         if shards != 1 or parallel != "serial":
             if parallel == "process":
                 raise _CliError(
@@ -399,7 +431,8 @@ def _cmd_bench(args) -> int:
             engine = _load_query_engine(args)
             sharded = engine
         else:
-            engine = load_engine(args.index)
+            _reject_lazy_on_single_engine(args.mode)
+            engine = load_engine(args.index, mode=args.mode)
             if args.parallel == "process":
                 raise _CliError(
                     "--parallel process rehydrates shard workers from a sharded "
@@ -476,10 +509,42 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _check_dataset_bin(index_dir: str) -> None:
+    """Full-integrity pass over ``dataset.bin``, when the save carries one.
+
+    Loading deliberately skips the binary payload digests (an mmap load
+    must not read every page); ``repro validate`` is where they are all
+    checked — the manifest's whole-file digest first, then every
+    per-segment digest inside the header.
+    """
+    from pathlib import Path
+
+    from repro.core.persistence import DATASET_BIN, file_digest, read_index_json
+
+    manifest = read_index_json(Path(index_dir) / "manifest.json", "index manifest")
+    recorded = manifest.get("dataset_bin_digest") if isinstance(manifest, dict) else None
+    path = Path(index_dir) / DATASET_BIN
+    if not path.is_file():
+        if recorded is not None:
+            raise PersistenceError(
+                f"manifest records a {DATASET_BIN} digest but the file is missing"
+            )
+        return  # pre-v3 save: no binary dataset to check
+    if recorded is not None and file_digest(path) != recorded:
+        raise PersistenceError(
+            f"{DATASET_BIN} digest mismatch against the manifest — corrupt or "
+            "mixed-save index directory"
+        )
+    from repro.storage.columnar_file import ColumnarFileReader
+
+    ColumnarFileReader(path, mode="mmap").verify()
+
+
 def _cmd_validate(args) -> int:
     try:
         if is_sharded_index(args.index):
             engine = load_sharded(args.index)
+            _check_dataset_bin(args.index)
             # Global coverage (each record in exactly one shard, tombstones
             # excepted) was already enforced by load_sharded; per shard,
             # check the TGM invariants with every record outside the shard
@@ -500,6 +565,7 @@ def _cmd_validate(args) -> int:
             print("index OK" if ok else "index CORRUPT")
             return 0 if ok else 2
         engine = load_engine(args.index)
+        _check_dataset_bin(args.index)
     except (ValueError, FileNotFoundError) as error:
         print(f"index CORRUPT: {error}")
         return 2

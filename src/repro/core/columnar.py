@@ -168,6 +168,22 @@ class ColumnarView:
         """Full multiset sizes of the listed records, as an int64 vector."""
         return self._sizes[np.asarray(record_indices, dtype=np.int64)]
 
+    def tokens_of_records(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Distinct token ids of the listed records, concatenated.
+
+        Tokens shared between records appear once per record (callers
+        that need the union apply ``np.unique``).  This is the vectorized
+        replacement for walking ``record.distinct`` per record — TGM bit
+        construction, shard vocabularies, and join profiles all build
+        from it, so a mapped dataset is indexed without materializing a
+        single Python record.
+        """
+        members = np.asarray(record_indices, dtype=np.int64)
+        if members.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        tokens, _, _, _ = self._gather(members)
+        return tokens
+
     # -- verification ------------------------------------------------------
 
     def verifier(self, query: "SetRecord", measure: "Similarity") -> "GroupVerifier":

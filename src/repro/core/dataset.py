@@ -118,6 +118,46 @@ class Dataset:
                     records.append(SetRecord(universe.intern_all(tokens)))
         return cls(records, universe)
 
+    @classmethod
+    def from_columnar_file(cls, source) -> "Dataset":
+        """Build a dataset over a binary columnar file, without records.
+
+        ``source`` is a path to a ``dataset.bin`` (opened with
+        ``mode="mmap"``) or an already-open
+        :class:`~repro.storage.columnar_file.ColumnarFileReader`.  The
+        returned dataset's :meth:`columnar` view serves the stored CSR
+        arrays directly (``np.memmap``-backed for mapped readers), and
+        ``records`` is a lazy sequence that materializes a
+        :class:`~repro.core.sets.SetRecord` only when one is indexed —
+        the columnar query paths never do, which is what makes
+        ``load_engine(..., mode="mmap")`` answer without pulling the
+        dataset into RAM.
+
+        Examples
+        --------
+        >>> import tempfile, os
+        >>> from repro import Dataset
+        >>> from repro.storage import ColumnarFileWriter
+        >>> original = Dataset.from_token_lists([["a", "b"], ["b", "c"]])
+        >>> path = os.path.join(tempfile.mkdtemp(), "dataset.bin")
+        >>> _ = ColumnarFileWriter(path).write(original)
+        >>> mapped = Dataset.from_columnar_file(path)
+        >>> len(mapped), mapped.stats().universe_size
+        (2, 3)
+        >>> mapped[1].tokens                  # materialized on demand
+        (1, 2)
+        """
+        from repro.storage.columnar_file import ColumnarFileReader, LazyRecords
+
+        reader = source if isinstance(source, ColumnarFileReader) else ColumnarFileReader(source)
+        dataset = cls.__new__(cls)  # the per-record validation walk would defeat laziness
+        dataset.universe = reader.universe()
+        view = reader.view()
+        view.dataset = dataset
+        dataset.records = LazyRecords(view)
+        dataset._columnar = view
+        return dataset
+
     def save(self, path: str | Path) -> None:
         """Write the dataset in the one-set-per-line token format."""
         with open(path, "w") as handle:
@@ -166,7 +206,12 @@ class Dataset:
         """Compute the Table 2 statistics for this dataset."""
         if not self.records:
             return DatasetStats(0, 0, 0, 0.0, len(self.universe))
-        sizes = [len(record) for record in self.records]
+        if self._columnar is not None and self._columnar.num_records == len(self.records):
+            # Sizes are precomputed in the (possibly mapped) CSR view —
+            # no need to materialize records to measure them.
+            sizes = self._columnar._sizes[: len(self.records)].tolist()
+        else:
+            sizes = [len(record) for record in self.records]
         return DatasetStats(
             num_sets=len(self.records),
             max_set_size=max(sizes),

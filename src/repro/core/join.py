@@ -113,21 +113,25 @@ def group_join_profiles(
     their shared tokens, which is exact — a token two groups share is in
     both column sets by construction).
     """
-    tokens: set[int] = set()
-    for members in groups:
-        for record_index in members:
-            tokens.update(dataset.records[record_index].distinct)
-    columns = np.fromiter(sorted(tokens), dtype=np.int64, count=len(tokens))
+    # One vectorized CSR gather per group instead of a per-record walk:
+    # identical vocabularies and minimum sizes, but a mapped dataset
+    # profiles its groups without materializing any record.
+    view = dataset.columnar()
+    group_tokens = [
+        np.unique(view.tokens_of_records(members)) if members
+        else np.zeros(0, dtype=np.int64)
+        for members in groups
+    ]
+    columns = (
+        np.unique(np.concatenate(group_tokens)) if groups
+        else np.zeros(0, dtype=np.int64)
+    )
     vocab = np.zeros((len(groups), len(columns)), dtype=bool)
     min_sizes = np.zeros(len(groups), dtype=np.int64)
     for group_id, members in enumerate(groups):
-        smallest = 0
-        for record_index in members:
-            record = dataset.records[record_index]
-            vocab[group_id, np.searchsorted(columns, list(record.distinct))] = True
-            if smallest == 0 or len(record) < smallest:
-                smallest = len(record)
-        min_sizes[group_id] = smallest
+        vocab[group_id, np.searchsorted(columns, group_tokens[group_id])] = True
+        if members:
+            min_sizes[group_id] = int(view.sizes_of(members).min())
     return vocab, min_sizes, columns
 
 

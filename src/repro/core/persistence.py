@@ -2,16 +2,22 @@
 
 Partitioning (model training) is the expensive build step; persisting the
 result makes the index reusable across processes.  The on-disk layout is a
-directory of human-auditable files — no pickling:
+directory of small files — no pickling:
 
     <dir>/
       manifest.json    # measure, backend, universe size, format version,
                        # verify mode, logically deleted record indices
-      dataset.txt      # one set per line (external tokens)
+      dataset.txt      # one set per line (external tokens) — interchange form
+      dataset.bin      # binary columnar dataset (CSR arrays + universe),
+                       # the np.memmap target of mode="mmap" loads
       groups.json      # record-index lists per group
 
 The TGM is rebuilt from the groups at load time (cheaper than
 serialising bitmaps, and immune to backend format drift).
+:func:`load_engine` reads the dataset either way: ``mode="memory"``
+parses the text file into records, ``mode="mmap"`` maps the binary
+columnar file (:mod:`repro.storage.columnar_file`) so queries run
+without materializing records at all.
 
 Deletes are logical: a removed record keeps its line in ``dataset.txt``
 (indices are stable) but belongs to no group.  Format v2 records those
@@ -50,16 +56,27 @@ __all__ = [
     "load_engine",
     "engine_manifest",
     "write_index_files",
+    "write_dataset_files",
+    "open_mapped_dataset",
     "read_index_json",
     "parse_manifest_state",
     "read_groups",
     "file_digest",
     "check_dataset_digest",
     "SHARDED_MANIFEST_KEY",
+    "DATASET_BIN",
+    "LOAD_MODES",
 ]
 
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: File name of the binary columnar dataset written next to ``dataset.txt``
+#: by every v3 save (single-engine and sharded alike).
+DATASET_BIN = "dataset.bin"
+
+#: Load modes of :func:`load_engine` (``load_sharded`` adds ``"lazy"``).
+LOAD_MODES = ("memory", "mmap")
 
 #: Manifest key that marks a directory as a *sharded* save.  The single
 #: format discriminator shared by :func:`read_index_manifest`, the
@@ -142,6 +159,54 @@ def write_index_files(directory: str | Path, groups: list[list[int]], manifest: 
         json.dump(groups, handle)
     with open(directory / "manifest.json", "w") as handle:
         json.dump(manifest, handle, indent=2)
+
+
+def write_dataset_files(dataset: Dataset, directory: Path) -> dict:
+    """Write ``dataset.txt`` + ``dataset.bin``; return their digest fields.
+
+    The text file remains the interchange format; the binary columnar
+    file (:class:`~repro.storage.columnar_file.ColumnarFileWriter`) is
+    what the ``mode="mmap"`` / ``mode="lazy"`` load paths map.  Returns
+    ``{"dataset_digest": ..., "dataset_bin_digest": ...}`` for the
+    manifest.
+    """
+    from repro.storage.columnar_file import ColumnarFileWriter
+
+    dataset.save(directory / "dataset.txt")
+    ColumnarFileWriter(directory / DATASET_BIN).write(dataset)
+    return {
+        "dataset_digest": file_digest(directory / "dataset.txt"),
+        "dataset_bin_digest": file_digest(directory / DATASET_BIN),
+    }
+
+
+def open_mapped_dataset(directory: Path, manifest: dict) -> Dataset:
+    """Open ``dataset.bin`` as a mapped dataset, cross-checked with the manifest.
+
+    The binary header's record and universe totals must agree with the
+    manifest (a mismatch means the directory holds files from different
+    saves); the mapped dataset is otherwise served lazily — see
+    :meth:`~repro.core.dataset.Dataset.from_columnar_file`.
+    """
+    from repro.storage.columnar_file import ColumnarFileReader
+
+    path = directory / DATASET_BIN
+    if not path.is_file():
+        raise PersistenceError(
+            f"{directory} has no {DATASET_BIN} — it was saved before format v3; "
+            "load it with mode='memory' (or re-save it to add the binary dataset)"
+        )
+    reader = ColumnarFileReader(path, mode="mmap")
+    for field, actual in (
+        ("num_records", reader.num_records),
+        ("universe_size", reader.universe_size),
+    ):
+        if manifest.get(field) is not None and manifest[field] != actual:
+            raise PersistenceError(
+                f"{DATASET_BIN} header says {field}={actual}, manifest says "
+                f"{manifest[field]} — index directory mixes files from different saves"
+            )
+    return Dataset.from_columnar_file(reader)
 
 
 def read_index_json(path: str | Path, description: str):
@@ -249,8 +314,9 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
     Returns
     -------
     None
-        The directory holds ``manifest.json``, ``dataset.txt``, and
-        ``groups.json`` afterwards (format v2, human-auditable).
+        The directory holds ``manifest.json``, ``dataset.txt``,
+        ``dataset.bin`` (the binary columnar dataset the mmap load path
+        maps), and ``groups.json`` afterwards (format v3).
 
     See Also
     --------
@@ -268,10 +334,11 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
     >>> save_engine(engine, path)
     >>> load_engine(path).knn(["a", "b"], k=1).matches
     [(0, 1.0)]
+    >>> load_engine(path, mode="mmap").knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    engine.dataset.save(directory / "dataset.txt")
     # The engine's own delete log, NOT the records missing from the groups:
     # a record that is unassigned without having been removed is an orphan
     # (partitioner bug, hand-built TGM), and writing it as a tombstone
@@ -285,23 +352,30 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
         verify=engine.verify,
         deleted=sorted(engine.removed),
     )
-    manifest["dataset_digest"] = file_digest(directory / "dataset.txt")
+    manifest.update(write_dataset_files(engine.dataset, directory))
     write_index_files(directory, engine.tgm.group_members, manifest)
 
 
-def load_engine(directory: str | Path) -> LES3:
+def load_engine(directory: str | Path, mode: str = "memory") -> LES3:
     """Load an engine persisted by :func:`save_engine`.
 
-    Reads the current format (v2) and v1 directories (no ``deleted`` /
-    ``verify`` fields: nothing was removed, verification defaults to
-    columnar).  The groups plus the deleted list must cover the dataset
-    exactly once; the loaded engine re-applies the deletions, so queries
-    answer identically to the engine that was saved.
+    Reads the current format (v3) as well as v2 and v1 directories (v1:
+    no ``deleted`` / ``verify`` fields — nothing was removed,
+    verification defaults to columnar).  The groups plus the deleted
+    list must cover the dataset exactly once; the loaded engine
+    re-applies the deletions, so queries answer identically to the
+    engine that was saved.
 
     Parameters
     ----------
     directory : str or Path
         An index directory written by :func:`save_engine`.
+    mode : {"memory", "mmap"}, default ``"memory"``
+        ``"memory"`` parses ``dataset.txt`` into Python records (any
+        format version).  ``"mmap"`` maps the binary columnar
+        ``dataset.bin`` (v3 saves) with ``np.memmap`` instead: queries
+        read only the pages they touch and no record objects are
+        materialized — answers are bit-identical either way.
 
     Returns
     -------
@@ -313,16 +387,22 @@ def load_engine(directory: str | Path) -> LES3:
     ------
     PersistenceError
         If any file is corrupt, the format version is unknown, the
-        groups don't cover the dataset exactly once, or the directory
-        holds a *sharded* index (use
+        groups don't cover the dataset exactly once, ``mode="mmap"`` is
+        asked of a pre-v3 directory (no ``dataset.bin``), or the
+        directory holds a *sharded* index (use
         :func:`repro.distributed.load_sharded` for those).
     FileNotFoundError
         If the directory or one of its files does not exist.
     """
+    if mode not in LOAD_MODES:
+        raise ValueError(f"unknown load mode {mode!r}; expected one of {LOAD_MODES}")
     directory = Path(directory)
     manifest = read_index_manifest(directory)
-    check_dataset_digest(manifest, directory)
-    dataset = Dataset.load(directory / "dataset.txt")
+    if mode == "mmap":
+        dataset = open_mapped_dataset(directory, manifest)
+    else:
+        check_dataset_digest(manifest, directory)
+        dataset = Dataset.load(directory / "dataset.txt")
     if len(dataset) != manifest["num_records"]:
         raise PersistenceError(
             f"dataset.txt holds {len(dataset)} records, manifest says "

@@ -71,11 +71,34 @@ class TokenGroupMatrix:
         else:
             self._matrix = None
             self._bitmaps = [RoaringBitmap() for _ in self.group_members]
-        for group_id, members in enumerate(self.group_members):
-            for record_index in members:
-                self._set_bits(group_id, dataset.records[record_index].distinct)
+        self._build_bits(dataset)
 
     # -- construction helpers -------------------------------------------------
+
+    def _build_bits(self, dataset: Dataset) -> None:
+        """Flip every group's token bits from its current membership.
+
+        When the dataset already carries a columnar view (always true for
+        mapped datasets, and for any dataset that has answered a columnar
+        query), the tokens come from one vectorized CSR gather per group —
+        no Python record is materialized, which is what keeps
+        ``mode="mmap"`` index rebuilds out-of-core.  Otherwise the
+        original record walk runs; both paths set the identical bits.
+        """
+        view = dataset._columnar
+        if view is not None:
+            view.sync()
+            for group_id, members in enumerate(self.group_members):
+                if members:
+                    tokens = view.tokens_of_records(members)
+                    if self._matrix is not None:
+                        self._matrix[group_id, tokens] = True
+                    else:
+                        self._bitmaps[group_id].update(tokens.tolist())
+        else:
+            for group_id, members in enumerate(self.group_members):
+                for record_index in members:
+                    self._set_bits(group_id, dataset.records[record_index].distinct)
 
     def _set_bits(self, group_id: int, token_ids: Iterable[int]) -> None:
         if self._matrix is not None:
@@ -211,9 +234,7 @@ class TokenGroupMatrix:
             self._matrix[:, :] = False
         else:
             self._bitmaps = [RoaringBitmap() for _ in self.group_members]
-        for group_id, members in enumerate(self.group_members):
-            for record_index in members:
-                self._set_bits(group_id, dataset.records[record_index].distinct)
+        self._build_bits(dataset)
 
     # -- size accounting -----------------------------------------------------------
 

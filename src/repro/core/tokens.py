@@ -31,6 +31,30 @@ class TokenUniverse:
         for token in tokens:
             self.intern(token)
 
+    @classmethod
+    def from_id_order(cls, tokens: list[Hashable]) -> "TokenUniverse":
+        """Build a universe whose ids are exactly the list positions.
+
+        The bulk counterpart of interning one token at a time — used by
+        the binary columnar loader, where the stored token order *is* the
+        id assignment, so the whole mapping is two bulk constructions
+        instead of one ``intern`` call per token.
+
+        Raises
+        ------
+        ValueError
+            If ``tokens`` contains duplicates (positions would not be a
+            bijective id assignment).
+        """
+        universe = cls()
+        universe._id_to_token = list(tokens)
+        universe._token_to_id = {
+            token: token_id for token_id, token in enumerate(universe._id_to_token)
+        }
+        if len(universe._token_to_id) != len(universe._id_to_token):
+            raise ValueError("duplicate tokens cannot form a universe in id order")
+        return universe
+
     def __len__(self) -> int:
         return len(self._id_to_token)
 

@@ -10,16 +10,18 @@ and the sharded persistence lifecycle
 :func:`load_sharded`, which also arm the process-pool workers).
 """
 
-from repro.distributed.persistence import load_sharded, save_sharded
-from repro.distributed.sharded import PARALLEL_MODES, ShardedLES3
+from repro.distributed.persistence import SHARDED_LOAD_MODES, load_sharded, save_sharded
+from repro.distributed.sharded import PARALLEL_MODES, LazyShardTGMs, ShardedLES3
 from repro.distributed.sharding import SHARD_STRATEGIES, assign_shards, record_shard_hash
 
 __all__ = [
     "ShardedLES3",
+    "LazyShardTGMs",
     "save_sharded",
     "load_sharded",
     "assign_shards",
     "record_shard_hash",
     "SHARD_STRATEGIES",
     "PARALLEL_MODES",
+    "SHARDED_LOAD_MODES",
 ]

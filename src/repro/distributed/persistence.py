@@ -7,8 +7,10 @@ directory holding the dataset *once* plus one subdirectory per shard:
       manifest.json      # sharded manifest v1: placement policy, shard
                          # count, measure, verify, per-shard digests
       dataset.txt        # the global dataset, one set per line
+      dataset.bin        # the global binary columnar dataset (the
+                         # np.memmap target of mode="mmap"/"lazy" loads)
       shard-0000/
-        manifest.json    # the single-engine v2 manifest (deleted, verify)
+        manifest.json    # the single-engine manifest (deleted, verify)
         groups.json      # the shard's groups, *global* record indices
       shard-0001/
         ...
@@ -43,24 +45,28 @@ import re
 import shutil
 from pathlib import Path
 
+from repro.core.cache import LRUCache
 from repro.core.columnar import VERIFY_MODES
 from repro.core.dataset import Dataset
 from repro.core.persistence import (
+    DATASET_BIN,
     SHARDED_MANIFEST_KEY,
     PersistenceError,
     check_dataset_digest,
     check_exact_cover,
     engine_manifest,
-    file_digest,
+    open_mapped_dataset,
     parse_manifest_state,
     read_groups,
     read_index_json,
+    write_dataset_files,
     write_index_files,
 )
 from repro.core.sets import SetRecord
 from repro.core.similarity import get_measure
 from repro.core.tgm import TokenGroupMatrix
 from repro.distributed.sharded import (
+    LazyShardTGMs,
     ShardedLES3,
     _build_concurrently,
     _shard_knn_batch,
@@ -74,9 +80,23 @@ __all__ = [
     "query_payload",
     "run_shard_task",
     "SHARDED_FORMAT_VERSION",
+    "SHARDED_LOAD_MODES",
 ]
 
 SHARDED_FORMAT_VERSION = 1
+
+#: Load modes of :func:`load_sharded` — the single-engine modes plus
+#: ``"lazy"`` (mmap-backed dataset *and* on-demand shard TGMs).
+SHARDED_LOAD_MODES = ("memory", "mmap", "lazy")
+
+#: LRU capacity for lazily built shard TGMs (``mode="lazy"``) when the
+#: caller doesn't pick one.
+DEFAULT_RESIDENT_SHARDS = 4
+
+#: Per-worker LRU capacities for the process-pool caches: rehydrated
+#: shard TGMs and join profiles are bounded per worker instead of
+#: accumulating one entry per shard ever touched.
+_WORKER_CACHE_CAPACITY = 8
 
 _SHARD_DIR_PATTERN = re.compile(r"shard-\d{4}$")
 _SHARD_FILES = ("manifest.json", "groups.json")
@@ -152,7 +172,7 @@ def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    engine.dataset.save(directory / "dataset.txt")
+    dataset_digests = write_dataset_files(engine.dataset, directory)
     deleted_of_shard: dict[int, list[int]] = {}
     for record_index, shard_id in engine.removed.items():
         deleted_of_shard.setdefault(shard_id, []).append(record_index)
@@ -189,7 +209,7 @@ def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
         "verify": engine.verify,
         "num_records": len(engine.dataset),
         "universe_size": len(engine.dataset.universe),
-        "dataset_digest": file_digest(directory / "dataset.txt"),
+        **dataset_digests,
         "shards": entries,
     }
     payload = json.dumps(top, indent=2) + "\n"
@@ -263,10 +283,10 @@ def _read_shard(
     manifest = read_index_json(shard_dir / "manifest.json", "shard manifest")
     if not isinstance(manifest, dict):
         raise PersistenceError(f"shard manifest in {shard_dir} must be a JSON object")
-    if manifest.get("format_version") != 2:
+    if manifest.get("format_version") not in (2, 3):
         raise PersistenceError(
             f"shard manifest in {shard_dir} has unsupported format version "
-            f"{manifest.get('format_version')!r} (sharded saves write v2)"
+            f"{manifest.get('format_version')!r} (sharded saves write v2/v3)"
         )
     if manifest.get("measure") != measure_name:
         raise PersistenceError(
@@ -286,15 +306,16 @@ def load_sharded(
     directory: str | Path,
     parallel: str | None = None,
     workers: int | None = None,
+    mode: str = "memory",
+    max_resident_shards: int | None = None,
 ) -> ShardedLES3:
     """Load a sharded engine persisted by :func:`save_sharded`.
 
-    Every shard's digest is verified, the shard groups plus tombstones
-    must cover the dataset exactly once *globally*, and the per-shard
-    TGMs are rebuilt concurrently (``workers`` threads, defaulting to one
-    per shard up to the core count).  The loaded engine answers
-    knn/range/join queries bit-identically to the engine that was saved,
-    deletes included, and is immediately eligible for
+    Every shard's digest is verified and the shard groups plus
+    tombstones must cover the dataset exactly once *globally*.  The
+    loaded engine answers knn/range/join queries bit-identically to the
+    engine that was saved — deletes included, in every ``mode`` and
+    every ``parallel`` execution mode — and is immediately eligible for
     ``parallel="process"`` execution (its
     :attr:`~repro.distributed.sharded.ShardedLES3.source_dir` points at
     ``directory``).
@@ -307,7 +328,21 @@ def load_sharded(
         Default execution mode of the returned engine (``"serial"`` when
         omitted).
     workers : int, optional
-        Threads for the concurrent TGM rebuilds.
+        Threads for the concurrent TGM rebuilds (eager modes only).
+    mode : {"memory", "mmap", "lazy"}, default ``"memory"``
+        How the dataset and the shard indexes come up:
+
+        * ``"memory"`` — parse ``dataset.txt`` into Python records and
+          rebuild every shard TGM concurrently (the original behavior).
+        * ``"mmap"`` — map the binary columnar ``dataset.bin`` with
+          ``np.memmap`` (no record objects); TGMs are still built
+          eagerly, from vectorized CSR gathers.
+        * ``"lazy"`` — mapped dataset *and* on-demand shard TGMs: a
+          shard's index is built on its first visit and at most
+          ``max_resident_shards`` stay resident (LRU).  Lazy engines are
+          read-only (``insert``/``remove`` raise).
+    max_resident_shards : int, optional
+        LRU capacity for ``mode="lazy"`` (default 4).
 
     Returns
     -------
@@ -318,8 +353,9 @@ def load_sharded(
     PersistenceError
         On any integrity failure: unknown format version, shard-count
         mismatch, missing shard subdirectory, digest mismatch, truncated
-        JSON, measure/record-count inconsistencies, or a coverage
-        violation.
+        JSON, measure/record-count inconsistencies, a coverage
+        violation, or an mmap-backed mode asked of a pre-v3 save (no
+        ``dataset.bin``).
     FileNotFoundError
         If ``directory`` (or its top-level manifest/dataset) is absent.
 
@@ -334,12 +370,21 @@ def load_sharded(
     >>> save_sharded(engine, path)
     >>> load_sharded(path).knn(["a", "b"], k=1).matches
     [(0, 1.0)]
+    >>> load_sharded(path, mode="lazy").knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
     """
+    if mode not in SHARDED_LOAD_MODES:
+        raise ValueError(
+            f"unknown load mode {mode!r}; expected one of {SHARDED_LOAD_MODES}"
+        )
     directory = Path(directory)
     top = _read_sharded_manifest(directory)
     shard_dirs = _shard_entries(top, directory)
-    check_dataset_digest(top, directory)
-    dataset = Dataset.load(directory / "dataset.txt")
+    if mode == "memory":
+        check_dataset_digest(top, directory)
+        dataset = Dataset.load(directory / "dataset.txt")
+    else:
+        dataset = open_mapped_dataset(directory, top)
     if len(dataset) != top.get("num_records"):
         raise PersistenceError(
             f"dataset.txt holds {len(dataset)} records, sharded manifest says "
@@ -388,12 +433,23 @@ def load_sharded(
     builders = [
         shard_builder(groups, backend) for groups, backend in zip(all_groups, backends)
     ]
+    if mode == "lazy":
+        capacity = (
+            max_resident_shards if max_resident_shards is not None
+            else DEFAULT_RESIDENT_SHARDS
+        )
+        tgms: object = LazyShardTGMs(builders, capacity)
+        shard_groups = all_groups
+    else:
+        tgms = _build_concurrently(builders, workers)
+        shard_groups = None
     engine = ShardedLES3(
         dataset,
-        _build_concurrently(builders, workers),
+        tgms,
         measure,
         verify=verify,
         parallel=parallel if parallel is not None else "serial",
+        shard_groups=shard_groups,
     )
     engine.removed = removed
     engine.placement = top.get("placement", "custom")
@@ -452,52 +508,73 @@ def payload_record(dataset: Dataset, payload: tuple) -> SetRecord:
 # -- the process-pool worker ----------------------------------------------
 #
 # One cache per worker process, keyed by (directory, epoch): the first
-# task against a saved index loads the dataset (once per directory) and
-# the touched shards (once each); every later task reuses them.  A
-# re-save bumps the epoch (the digest of the top-level manifest), which
-# drops the stale entries.
+# task against a saved index opens the dataset (once per directory) and
+# the touched shards; every later task reuses them.  A re-save bumps the
+# epoch (the digest of the top-level manifest), which drops the stale
+# entries.  Workers rehydrate *lazily* and stay bounded: the dataset is
+# the mmap-backed binary columnar file when the save carries one (a v3
+# save always does) — no per-record Python objects, pages faulted in on
+# demand — and the shard TGM / join-profile caches are small LRUs
+# (``_WORKER_CACHE_CAPACITY``) instead of one entry per shard ever
+# touched, so a worker serving many shards of a large index holds a few
+# resident indexes, not all of them.
 
 _worker_datasets: dict[tuple[str, str], Dataset] = {}
-_worker_tgms: dict[tuple[str, str, int], TokenGroupMatrix] = {}
-_worker_profiles: dict[tuple[str, str, int], tuple] = {}
+_worker_tgms = LRUCache(_WORKER_CACHE_CAPACITY)
+_worker_profiles = LRUCache(_WORKER_CACHE_CAPACITY)
 
 
 def _evict_stale(directory: str, epoch: str) -> None:
-    for cache in (_worker_datasets, _worker_tgms, _worker_profiles):
-        for key in [k for k in cache if k[0] == directory and k[1] != epoch]:
-            del cache[key]
+    for key in [
+        k for k in _worker_datasets if k[0] == directory and k[1] != epoch
+    ]:
+        del _worker_datasets[key]
+    for cache in (_worker_tgms, _worker_profiles):
+        cache.drop_matching(lambda k: k[0] == directory and k[1] != epoch)
 
 
 def _worker_dataset(directory: str, epoch: str) -> Dataset:
     key = (directory, epoch)
     if key not in _worker_datasets:
         _evict_stale(directory, epoch)
-        _worker_datasets[key] = Dataset.load(Path(directory) / "dataset.txt")
+        path = Path(directory)
+        if (path / DATASET_BIN).is_file():
+            # Same entry point as the parent's mmap load, so the binary
+            # header is cross-checked against the manifest — a stale or
+            # mixed-save dataset.bin fails here too instead of letting a
+            # worker answer from different records than the parent.
+            manifest = read_index_json(path / "manifest.json", "index manifest")
+            _worker_datasets[key] = open_mapped_dataset(
+                path, manifest if isinstance(manifest, dict) else {}
+            )
+        else:
+            # Pre-v3 save: fall back to the full text rehydration.
+            _worker_datasets[key] = Dataset.load(path / "dataset.txt")
     return _worker_datasets[key]
 
 
 def _worker_tgm(directory: str, epoch: str, shard_id: int) -> TokenGroupMatrix:
-    key = (directory, epoch, shard_id)
-    if key not in _worker_tgms:
+    def build() -> TokenGroupMatrix:
         dataset = _worker_dataset(directory, epoch)
         shard_dir = Path(directory) / shard_dir_name(shard_id)
         manifest = read_index_json(shard_dir / "manifest.json", "shard manifest")
         groups = read_groups(shard_dir)
-        _worker_tgms[key] = TokenGroupMatrix(
+        return TokenGroupMatrix(
             dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
         )
-    return _worker_tgms[key]
+
+    return _worker_tgms.get_or_build((directory, epoch, shard_id), build)
 
 
 def _worker_profile(directory: str, epoch: str, shard_id: int) -> tuple:
-    key = (directory, epoch, shard_id)
-    if key not in _worker_profiles:
+    def build() -> tuple:
         from repro.core.join import group_join_profiles
 
         dataset = _worker_dataset(directory, epoch)
         tgm = _worker_tgm(directory, epoch, shard_id)
-        _worker_profiles[key] = group_join_profiles(dataset, tgm.group_members)
-    return _worker_profiles[key]
+        return group_join_profiles(dataset, tgm.group_members)
+
+    return _worker_profiles.get_or_build((directory, epoch, shard_id), build)
 
 
 def run_shard_task(directory: str, task: tuple, epoch: str = "") -> object:

@@ -49,12 +49,14 @@ from __future__ import annotations
 
 import heapq
 import os
+from collections.abc import Sequence as SequenceABC
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.core.batch import batch_covered_counts
+from repro.core.cache import LRUCache
 from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3, as_query_record, suggest_num_groups
@@ -83,7 +85,7 @@ from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set
 from repro.distributed.sharding import assign_shards, lpt_balance
 
-__all__ = ["ShardedLES3", "PARALLEL_MODES"]
+__all__ = ["ShardedLES3", "LazyShardTGMs", "PARALLEL_MODES"]
 
 PARALLEL_MODES = ("serial", "thread", "process")
 
@@ -97,6 +99,51 @@ def _build_concurrently(builders, workers: int | None):
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(build) for build in builders]
         return [future.result() for future in futures]
+
+
+class LazyShardTGMs(SequenceABC):
+    """Shard TGMs built on first visit and evicted through a small LRU.
+
+    The out-of-core counterpart of the eager TGM list: ``tgms[shard_id]``
+    runs the shard's build thunk on a cache miss and keeps at most
+    ``capacity`` built TGMs resident, evicting the least recently visited
+    one beyond that.  Pruned shards therefore never pay their index
+    build, and resident index memory is bounded by the capacity rather
+    than the shard count — which is what ``load_sharded(..., mode="lazy")``
+    hands to :class:`ShardedLES3`.  The cache is a thread-safe
+    :class:`~repro.core.cache.LRUCache` because ``parallel="thread"``
+    hands the same sequence to concurrent pool tasks (two tasks racing on
+    one shard may both build it; the first publish wins — TGM builds are
+    deterministic and immutable afterwards, so that is only spent time).
+
+    Iterating the sequence builds every shard (it is how ``repro
+    validate`` walks a lazy engine); queries only ever index it.
+    """
+
+    __slots__ = ("_builders", "_cache")
+
+    def __init__(self, builders: Sequence, capacity: int) -> None:
+        self._builders = list(builders)
+        self._cache = LRUCache(capacity)
+
+    def __len__(self) -> int:
+        return len(self._builders)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of TGMs kept resident."""
+        return self._cache.capacity
+
+    def __getitem__(self, shard_id: int) -> TokenGroupMatrix:
+        if isinstance(shard_id, slice):
+            raise TypeError("lazy shard lists do not support slicing")
+        if shard_id < 0:
+            shard_id += len(self._builders)
+        return self._cache.get_or_build(shard_id, self._builders[shard_id])
+
+    def resident(self) -> list[TokenGroupMatrix]:
+        """The TGMs currently held by the LRU (for size accounting)."""
+        return self._cache.resident()
 
 
 # -- per-shard partial searches -------------------------------------------
@@ -178,9 +225,14 @@ class ShardedLES3:
     Parameters
     ----------
     dataset : Dataset
-        The shared database of sets.
+        The shared database of sets (possibly mmap-backed — see
+        :meth:`repro.core.dataset.Dataset.from_columnar_file`).
     tgms : sequence of TokenGroupMatrix
         One TGM per shard, over disjoint record subsets of ``dataset``.
+        May be a :class:`LazyShardTGMs` (``load_sharded(..., mode="lazy")``),
+        in which case ``shard_groups`` must carry the per-shard group
+        membership so construction doesn't force every build; lazy
+        engines are read-only.
     measure : str or Similarity, default ``"jaccard"``
         The similarity measure; must match every shard TGM's measure.
     verify : {"columnar", "scalar"}, default ``"columnar"``
@@ -222,15 +274,21 @@ class ShardedLES3:
         measure: str | Similarity = "jaccard",
         verify: str = "columnar",
         parallel: str = "serial",
+        *,
+        shard_groups: list[list[list[int]]] | None = None,
     ) -> None:
-        if not tgms:
+        if not len(tgms):
             raise ValueError("a sharded engine needs at least one shard")
         if parallel not in PARALLEL_MODES:
             raise ValueError(
                 f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
             )
         self.dataset = dataset
-        self.tgms: list[TokenGroupMatrix] = list(tgms)
+        # ``tgms`` may be a LazyShardTGMs (mode="lazy" loads): indexing it
+        # builds the shard on demand, so the constructor must not iterate
+        # it — the caller passes ``shard_groups`` instead.
+        lazy = isinstance(tgms, LazyShardTGMs)
+        self.tgms: Sequence[TokenGroupMatrix] = tgms if lazy else list(tgms)
         self.measure = get_measure(measure)
         self.verify = verify
         self.parallel = parallel
@@ -246,13 +304,24 @@ class ShardedLES3:
         self._process_executor: ProcessPoolExecutor | None = None
         self._shard_of: dict[int, int] = {}
         self._shard_loads: list[int] = [0] * len(self.tgms)
-        for shard_id, tgm in enumerate(self.tgms):
-            if tgm.measure.name != self.measure.name:
+        if shard_groups is None:
+            if lazy:
                 raise ValueError(
-                    f"shard {shard_id} is built for measure {tgm.measure.name!r}, "
-                    f"engine uses {self.measure.name!r} — bounds would be unsound"
+                    "lazily built shards need shard_groups (group membership "
+                    "per shard) — reading it off the TGMs would force every build"
                 )
-            for members in tgm.group_members:
+            for shard_id, tgm in enumerate(self.tgms):
+                if tgm.measure.name != self.measure.name:
+                    raise ValueError(
+                        f"shard {shard_id} is built for measure {tgm.measure.name!r}, "
+                        f"engine uses {self.measure.name!r} — bounds would be unsound"
+                    )
+            # Share the TGMs' own membership lists so in-memory updates
+            # (insert/remove mutate them in place) stay visible here.
+            shard_groups = [tgm.group_members for tgm in self.tgms]
+        self._shard_groups = shard_groups
+        for shard_id, groups in enumerate(shard_groups):
+            for members in groups:
                 for record_index in members:
                     if record_index in self._shard_of:
                         raise ValueError(
@@ -261,9 +330,19 @@ class ShardedLES3:
                     self._shard_of[record_index] = shard_id
                 self._shard_loads[shard_id] += len(members)
         self._vocab = np.zeros((len(self.tgms), len(dataset.universe)), dtype=bool)
-        for record_index, shard_id in self._shard_of.items():
-            record = dataset.records[record_index]
-            self._vocab[shard_id, list(record.distinct)] = True
+        view = dataset._columnar
+        if view is not None:
+            # Vectorized: one CSR gather per shard (a mapped dataset never
+            # materializes a record here); bits are identical to the walk.
+            view.sync()
+            for shard_id, groups in enumerate(shard_groups):
+                members = [index for group in groups for index in group]
+                if members:
+                    self._vocab[shard_id, view.tokens_of_records(members)] = True
+        else:
+            for record_index, shard_id in self._shard_of.items():
+                record = dataset.records[record_index]
+                self._vocab[shard_id, list(record.distinct)] = True
 
     # -- construction ------------------------------------------------------
 
@@ -410,6 +489,22 @@ class ShardedLES3:
         """
         return self._source_dir
 
+    def _require_mutable(self, operation: str) -> None:
+        """Lazily loaded engines are read-only.
+
+        A mutation would live only in whichever TGMs happen to be LRU
+        resident — eviction and rebuild from disk would silently undo it,
+        turning an exact engine into a wrong-answer one.  Refusing is the
+        only safe behavior.
+        """
+        if self.is_lazy:
+            raise ValueError(
+                f"cannot {operation} on a lazily loaded engine (mode='lazy'): "
+                "shard indexes are rebuilt from disk on demand, so in-memory "
+                "mutations would be lost on eviction — reload with "
+                "mode='mmap' or mode='memory' to mutate"
+            )
+
     def _require_source_dir(self) -> str:
         if self._source_dir is None:
             raise ValueError(
@@ -456,15 +551,33 @@ class ShardedLES3:
     @property
     def num_groups(self) -> int:
         """Total group count across all shards."""
-        return sum(tgm.num_groups for tgm in self.tgms)
+        return sum(len(groups) for groups in self._shard_groups)
+
+    def _group_members_of(self, shard_id: int) -> list[list[int]]:
+        """A shard's group membership without forcing a lazy TGM build."""
+        return self._shard_groups[shard_id]
+
+    def _num_groups_of(self, shard_id: int) -> int:
+        return len(self._shard_groups[shard_id])
+
+    @property
+    def is_lazy(self) -> bool:
+        """True when shard TGMs are built on demand (``mode="lazy"`` loads)."""
+        return isinstance(self.tgms, LazyShardTGMs)
 
     def shard_sizes(self) -> list[int]:
         """Live record count per shard (maintained across inserts/removes)."""
         return list(self._shard_loads)
 
     def index_bytes(self) -> int:
-        """Summed TGM sizes plus the shard-vocabulary index."""
-        return sum(tgm.byte_size() for tgm in self.tgms) + (self._vocab.size + 7) // 8
+        """Summed TGM sizes plus the shard-vocabulary index.
+
+        On a lazy engine only the *resident* TGMs (the LRU's current
+        contents) are counted — the evicted ones hold no memory, which is
+        the point of the mode.
+        """
+        tgms = self.tgms.resident() if self.is_lazy else self.tgms
+        return sum(tgm.byte_size() for tgm in tgms) + (self._vocab.size + 7) // 8
 
     def tokens_of(self, record_index: int) -> list[Hashable]:
         """External tokens of a stored record (for presenting results)."""
@@ -610,19 +723,20 @@ class ShardedLES3:
         shard_items: list[list[int]] = [[] for _ in range(self.num_shards)]
         zero_pads: dict[int, list[tuple[int, float]]] = {}
         for i in range(len(queries)):
-            for shard_id, tgm in enumerate(self.tgms):
+            for shard_id in range(self.num_shards):
                 if bound_rows[i][shard_id] > 0.0:
                     shard_items[shard_id].append(i)
                     continue
                 if shard_id not in zero_pads:
+                    groups = self._group_members_of(shard_id)
                     zero_pads[shard_id] = [
                         (index, 0.0)
                         for index in heapq.nsmallest(
-                            k, (m for members in tgm.group_members for m in members)
+                            k, (m for members in groups for m in members)
                         )
                     ]
                 merged[i].extend(zero_pads[shard_id])
-                stats[i].groups_pruned += tgm.num_groups
+                stats[i].groups_pruned += self._num_groups_of(shard_id)
 
         def run_local(shard_id: int, batch):
             return _shard_knn_batch(
@@ -652,11 +766,11 @@ class ShardedLES3:
         stats: list[QueryStats] = [QueryStats() for _ in queries]
         shard_items: list[list[int]] = [[] for _ in range(self.num_shards)]
         for i in range(len(queries)):
-            for shard_id, tgm in enumerate(self.tgms):
+            for shard_id in range(self.num_shards):
                 if bound_rows[i][shard_id] >= threshold:
                     shard_items[shard_id].append(i)
                 else:
-                    stats[i].groups_pruned += tgm.num_groups
+                    stats[i].groups_pruned += self._num_groups_of(shard_id)
 
         def run_local(shard_id: int, batch):
             return _shard_range_batch(
@@ -696,13 +810,13 @@ class ShardedLES3:
                 # Sorted order: this and all remaining shards share no
                 # token with the query — members are at similarity 0.
                 for rest in order[position:]:
-                    stats.groups_pruned += self.tgms[rest].num_groups
-                    zero_candidates.extend(self.tgms[rest].group_members)
+                    stats.groups_pruned += self._num_groups_of(rest)
+                    zero_candidates.extend(self._group_members_of(rest))
                 break
             if len(heap) >= k and bound < heap[0][0]:
                 # No member of the remaining shards can displace the kth.
                 for rest in order[position:]:
-                    stats.groups_pruned += self.tgms[rest].num_groups
+                    stats.groups_pruned += self._num_groups_of(rest)
                 break
             tgm = self.tgms[shard_id]
             group_bounds = query_group_bounds(tgm, query, stats)
@@ -776,10 +890,11 @@ class ShardedLES3:
         stats = QueryStats()
         matches: list[tuple[int, float]] = []
         verifier = make_verifier(self.dataset, query, self.measure, verify)
-        for shard_id, tgm in enumerate(self.tgms):
+        for shard_id in range(self.num_shards):
             if bounds[shard_id] < threshold:
-                stats.groups_pruned += tgm.num_groups
+                stats.groups_pruned += self._num_groups_of(shard_id)
                 continue
+            tgm = self.tgms[shard_id]
             if precomputed is not None and shard_id in precomputed:
                 group_bounds = precomputed[shard_id]
                 stats.groups_scored += tgm.num_groups
@@ -844,14 +959,14 @@ class ShardedLES3:
         bound_rows = self._batch_shard_bound_rows(queries)
         # Per shard: batch-score the surviving sub-batch of queries.
         per_query_bounds: list[dict[int, np.ndarray]] = [{} for _ in queries]
-        for shard_id, tgm in enumerate(self.tgms):
+        for shard_id in range(self.num_shards):
             survivors = [
                 i for i in range(len(queries))
                 if bound_rows[i][shard_id] >= threshold
             ]
             if not survivors:
                 continue
-            counts = batch_covered_counts(tgm, [queries[i] for i in survivors])
+            counts = batch_covered_counts(self.tgms[shard_id], [queries[i] for i in survivors])
             for row, i in enumerate(survivors):
                 per_query_bounds[i][shard_id] = self.measure.bounds_from_counts(
                     counts[row], len(queries[i])
@@ -900,8 +1015,8 @@ class ShardedLES3:
         # (live members only, tighter than the lingering self._vocab bits):
         # the profile's token columns *are* the shard's live vocabulary.
         profiles = [
-            group_join_profiles(self.dataset, tgm.group_members)
-            for tgm in self.tgms
+            group_join_profiles(self.dataset, self._group_members_of(shard_id))
+            for shard_id in range(self.num_shards)
         ]
         shard_vocab = [columns for _, _, columns in profiles]
         min_sizes = []
@@ -1008,6 +1123,7 @@ class ShardedLES3:
         the engine invalidates :attr:`source_dir` (the on-disk shards no
         longer reproduce this state) until the next ``save_sharded``.
         """
+        self._require_mutable("insert")
         loads = self._shard_loads
         shard_id = min(range(self.num_shards), key=lambda s: (loads[s], s))
         record_index, group_id = insert_set(self.dataset, self.tgms[shard_id], tokens)
@@ -1032,6 +1148,7 @@ class ShardedLES3:
         The tombstone is logged in :attr:`removed` so the next
         ``save_sharded`` persists it; :attr:`source_dir` is invalidated.
         """
+        self._require_mutable("remove")
         shard_id = self._shard_of.get(record_index)
         if shard_id is None:
             raise KeyError(f"record {record_index} is not registered in any shard")

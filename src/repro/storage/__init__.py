@@ -1,5 +1,23 @@
-"""Simulated storage layer for the disk-based evaluation (Figure 13)."""
+"""Storage layer: the real binary columnar format and the simulated disk.
 
+Two halves live here:
+
+* :mod:`repro.storage.columnar_file` — the *real* out-of-core path: the
+  binary columnar ``dataset.bin`` format
+  (:class:`ColumnarFileWriter`/:class:`ColumnarFileReader`) and the
+  ``np.memmap``-backed :class:`MappedColumnarView` behind
+  ``load_engine(..., mode="mmap")`` / ``load_sharded(..., mode="mmap"|"lazy")``.
+* :mod:`repro.storage.disk` / :mod:`repro.storage.layout` — the
+  *simulated* disk cost model for the paper's Figure 13 evaluation.
+"""
+
+from repro.storage.columnar_file import (
+    COLUMNAR_FORMAT_VERSION,
+    COLUMNAR_MAGIC,
+    ColumnarFileReader,
+    ColumnarFileWriter,
+    MappedColumnarView,
+)
 from repro.storage.disk import (
     HDD_5400RPM,
     SSD_SATA,
@@ -16,6 +34,11 @@ from repro.storage.layout import (
 )
 
 __all__ = [
+    "COLUMNAR_FORMAT_VERSION",
+    "COLUMNAR_MAGIC",
+    "ColumnarFileReader",
+    "ColumnarFileWriter",
+    "MappedColumnarView",
     "HDD_5400RPM",
     "SSD_SATA",
     "DiskProfile",

@@ -1,0 +1,231 @@
+"""Sharded out-of-core loads: ``load_sharded(..., mode="mmap"|"lazy")``.
+
+Contract: both mmap-backed modes answer knn/range/join/batch
+bit-identically to the in-memory load — for every shard count and every
+``parallel`` execution mode — while ``lazy`` additionally builds shard
+TGMs only on first visit, keeps at most ``max_resident_shards`` of them
+resident (LRU), and refuses in-memory mutation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import PersistenceError
+from repro.datasets import zipf_dataset
+from repro.distributed import LazyShardTGMs, ShardedLES3, load_sharded, save_sharded
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+SHARD_COUNTS = (1, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return zipf_dataset(220, 260, (2, 9), seed=13)
+
+
+def build_sharded(dataset, shards):
+    return ShardedLES3.build(
+        dataset, shards, num_groups=12,
+        partitioner_factory=lambda shard_id: MinTokenPartitioner(),
+        strategy="range",
+    )
+
+
+@pytest.fixture(scope="module")
+def saved(dataset, tmp_path_factory):
+    """One saved directory per shard count, plus the engines that wrote them."""
+    root = tmp_path_factory.mktemp("sharded-saves")
+    saves = {}
+    for shards in SHARD_COUNTS:
+        engine = build_sharded(dataset, shards)
+        save_sharded(engine, root / f"S{shards}")
+        saves[shards] = (engine, root / f"S{shards}")
+    return saves
+
+
+def str_queries(engine, count, seed=2):
+    return [
+        [str(engine.dataset.universe.token_of(t)) for t in query.tokens]
+        for query in sample_queries(engine.dataset, count, seed=seed)
+    ]
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("mode", ["mmap", "lazy"])
+    def test_serial_answers_match_memory_load(self, saved, shards, mode):
+        _, directory = saved[shards]
+        memory = load_sharded(directory)
+        loaded = load_sharded(directory, mode=mode)
+        queries = str_queries(memory, 8)
+        for tokens in queries:
+            assert memory.knn(tokens, k=5).matches == loaded.knn(tokens, k=5).matches
+            assert (
+                memory.range(tokens, 0.4).matches == loaded.range(tokens, 0.4).matches
+            )
+        assert memory.join(0.5).pairs == loaded.join(0.5).pairs
+
+    @pytest.mark.parametrize("parallel", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("mode", ["mmap", "lazy"])
+    def test_parallel_modes_bit_identical(self, saved, mode, parallel):
+        memory, directory = load_sharded(saved[4][1]), saved[4][1]
+        with load_sharded(directory, mode=mode) as loaded:
+            from repro.core.engine import as_query_record
+
+            queries = [
+                as_query_record(loaded.dataset, tokens)
+                for tokens in str_queries(memory, 6)
+            ]
+            reference_knn = [
+                r.matches for r in memory.batch_knn_record(
+                    [as_query_record(memory.dataset, t) for t in str_queries(memory, 6)], 5
+                )
+            ]
+            assert [
+                r.matches
+                for r in loaded.batch_knn_record(queries, 5, parallel=parallel)
+            ] == reference_knn
+            reference_range = [
+                r.matches for r in memory.batch_range_record(
+                    [as_query_record(memory.dataset, t) for t in str_queries(memory, 6)], 0.4
+                )
+            ]
+            assert [
+                r.matches
+                for r in loaded.batch_range_record(queries, 0.4, parallel=parallel)
+            ] == reference_range
+            assert loaded.join(0.5, parallel=parallel).pairs == memory.join(0.5).pairs
+
+    def test_tombstones_survive_all_modes(self, dataset, tmp_path):
+        engine = build_sharded(dataset, 4)
+        engine.remove(3)
+        engine.remove(11)
+        save_sharded(engine, tmp_path / "idx")
+        for mode in ("memory", "mmap", "lazy"):
+            loaded = load_sharded(tmp_path / "idx", mode=mode)
+            assert loaded.removed == engine.removed, mode
+            native = engine.tokens_of(3)
+            assert 3 not in loaded.knn([str(t) for t in native], k=5).indices()
+
+
+class TestLaziness:
+    def test_tgms_build_on_demand_with_lru_eviction(self, saved):
+        _, directory = saved[8]
+        loaded = load_sharded(directory, mode="lazy", max_resident_shards=2)
+        assert loaded.is_lazy
+        tgms = loaded.tgms
+        assert isinstance(tgms, LazyShardTGMs)
+        assert len(tgms.resident()) == 0  # nothing built by the load itself
+        loaded.knn([str(loaded.dataset.universe.token_of(0))], k=3)
+        assert 0 < len(tgms.resident()) <= 2  # visits build, the LRU bounds
+        loaded.join(0.5)  # touches every live shard ...
+        assert len(tgms.resident()) <= 2  # ... but residency stays bounded
+
+    def test_answers_identical_even_with_capacity_one(self, saved):
+        memory, (_, directory) = load_sharded(saved[8][1]), saved[8]
+        loaded = load_sharded(directory, mode="lazy", max_resident_shards=1)
+        for tokens in str_queries(memory, 5):
+            assert memory.knn(tokens, k=4).matches == loaded.knn(tokens, k=4).matches
+        assert memory.join(0.5).pairs == loaded.join(0.5).pairs
+
+    def test_thread_parallel_under_heavy_eviction(self, saved):
+        """lazy × thread with capacity 1: concurrent pool tasks hammer the
+        shared LRU (build/evict/build) and must stay exact and crash-free."""
+        from repro.core.engine import as_query_record
+
+        memory, directory = load_sharded(saved[8][1]), saved[8][1]
+        with load_sharded(directory, mode="lazy", max_resident_shards=1) as loaded:
+            queries = [
+                as_query_record(loaded.dataset, tokens)
+                for tokens in str_queries(memory, 10)
+            ]
+            reference = [
+                r.matches for r in memory.batch_knn_record(
+                    [as_query_record(memory.dataset, t) for t in str_queries(memory, 10)], 4
+                )
+            ]
+            for _ in range(3):  # repeat: interleavings vary run to run
+                assert [
+                    r.matches
+                    for r in loaded.batch_knn_record(queries, 4, parallel="thread")
+                ] == reference
+
+    def test_lazy_engine_is_read_only(self, saved):
+        loaded = load_sharded(saved[4][1], mode="lazy")
+        with pytest.raises(ValueError, match="read-only|lazily loaded"):
+            loaded.insert(["anything"])
+        with pytest.raises(ValueError, match="read-only|lazily loaded"):
+            loaded.remove(0)
+
+    def test_summary_without_forcing_builds(self, saved):
+        """Group counts and sizes come from the manifests, not TGM builds."""
+        memory, directory = load_sharded(saved[8][1]), saved[8][1]
+        loaded = load_sharded(directory, mode="lazy")
+        assert loaded.num_groups == memory.num_groups
+        assert loaded.shard_sizes() == memory.shard_sizes()
+        assert len(loaded.tgms.resident()) == 0
+
+    def test_mmap_mode_still_mutable(self, dataset, tmp_path):
+        engine = build_sharded(dataset, 2)
+        save_sharded(engine, tmp_path / "idx")
+        loaded = load_sharded(tmp_path / "idx", mode="mmap")
+        index, shard_id, _ = loaded.insert(["zz-new", "zz-also-new"])
+        assert loaded.knn(["zz-new", "zz-also-new"], k=1).matches == [(index, 1.0)]
+        assert loaded.source_dir is None  # mutation disarms the save as usual
+
+
+class TestShardedRefusals:
+    def test_pre_v3_save_refuses_mmap_modes(self, saved):
+        _, directory = saved[1]
+        import shutil
+
+        legacy = directory.parent / "legacy"
+        shutil.copytree(directory, legacy)
+        (legacy / "dataset.bin").unlink()
+        top = json.loads((legacy / "manifest.json").read_text())
+        top.pop("dataset_bin_digest", None)
+        (legacy / "manifest.json").write_text(json.dumps(top, indent=2) + "\n")
+        memory = load_sharded(legacy)
+        assert memory.num_shards == 1  # memory mode unaffected
+        with memory:
+            # ... and its process workers fall back to text rehydration.
+            tokens = [str(memory.dataset.universe.token_of(0))]
+            assert (
+                memory.knn(tokens, k=3, parallel="process").matches
+                == memory.knn(tokens, k=3).matches
+            )
+        for mode in ("mmap", "lazy"):
+            with pytest.raises(PersistenceError, match="saved before format v3"):
+                load_sharded(legacy, mode=mode)
+
+    def test_header_manifest_shard_count_mismatch(self, dataset, tmp_path):
+        """A dataset.bin from a different save must not pair with this manifest."""
+        engine = build_sharded(dataset, 2)
+        save_sharded(engine, tmp_path / "idx")
+        other = ShardedLES3.build(
+            zipf_dataset(60, 80, (2, 6), seed=5), 2, num_groups=4,
+            partitioner_factory=lambda shard_id: MinTokenPartitioner(),
+        )
+        save_sharded(other, tmp_path / "other")
+        (tmp_path / "idx" / "dataset.bin").write_bytes(
+            (tmp_path / "other" / "dataset.bin").read_bytes()
+        )
+        with pytest.raises(PersistenceError, match="different saves"):
+            load_sharded(tmp_path / "idx", mode="mmap")
+        # The process-pool workers rehydrate through the same cross-check:
+        # an in-memory load still works (it reads dataset.txt), but its
+        # process-mode queries must refuse the mixed bin rather than
+        # answer from different records than the parent.
+        memory = load_sharded(tmp_path / "idx")
+        with memory:
+            tokens = [str(memory.dataset.universe.token_of(0))]
+            with pytest.raises(PersistenceError, match="different saves"):
+                memory.knn(tokens, k=3, parallel="process")
+
+    def test_unknown_mode(self, saved):
+        with pytest.raises(ValueError, match="unknown load mode"):
+            load_sharded(saved[1][1], mode="laser")

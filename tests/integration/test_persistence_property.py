@@ -81,3 +81,59 @@ TestPersistenceRoundTrip = RoundTripModel.TestCase
 TestPersistenceRoundTrip.settings = settings(
     max_examples=20, stateful_step_count=15, deadline=None
 )
+
+
+class TextVsBinaryModel(RuleBasedStateMachine):
+    """Text load vs binary (mmap) load of one save: bit-identical answers.
+
+    Every save now writes the dataset twice — ``dataset.txt`` (parsed
+    into records by ``mode="memory"``) and ``dataset.bin`` (mapped by
+    ``mode="mmap"``).  Whatever interleaving of open-universe inserts and
+    logical deletes produced the engine, the two loads of the same
+    directory must agree on knn, range, and join answers exactly —
+    same indices, same float64 similarities, same order.
+    """
+
+    @initialize(initial=st.lists(token_set, min_size=2, max_size=10))
+    def build(self, initial):
+        dataset = Dataset.from_token_lists(initial)
+        self.engine = LES3.build(dataset, num_groups=3, partitioner=MinTokenPartitioner())
+        self.live: set[int] = set(range(len(initial)))
+
+    @rule(tokens=open_token_set)
+    def insert(self, tokens):
+        index, _ = self.engine.insert(tokens)
+        self.live.add(index)
+
+    @rule(data=st.data())
+    def remove(self, data):
+        if len(self.live) <= 1:
+            return
+        victim = data.draw(st.sampled_from(sorted(self.live)))
+        self.engine.remove(victim)
+        self.live.discard(victim)
+
+    @rule(
+        queries=st.lists(open_token_set, min_size=1, max_size=3),
+        threshold=st.sampled_from([0.25, 0.5, 1.0]),
+        k=st.integers(min_value=1, max_value=5),
+    )
+    def text_and_binary_loads_agree(self, queries, threshold, k):
+        with tempfile.TemporaryDirectory() as tmp:
+            save_engine(self.engine, Path(tmp) / "index")
+            from_text = load_engine(Path(tmp) / "index", mode="memory")
+            from_binary = load_engine(Path(tmp) / "index", mode="mmap")
+            assert from_binary.removed == from_text.removed
+            assert from_binary.verify == from_text.verify
+            for query in queries:
+                assert from_text.knn(query, k).matches == \
+                    from_binary.knn(query, k).matches
+                assert from_text.range(query, threshold).matches == \
+                    from_binary.range(query, threshold).matches
+            assert from_text.join(threshold).pairs == from_binary.join(threshold).pairs
+
+
+TestTextVsBinary = TextVsBinaryModel.TestCase
+TestTextVsBinary.settings = settings(
+    max_examples=15, stateful_step_count=10, deadline=None
+)

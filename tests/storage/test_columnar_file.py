@@ -1,0 +1,234 @@
+"""Binary columnar format: round trips, the corruption matrix, laziness.
+
+The contract under test: a ``dataset.bin`` written by
+:class:`ColumnarFileWriter` reconstructs the identical dataset through
+both read modes (``"memory"`` verifies digests eagerly, ``"mmap"`` maps
+pages lazily), and *every* way the file can be damaged — truncated
+segments, flipped payload bytes, headers claiming more data than the
+file holds, headers inconsistent with the index manifest — raises
+:class:`PersistenceError` instead of serving a wrong-answer dataset.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, PersistenceError
+from repro.storage import ColumnarFileReader, ColumnarFileWriter, MappedColumnarView
+from repro.storage.columnar_file import COLUMNAR_MAGIC, LazyRecords
+
+TOKEN_LISTS = [
+    ["a", "b"],
+    ["b", "c", "c", "c"],  # multiset: duplicate tokens survive the trip
+    ["x"],
+    ["a", "x", "y", "z"],
+    ["b", "y"],
+]
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    return Dataset.from_token_lists(TOKEN_LISTS)
+
+
+@pytest.fixture()
+def bin_path(dataset, tmp_path):
+    path = tmp_path / "dataset.bin"
+    ColumnarFileWriter(path).write(dataset)
+    return path
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["memory", "mmap"])
+    def test_records_identical(self, dataset, bin_path, mode):
+        loaded = ColumnarFileReader(bin_path, mode=mode).dataset()
+        assert len(loaded) == len(dataset)
+        assert [record.tokens for record in loaded] == [
+            record.tokens for record in dataset
+        ]
+
+    def test_universe_preserves_ids_and_unused_tokens(self, tmp_path):
+        from repro.core.tokens import TokenUniverse
+
+        universe = TokenUniverse(["u0", "u1", "unused", "u3"])
+        dataset = Dataset.from_token_lists([["u0", "u3"], ["u1"]], universe)
+        path = tmp_path / "dataset.bin"
+        ColumnarFileWriter(path).write(dataset)
+        loaded = ColumnarFileReader(path).dataset()
+        # Unlike a text reload, the binary universe keeps every slot —
+        # including tokens no record uses — in the original id order.
+        assert list(loaded.universe) == ["u0", "u1", "unused", "u3"]
+
+    def test_mmap_segments_are_memory_mapped(self, bin_path):
+        reader = ColumnarFileReader(bin_path, mode="mmap")
+        assert isinstance(reader.segment("tokens"), np.memmap)
+        view = reader.view()
+        assert isinstance(view, MappedColumnarView)
+        assert view.num_records == len(TOKEN_LISTS)
+
+    def test_memory_mode_copies_out_of_the_file(self, bin_path):
+        reader = ColumnarFileReader(bin_path, mode="memory")
+        assert not isinstance(reader.segment("tokens"), np.memmap)
+
+    def test_view_matches_in_memory_columnar_view(self, dataset, bin_path):
+        original = dataset.columnar()
+        mapped = ColumnarFileReader(bin_path).view()
+        for i in range(len(dataset)):
+            assert mapped.tokens_of(i).tolist() == original.tokens_of(i).tolist()
+            assert mapped.counts_of(i).tolist() == original.counts_of(i).tolist()
+            assert mapped.size_of(i) == original.size_of(i)
+
+    def test_verify_passes_on_clean_file(self, bin_path):
+        ColumnarFileReader(bin_path).verify()
+
+    def test_header_reports_totals(self, dataset, bin_path):
+        reader = ColumnarFileReader(bin_path)
+        assert reader.num_records == len(dataset)
+        assert reader.nnz == dataset.columnar().nnz
+        assert reader.universe_size == len(dataset.universe)
+
+    def test_empty_dataset_round_trips(self, tmp_path):
+        empty = Dataset.from_token_lists([])
+        path = tmp_path / "dataset.bin"
+        ColumnarFileWriter(path).write(empty)
+        loaded = ColumnarFileReader(path).dataset()
+        assert len(loaded) == 0
+        assert len(loaded.universe) == 0
+
+
+class TestLazyRecords:
+    def test_materializes_on_demand_and_supports_append(self, dataset, bin_path):
+        from repro.core.sets import SetRecord
+
+        loaded = ColumnarFileReader(bin_path).dataset()
+        records = loaded.records
+        assert isinstance(records, LazyRecords)
+        assert records[1].counts()[loaded.universe.id_of("c")] == 3  # multiset
+        assert records[-1].tokens == dataset.records[-1].tokens
+        assert records[1:3] == [dataset.records[1], dataset.records[2]]
+        with pytest.raises(IndexError):
+            records[len(dataset)]
+        new_index = loaded.append(SetRecord([loaded.universe.intern("a")]))
+        assert new_index == len(dataset)
+        assert len(loaded) == len(dataset) + 1
+        assert loaded.records[new_index].tokens == (loaded.universe.id_of("a"),)
+
+
+def _flip_byte(path, offset: int) -> None:
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def _header(path) -> dict:
+    raw = path.read_bytes()
+    size = int.from_bytes(raw[8:16], "little")
+    return json.loads(raw[16:16 + size].decode())
+
+
+def _data_start(path) -> int:
+    size = int.from_bytes(path.read_bytes()[8:16], "little")
+    return (16 + size + 63) // 64 * 64
+
+
+def _rewrite_header(path, header: dict) -> None:
+    """Replace the header JSON, keeping the segment bytes as they were.
+
+    Segment offsets are relative to the (realigned) data start, so a
+    header of any new length still addresses the same payload bytes.
+    """
+    raw = path.read_bytes()
+    payload = json.dumps(header).encode()
+    start = (16 + len(payload) + 63) // 64 * 64
+    rebuilt = COLUMNAR_MAGIC + len(payload).to_bytes(8, "little") + payload
+    rebuilt += b"\x00" * (start - len(rebuilt)) + raw[_data_start(path):]
+    path.write_bytes(rebuilt)
+
+
+class TestCorruptionMatrix:
+    """Every damage mode must raise PersistenceError, never load wrongly."""
+
+    def test_bad_magic(self, bin_path):
+        _flip_byte(bin_path, 0)
+        with pytest.raises(PersistenceError, match="bad magic"):
+            ColumnarFileReader(bin_path)
+
+    def test_truncated_header(self, bin_path):
+        bin_path.write_bytes(bin_path.read_bytes()[:12])
+        with pytest.raises(PersistenceError):
+            ColumnarFileReader(bin_path)
+
+    def test_garbage_header_json(self, bin_path):
+        _flip_byte(bin_path, 20)
+        with pytest.raises(PersistenceError):
+            ColumnarFileReader(bin_path)
+
+    @pytest.mark.parametrize("mode", ["memory", "mmap"])
+    def test_truncated_segment(self, bin_path, mode):
+        """A file cut mid-segment is rejected in BOTH read modes."""
+        bin_path.write_bytes(bin_path.read_bytes()[:-8])
+        with pytest.raises(PersistenceError, match="shorter than its header claims"):
+            ColumnarFileReader(bin_path, mode=mode)
+
+    def test_mmap_of_file_shorter_than_header_claims(self, bin_path):
+        """The header can claim arbitrary sizes; the real file length rules."""
+        header = _header(bin_path)
+        nnz = header["nnz"]
+        header["nnz"] = nnz * 1000
+        for segment in header["segments"]:
+            if segment["name"] in ("tokens", "counts"):
+                segment["count"] = nnz * 1000
+                segment["nbytes"] = segment["nbytes"] * 1000
+        _rewrite_header(bin_path, header)
+        with pytest.raises(PersistenceError, match="shorter than its header claims"):
+            ColumnarFileReader(bin_path, mode="mmap")
+
+    def test_non_monotone_offsets_rejected(self, bin_path):
+        """A corrupt offsets array must never steer out-of-bounds gathers."""
+        header = _header(bin_path)
+        offsets_entry = next(s for s in header["segments"] if s["name"] == "offsets")
+        offset = _data_start(bin_path) + offsets_entry["offset"]
+        raw = bytearray(bin_path.read_bytes())
+        raw[offset + 8:offset + 16] = (2 ** 40).to_bytes(8, "little")
+        bin_path.write_bytes(bytes(raw))
+        with pytest.raises(PersistenceError, match="monotone"):
+            ColumnarFileReader(bin_path, mode="mmap")
+
+    def test_bad_segment_digest_memory_mode(self, bin_path):
+        header = _header(bin_path)
+        # Flip a byte inside the tokens segment payload.
+        _flip_byte(bin_path, _data_start(bin_path) + header["segments"][0]["offset"])
+        with pytest.raises(PersistenceError, match="digest mismatch"):
+            ColumnarFileReader(bin_path, mode="memory").segment("tokens")
+
+    def test_bad_segment_digest_caught_by_verify(self, bin_path):
+        header = _header(bin_path)
+        _flip_byte(bin_path, _data_start(bin_path) + header["segments"][0]["offset"])
+        reader = ColumnarFileReader(bin_path, mode="mmap")  # opens fine ...
+        with pytest.raises(PersistenceError, match="digest mismatch"):
+            reader.verify()  # ... but the full pass catches it
+
+    def test_invalid_utf8_universe_blob(self, bin_path):
+        """mmap opens skip payload digests, but a garbage blob still gets a
+        clean PersistenceError from universe(), never a UnicodeDecodeError."""
+        header = _header(bin_path)
+        blob_entry = next(s for s in header["segments"] if s["name"] == "universe_blob")
+        raw = bytearray(bin_path.read_bytes())
+        raw[_data_start(bin_path) + blob_entry["offset"]] = 0xFF  # invalid UTF-8
+        bin_path.write_bytes(bytes(raw))
+        reader = ColumnarFileReader(bin_path, mode="mmap")
+        with pytest.raises(PersistenceError, match="not valid UTF-8"):
+            reader.universe()
+
+    def test_not_a_columnar_file(self, tmp_path):
+        path = tmp_path / "dataset.bin"
+        path.write_text("one two three\n")
+        with pytest.raises(PersistenceError):
+            ColumnarFileReader(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ColumnarFileReader(tmp_path / "nope.bin")

@@ -323,3 +323,103 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestLoadModes:
+    """--mode memory|mmap|lazy on load/knn/range/join/bench."""
+
+    def test_knn_identical_across_modes(self, index_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[0]
+        assert main(["knn", str(index_dir), "--query", query, "-k", "4"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["knn", str(index_dir), "--query", query, "-k", "4",
+                     "--mode", "mmap"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_sharded_queries_identical_across_modes(self, sharded_dir, data_file,
+                                                    capsys):
+        query = data_file.read_text().splitlines()[2]
+        assert main(["range", str(sharded_dir), "--query", query,
+                     "--threshold", "0.5"]) == 0
+        reference = capsys.readouterr().out
+        for mode in ("mmap", "lazy"):
+            assert main(["range", str(sharded_dir), "--query", query,
+                         "--threshold", "0.5", "--mode", mode]) == 0
+            assert capsys.readouterr().out == reference, mode
+
+    def test_join_and_bench_accept_mode(self, sharded_dir, capsys):
+        assert main(["join", str(sharded_dir), "--threshold", "0.8",
+                     "--mode", "lazy"]) == 0
+        capsys.readouterr()
+        assert main(["bench", str(sharded_dir), "--queries", "5", "-k", "2",
+                     "--threshold", "0.6", "--mode", "mmap"]) == 0
+        assert "queries/s" in capsys.readouterr().out
+
+    def test_load_summary_in_lazy_mode(self, sharded_dir, capsys):
+        assert main(["load", str(sharded_dir), "--mode", "lazy"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded index" in out and "3 shard(s)" in out
+
+    def test_lazy_needs_a_sharded_dir(self, index_dir, capsys):
+        assert main(["knn", str(index_dir), "--query", "a", "-k", "1",
+                     "--mode", "lazy"]) == 1
+        assert "sharded index directory" in capsys.readouterr().err
+        assert main(["bench", str(index_dir), "--queries", "5",
+                     "--mode", "lazy"]) == 1
+        assert "sharded index directory" in capsys.readouterr().err
+
+    def test_mmap_of_pre_v3_dir_reports_cleanly(self, tmp_path, index_dir, capsys):
+        """A clear error, not a traceback, for text-only (pre-v3) saves."""
+        import shutil
+
+        legacy = tmp_path / "legacy"
+        shutil.copytree(index_dir, legacy)
+        (legacy / "dataset.bin").unlink()
+        assert main(["knn", str(legacy), "--query", "a", "-k", "1",
+                     "--mode", "mmap"]) == 1
+        assert "saved before format v3" in capsys.readouterr().err
+
+    def test_validate_checks_binary_dataset(self, tmp_path, index_dir, capsys):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(index_dir, broken)
+        path = broken / "dataset.bin"
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(data))
+        assert main(["validate", str(broken)]) == 2
+        assert "CORRUPT" in capsys.readouterr().out
+
+
+class TestV1Compatibility:
+    @pytest.fixture()
+    def v1_dir(self, tmp_path, index_dir):
+        """A directory exactly as the original v1 writer left it."""
+        import json
+        import shutil
+
+        legacy = tmp_path / "v1"
+        shutil.copytree(index_dir, legacy)
+        (legacy / "dataset.bin").unlink()
+        manifest = json.loads((legacy / "manifest.json").read_text())
+        manifest = {
+            key: manifest[key]
+            for key in ("measure", "backend", "num_records", "universe_size")
+        }
+        manifest["format_version"] = 1
+        (legacy / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return legacy
+
+    def test_load_reports_default_verify_not_a_crash(self, v1_dir, capsys):
+        """Regression: `repro load` on a v1 dir reports verify '<default>'."""
+        assert main(["load", str(v1_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "single-engine index" in out
+        assert "verify 'columnar'" in out and "0 tombstone(s)" in out
+
+    def test_v1_queries_and_validate_still_work(self, v1_dir, data_file, capsys):
+        query = data_file.read_text().splitlines()[0]
+        assert main(["knn", str(v1_dir), "--query", query, "-k", "2"]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(v1_dir)]) == 0
