@@ -8,10 +8,18 @@ Public API quickstart::
     engine = LES3.build(dataset, num_groups=2)
     print(engine.knn(["a", "b"], k=1).matches)
 
+Saved indexes (single-engine or sharded) come back through one call::
+
+    engine = repro.load("my-index", mode="mmap")
+
+and ship as a long-lived query service with ``repro serve`` (see
+:mod:`repro.serve` and ``docs/serving.md``).
+
 See README.md for the architecture overview and DESIGN.md for the paper
 mapping.
 """
 
+from repro.api import QueryRequest, QueryResult, execute, execute_batch, load
 from repro.core import (
     LES3,
     Dataset,
@@ -32,9 +40,14 @@ from repro.core import (
 )
 from repro.distributed import ShardedLES3, load_sharded, save_sharded
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "load",
+    "QueryRequest",
+    "QueryResult",
+    "execute",
+    "execute_batch",
     "LES3",
     "Dataset",
     "DatasetStats",

@@ -1,0 +1,434 @@
+"""The one-call public query surface: load any index, describe any query.
+
+PRs 1–5 grew two parallel entry points — ``load_engine`` for single-engine
+saves, ``load_sharded`` for sharded ones — and every consumer (the CLI,
+benchmarks, applications) had to sniff the directory kind itself before
+picking the right loader and the right kwargs.  This module collapses that
+into one surface the query service (:mod:`repro.serve`), the CLI, and
+applications all share:
+
+* :func:`load` — open *any* index directory; the save kind is
+  auto-detected and the right engine comes back.
+* :class:`QueryRequest` / :class:`QueryResult` — engine-independent
+  descriptions of one query and its answer, with one canonical kwargs set
+  (``verify=`` / ``parallel=``) across both engine classes.
+* :func:`execute` / :func:`execute_batch` — run requests against either
+  engine kind; the batch form coalesces compatible requests into the
+  batched BLAS kernels (the micro-batching primitive ``repro serve``
+  is built on).
+
+The legacy loaders remain importable as documented thin wrappers that
+emit :class:`DeprecationWarning` (see ``docs/persistence.md`` for the
+migration note)::
+
+    >>> import repro
+    >>> from repro.datasets import zipf_dataset
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "index")
+    >>> from repro import Dataset, LES3, save_engine
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> save_engine(LES3.build(dataset, num_groups=2), path)
+    >>> engine = repro.load(path)          # auto-detects the save kind
+    >>> engine.knn(["a", "b"], k=1).matches
+    [(0, 1.0)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Sequence, Union
+
+from repro.core.engine import LES3, PARALLEL_MODES, as_query_record
+from repro.core.metrics import QueryStats
+from repro.distributed.sharded import ShardedLES3
+
+__all__ = [
+    "load",
+    "Engine",
+    "QueryRequest",
+    "QueryResult",
+    "execute",
+    "execute_batch",
+    "QUERY_KINDS",
+]
+
+Engine = Union[LES3, ShardedLES3]
+
+#: The query kinds a :class:`QueryRequest` can describe — exactly the
+#: three exact query operations both engine classes implement.
+QUERY_KINDS = ("knn", "range", "join")
+
+
+def load(
+    directory,
+    mode: str = "memory",
+    parallel: str | None = None,
+    verify: str | None = None,
+    workers: int | None = None,
+    max_resident_shards: int | None = None,
+) -> Engine:
+    """Load *any* saved index: the save kind is auto-detected.
+
+    The one entry point over :func:`repro.core.persistence.load_engine`
+    (single-engine saves, from ``repro build`` / ``save_engine``) and
+    :func:`repro.distributed.persistence.load_sharded` (sharded saves,
+    from ``repro save`` / ``save_sharded``): the directory's manifest
+    decides which engine comes back, and every option below means the
+    same thing for both kinds.
+
+    Parameters
+    ----------
+    directory : str or Path
+        An index directory written by ``save_engine`` or ``save_sharded``.
+    mode : {"memory", "mmap", "lazy"}, default ``"memory"``
+        Dataset load path: parse ``dataset.txt`` into RAM, map the binary
+        ``dataset.bin``, or (sharded saves only) additionally build shard
+        indexes on demand.  Results are identical in every mode.
+    parallel : {"serial", "thread", "process"}, optional
+        Default execution mode of the returned engine.  A single-node
+        engine always executes serially; asking it for ``"thread"`` or
+        ``"process"`` raises with guidance (shard the index first).
+    verify : {"columnar", "scalar"}, optional
+        Override the persisted default verification path.
+    workers : int, optional
+        Threads for the concurrent shard-TGM rebuilds (sharded saves,
+        eager modes only).
+    max_resident_shards : int, optional
+        LRU capacity for ``mode="lazy"`` (sharded saves only).
+
+    Returns
+    -------
+    LES3 or ShardedLES3
+        A rebuilt engine answering queries bit-identically to the one
+        that was saved.
+
+    Raises
+    ------
+    PersistenceError
+        On any integrity failure, or when an option only a sharded save
+        supports (``mode="lazy"``) is asked of a single-engine save.
+    FileNotFoundError
+        If the directory (or its manifest) does not exist.
+
+    Examples
+    --------
+    >>> import tempfile, os, repro
+    >>> from repro import Dataset, ShardedLES3
+    >>> from repro.distributed import save_sharded
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> path = os.path.join(tempfile.mkdtemp(), "sharded-index")
+    >>> save_sharded(ShardedLES3.build(dataset, num_shards=2, num_groups=2), path)
+    >>> engine = repro.load(path, mode="lazy")
+    >>> type(engine).__name__, engine.knn(["a", "b"], k=1).matches
+    ('ShardedLES3', [(0, 1.0)])
+    """
+    from repro.core.persistence import PersistenceError, _load_engine
+    from repro.distributed.persistence import _load_sharded, is_sharded_index
+
+    directory = Path(directory)
+    if is_sharded_index(directory):
+        engine: Engine = _load_sharded(
+            directory,
+            parallel=parallel,
+            workers=workers,
+            mode=mode,
+            max_resident_shards=max_resident_shards,
+        )
+    else:
+        if mode == "lazy":
+            raise PersistenceError(
+                f"{directory} holds a single-engine save, and mode='lazy' builds "
+                "*shard* indexes on demand, which needs a sharded index directory; "
+                "load with mode='mmap' here, or create a sharded save with "
+                "ShardedLES3.from_engine + save_sharded (CLI: `repro save <index> "
+                "<out> --shards S`)"
+            )
+        engine = _load_engine(directory, mode=mode)
+        if parallel not in (None, "serial"):
+            if parallel not in PARALLEL_MODES:
+                raise ValueError(
+                    f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
+                )
+            raise ValueError(
+                f"parallel={parallel!r} needs shards to scatter over, and "
+                f"{directory} holds a single-engine save — re-shard it "
+                "(ShardedLES3.from_engine, or `repro save <index> <out> --shards S`) "
+                "and load the sharded directory instead"
+            )
+    if verify is not None:
+        from repro.core.columnar import VERIFY_MODES
+
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {verify!r}; expected one of {VERIFY_MODES}"
+            )
+        engine.verify = verify
+    return engine
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """An engine-independent description of one exact query.
+
+    The one canonical kwargs set shared by the CLI, the query service,
+    and :func:`execute`: a kind (``"knn"``, ``"range"``, or ``"join"``),
+    the query tokens (except for joins, which run over the indexed data),
+    the kind's own parameter (``k`` / ``threshold``), and the uniform
+    execution knobs ``verify`` / ``parallel`` (``None`` = the engine's
+    defaults).
+
+    Use the constructors — they validate eagerly, so a malformed request
+    fails where it is built (e.g. at the server's admission edge), not
+    deep inside an engine::
+
+        >>> QueryRequest.knn(["a", "b"], k=3)
+        QueryRequest(kind='knn', tokens=('a', 'b'), k=3, threshold=None, verify=None, parallel=None)
+        >>> QueryRequest.range(["a"], threshold=0.5).threshold
+        0.5
+        >>> QueryRequest.join(threshold=0.8).tokens is None
+        True
+        >>> QueryRequest.knn([], k=3)
+        Traceback (most recent call last):
+            ...
+        ValueError: a knn query needs at least one token
+    """
+
+    kind: str
+    tokens: tuple | None = None
+    k: int | None = None
+    threshold: float | None = None
+    verify: str | None = None
+    parallel: str | None = None
+
+    @classmethod
+    def knn(
+        cls,
+        tokens: Sequence[Hashable],
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> "QueryRequest":
+        """A k-nearest-neighbours request over external query tokens."""
+        if not tokens:
+            raise ValueError("a knn query needs at least one token")
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        request = cls(kind="knn", tokens=tuple(tokens), k=k, verify=verify, parallel=parallel)
+        request._check_modes()
+        return request
+
+    @classmethod
+    def range(
+        cls,
+        tokens: Sequence[Hashable],
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> "QueryRequest":
+        """A range request: all sets within ``threshold`` of the tokens."""
+        if not tokens:
+            raise ValueError("a range query needs at least one token")
+        threshold = _checked_threshold(threshold, low=0.0)
+        request = cls(
+            kind="range", tokens=tuple(tokens), threshold=threshold,
+            verify=verify, parallel=parallel,
+        )
+        request._check_modes()
+        return request
+
+    @classmethod
+    def join(
+        cls,
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> "QueryRequest":
+        """A similarity self-join of the indexed data (no query tokens)."""
+        threshold = _checked_threshold(threshold, low=0.0, low_open=True)
+        request = cls(kind="join", threshold=threshold, verify=verify, parallel=parallel)
+        request._check_modes()
+        return request
+
+    def _check_modes(self) -> None:
+        from repro.core.columnar import VERIFY_MODES
+
+        if self.verify is not None and self.verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {self.verify!r}; expected one of {VERIFY_MODES}"
+            )
+        if self.parallel is not None and self.parallel not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {self.parallel!r}; expected one of {PARALLEL_MODES}"
+            )
+
+    @classmethod
+    def from_payload(cls, kind: str, payload: dict) -> "QueryRequest":
+        """Build a validated request from a JSON-shaped dict (the HTTP body).
+
+        ``payload`` carries ``tokens`` (list of strings), ``k`` or
+        ``threshold``, and optionally ``verify`` / ``parallel``.  Unknown
+        keys are rejected so client typos fail loudly instead of being
+        silently ignored.
+        """
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        allowed = {
+            "knn": {"tokens", "k", "verify", "parallel"},
+            "range": {"tokens", "threshold", "verify", "parallel"},
+            "join": {"threshold", "verify", "parallel"},
+        }[kind]
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {sorted(unknown)} for a {kind} request; "
+                f"allowed: {sorted(allowed)}"
+            )
+        modes = {
+            "verify": payload.get("verify"),
+            "parallel": payload.get("parallel"),
+        }
+        if kind == "join":
+            return cls.join(_payload_threshold(payload), **modes)
+        tokens = payload.get("tokens")
+        if not isinstance(tokens, list) or not all(
+            isinstance(token, str) for token in tokens
+        ):
+            raise ValueError(f"a {kind} request needs 'tokens': a list of strings")
+        if kind == "knn":
+            return cls.knn(tokens, payload.get("k"), **modes)
+        return cls.range(tokens, _payload_threshold(payload), **modes)
+
+
+def _checked_threshold(threshold, low: float, low_open: bool = False) -> float:
+    if isinstance(threshold, bool) or not isinstance(threshold, (int, float)):
+        raise ValueError(f"threshold must be a number, got {threshold!r}")
+    threshold = float(threshold)
+    if not (low < threshold if low_open else low <= threshold) or threshold > 1.0:
+        bracket = "(" if low_open else "["
+        raise ValueError(f"threshold must be in {bracket}{low:g}, 1], got {threshold}")
+    return threshold
+
+
+def _payload_threshold(payload: dict):
+    if "threshold" not in payload:
+        raise ValueError("request needs a 'threshold'")
+    return payload["threshold"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One request's answer in engine-independent form.
+
+    ``matches`` holds ``(record_index, similarity)`` pairs for kNN/range
+    requests and ``(x, y, similarity)`` triples for joins, in the
+    engines' canonical order; ``stats`` the cost counters of the query
+    that produced them.  :meth:`to_payload` is the JSON projection the
+    HTTP service returns.
+    """
+
+    kind: str
+    matches: list = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def to_payload(self) -> dict:
+        """A JSON-safe dict: the service's response body."""
+        return {
+            "kind": self.kind,
+            "matches": [list(match) for match in self.matches],
+            "count": len(self.matches),
+            "stats": {
+                "candidates_verified": self.stats.candidates_verified,
+                "groups_scored": self.stats.groups_scored,
+                "groups_pruned": self.stats.groups_pruned,
+            },
+        }
+
+
+def execute(engine: Engine, request: QueryRequest) -> QueryResult:
+    """Run one request against either engine kind.
+
+    Thanks to the aligned query signatures this is a straight dispatch;
+    ``verify``/``parallel`` overrides pass through unchanged (``None``
+    falls back to the engine's defaults).
+
+    Examples
+    --------
+    >>> from repro import Dataset, LES3
+    >>> from repro.api import QueryRequest, execute
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
+    >>> engine = LES3.build(dataset, num_groups=2)
+    >>> execute(engine, QueryRequest.knn(["a", "b"], k=1)).matches
+    [(0, 1.0)]
+    >>> execute(engine, QueryRequest.join(threshold=0.3)).matches
+    [(0, 1, 0.3333333333333333)]
+    """
+    if request.kind == "knn":
+        result = engine.knn(
+            request.tokens, k=request.k,
+            verify=request.verify, parallel=request.parallel,
+        )
+        return QueryResult("knn", result.matches, result.stats)
+    if request.kind == "range":
+        result = engine.range(
+            request.tokens, threshold=request.threshold,
+            verify=request.verify, parallel=request.parallel,
+        )
+        return QueryResult("range", result.matches, result.stats)
+    if request.kind == "join":
+        joined = engine.join(
+            request.threshold, verify=request.verify, parallel=request.parallel
+        )
+        return QueryResult("join", joined.pairs, joined.stats)
+    raise ValueError(f"unknown query kind {request.kind!r}; expected one of {QUERY_KINDS}")
+
+
+def _coalesce_key(request: QueryRequest):
+    """Requests sharing this key can ride one batched kernel call."""
+    if request.kind == "knn":
+        return ("knn", request.k, request.verify, request.parallel)
+    if request.kind == "range":
+        return ("range", request.threshold, request.verify, request.parallel)
+    return None  # joins are whole-database operations; never coalesced
+
+
+def execute_batch(engine: Engine, requests: Sequence[QueryRequest]) -> list[QueryResult]:
+    """Run many requests, coalescing compatible ones into the batch kernels.
+
+    kNN requests sharing ``(k, verify, parallel)`` and range requests
+    sharing ``(threshold, verify, parallel)`` are interned together and
+    answered by one ``batch_knn_record`` / ``batch_range_record`` call —
+    group scoring becomes one BLAS product for the whole sub-batch
+    instead of one scan per request.  Results come back in request
+    order and are bit-identical to running :func:`execute` per request
+    (asserted by the service's integration tests).  This is the
+    primitive ``repro serve``'s micro-batcher dispatches to.
+    """
+    results: list[QueryResult | None] = [None] * len(requests)
+    coalesced: dict[tuple, list[int]] = {}
+    for position, request in enumerate(requests):
+        key = _coalesce_key(request)
+        if key is None:
+            results[position] = execute(engine, request)
+        else:
+            coalesced.setdefault(key, []).append(position)
+    for key, positions in coalesced.items():
+        kind = key[0]
+        records = [
+            as_query_record(engine.dataset, requests[position].tokens)
+            for position in positions
+        ]
+        verify, parallel = key[2], key[3]
+        if kind == "knn":
+            answers = engine.batch_knn_record(
+                records, key[1], verify=verify, parallel=parallel
+            )
+        else:
+            answers = engine.batch_range_record(
+                records, key[1], verify=verify, parallel=parallel
+            )
+        for position, answer in zip(positions, answers):
+            results[position] = QueryResult(kind, answer.matches, answer.stats)
+    return results  # type: ignore[return-value]

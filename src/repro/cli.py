@@ -10,11 +10,13 @@ Usage::
     repro range index --query "a b c" --threshold 0.7 --mode mmap
     repro join sharded-index --threshold 0.8 --verify both --parallel thread
     repro bench sharded-index --queries 200 -k 10 --verify both --mode mmap
+    repro serve sharded-index --mode lazy --parallel process
     repro stats data.txt
     repro validate sharded-index
 
 ``data.txt`` is the standard one-set-per-line, whitespace-separated token
 format used by the public set-similarity benchmarks.  Every query command
+routes through the unified :func:`repro.load` entry point, which
 auto-detects whether its index directory holds a single-engine save
 (``repro build``) or a sharded save (``repro save``); results are
 identical either way.  ``--shards S`` re-shards a loaded *single-engine*
@@ -26,7 +28,9 @@ as the escape hatch; ``join``/``bench`` accept ``both`` to time each and
 report the speedup).  ``--mode memory|mmap|lazy`` picks the dataset load
 path (parse ``dataset.txt``, map the binary ``dataset.bin``, or
 additionally build shard indexes on demand).  Results are identical in
-every combination.  See ``docs/cli.md`` for the complete reference.
+every combination.  ``repro serve`` turns a saved index into a long-lived
+HTTP query service with micro-batching (see ``docs/serving.md``).  See
+``docs/cli.md`` for the complete reference.
 """
 
 from __future__ import annotations
@@ -35,11 +39,12 @@ import argparse
 import sys
 import time
 
+from repro.api import QueryRequest, execute, load
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3
-from repro.core.persistence import PersistenceError, load_engine, save_engine
+from repro.core.persistence import PersistenceError, save_engine
 from repro.core.validation import validate_tgm
-from repro.distributed import ShardedLES3, load_sharded, save_sharded
+from repro.distributed import ShardedLES3, save_sharded
 from repro.distributed.persistence import is_sharded_index
 
 __all__ = ["main", "build_parser"]
@@ -49,16 +54,6 @@ _LOAD_ERRORS = (PersistenceError, FileNotFoundError)
 
 class _CliError(Exception):
     """A user-facing CLI argument/usage error (printed, exit code 1)."""
-
-
-def _reject_lazy_on_single_engine(mode: str) -> None:
-    """``--mode lazy`` only makes sense against a sharded directory."""
-    if mode == "lazy":
-        raise _CliError(
-            "--mode lazy builds *shard* indexes on demand, which needs a "
-            "sharded index directory; use --mode mmap here, or create a "
-            "sharded save with `repro save <index> <out> --shards S`"
-        )
 
 
 def _add_parallel_flag(command) -> None:
@@ -102,9 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("out", help="output sharded index directory")
     save.add_argument("--shards", type=int, required=True, help="shard count")
 
-    load = commands.add_parser("load", help="load an index (either kind) and summarize it")
-    load.add_argument("index", help="index directory (single-engine or sharded)")
-    _add_mode_flag(load)
+    load_cmd = commands.add_parser("load", help="load an index (either kind) and summarize it")
+    load_cmd.add_argument("index", help="index directory (single-engine or sharded)")
+    _add_mode_flag(load_cmd)
 
     knn = commands.add_parser("knn", help="k nearest neighbours of a query set")
     knn.add_argument("index", help="index directory (single-engine or sharded)")
@@ -156,6 +151,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mode_flag(bench)
     _add_parallel_flag(bench)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve an index over HTTP with micro-batched queries"
+    )
+    serve_cmd.add_argument("index", help="index directory (single-engine or sharded)")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8722, help="bind port (0 picks an ephemeral one)"
+    )
+    serve_cmd.add_argument(
+        "--verify", default=None, choices=["columnar", "scalar"],
+        help="override the persisted verification path (results are identical)",
+    )
+    _add_mode_flag(serve_cmd)
+    serve_cmd.add_argument(
+        "--parallel", default=None, choices=["serial", "thread", "process"],
+        help="sharded execution mode (process needs a sharded index directory)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long the first request of a batch waits for company",
+    )
+    serve_cmd.add_argument(
+        "--max-batch", type=int, default=64,
+        help="largest micro-batch dispatched to the engine (1 = no batching)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission bound: in-flight requests beyond it get 503 + Retry-After",
+    )
+    serve_cmd.add_argument(
+        "--concurrency", type=int, default=1,
+        help="batches allowed in flight on the executor simultaneously",
+    )
+    serve_cmd.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="per-shard fan-out cap for the engine's thread/process pools",
+    )
 
     stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
     stats.add_argument("data", help="dataset file")
@@ -212,6 +245,8 @@ def _print_matches(engine, matches) -> None:
 def _load_query_engine(args):
     """Load either index kind, honouring ``--shards``/``--parallel``/``--mode``.
 
+    One :func:`repro.load` call auto-detects the directory kind (the
+    per-command sniffing this file used to repeat lives there now).
     Single-engine directories are optionally re-sharded in memory
     (``--shards S``); sharded directories load as-is (they already fix
     their shard count).  ``--parallel process`` requires a sharded
@@ -223,32 +258,31 @@ def _load_query_engine(args):
     parallel = getattr(args, "parallel", "serial")
     shards = getattr(args, "shards", 1)
     mode = getattr(args, "mode", "memory")
-    # Subcommands without a --verify flag (e.g. `load`) must not override
-    # the verify mode the manifest restored.
-    verify = getattr(args, "verify", None)
-    if is_sharded_index(args.index):
+    engine = load(args.index, mode=mode)
+    if isinstance(engine, ShardedLES3):
         if shards != 1:
             raise _CliError(
                 "--shards re-shards single-engine indexes; this index is already "
                 "sharded (its shard count is fixed by the save)"
             )
-        engine = load_sharded(args.index, parallel=parallel, mode=mode)
-    else:
-        _reject_lazy_on_single_engine(mode)
-        engine = load_engine(args.index, mode=mode)
-        if shards != 1 or parallel != "serial":
-            if parallel == "process":
-                raise _CliError(
-                    "--parallel process rehydrates shard workers from a sharded "
-                    "save; create one with `repro save <index> <out> --shards S` "
-                    "and query that directory instead"
-                )
-            if shards == 1:
-                raise _CliError(
-                    f"--parallel {parallel} needs shards to scatter over; "
-                    "add --shards S or query a sharded index directory"
-                )
-            engine = ShardedLES3.from_engine(engine, shards, parallel=parallel)
+        engine.parallel = parallel
+    elif shards != 1 or parallel != "serial":
+        if parallel == "process":
+            raise _CliError(
+                "--parallel process rehydrates shard workers from a sharded "
+                "save; create one with `repro save <index> <out> --shards S` "
+                "and query that directory instead"
+            )
+        if shards == 1:
+            raise _CliError(
+                f"--parallel {parallel} needs shards to scatter over; "
+                "add --shards S or query a sharded index directory"
+            )
+        engine = ShardedLES3.from_engine(engine, shards, parallel=parallel)
+    # Subcommands without a --verify flag (e.g. `load`) must not override
+    # the verify mode the manifest restored; 'both' is a bench/join-local
+    # notion resolved by the command itself.
+    verify = getattr(args, "verify", None)
     if verify in ("columnar", "scalar"):
         engine.verify = verify
     return engine
@@ -259,12 +293,14 @@ def _cmd_save(args) -> int:
         print("error: --shards must be positive", file=sys.stderr)
         return 1
     try:
+        # The one remaining explicit kind-sniff: `repro save` must refuse a
+        # sharded input *before* paying a full load of it.
         if is_sharded_index(args.index):
             raise _CliError(
                 f"{args.index} is already a sharded index; `repro save` re-shards "
                 "single-engine indexes (from `repro build`)"
             )
-        engine = load_engine(args.index)
+        engine = load(args.index)
     except (_CliError, *_LOAD_ERRORS) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -304,14 +340,13 @@ def _cmd_load(args) -> int:
 
 
 def _cmd_knn(args) -> int:
-    if not args.query.split():
-        print("error: query must contain at least one token", file=sys.stderr)
-        return 1
-    if args.k <= 0:
-        print("error: k must be positive", file=sys.stderr)
-        return 1
     if args.shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
+        return 1
+    try:
+        request = QueryRequest.knn(args.query.split(), k=args.k)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
     try:
         engine = _load_query_engine(args)
@@ -319,7 +354,7 @@ def _cmd_knn(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     try:
-        result = engine.knn(args.query.split(), k=args.k)
+        result = execute(engine, request)
         _print_matches(engine, result.matches)
         print(
             f"# verified {result.stats.candidates_verified}/{len(engine.dataset)} sets, "
@@ -332,14 +367,13 @@ def _cmd_knn(args) -> int:
 
 
 def _cmd_range(args) -> int:
-    if not args.query.split():
-        print("error: query must contain at least one token", file=sys.stderr)
-        return 1
-    if not 0.0 <= args.threshold <= 1.0:
-        print("error: threshold must be in [0, 1]", file=sys.stderr)
-        return 1
     if args.shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
+        return 1
+    try:
+        request = QueryRequest.range(args.query.split(), threshold=args.threshold)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
     try:
         engine = _load_query_engine(args)
@@ -347,10 +381,10 @@ def _cmd_range(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     try:
-        result = engine.range(args.query.split(), threshold=args.threshold)
+        result = execute(engine, request)
         _print_matches(engine, result.matches)
         print(
-            f"# {len(result)} matches; verified "
+            f"# {len(result.matches)} matches; verified "
             f"{result.stats.candidates_verified}/{len(engine.dataset)} sets",
             file=sys.stderr,
         )
@@ -360,21 +394,26 @@ def _cmd_range(args) -> int:
 
 
 def _cmd_join(args) -> int:
-    if not 0.0 < args.threshold <= 1.0:
-        print("error: threshold must be in (0, 1]", file=sys.stderr)
-        return 1
     if args.shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
         return 1
     if args.limit < 0:
         print("error: --limit must be non-negative", file=sys.stderr)
         return 1
+    modes = ["columnar", "scalar"] if args.verify == "both" else [args.verify]
+    try:
+        requests = {
+            mode: QueryRequest.join(threshold=args.threshold, verify=mode)
+            for mode in modes
+        }
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     try:
         query_engine = _load_query_engine(args)
     except (_CliError, *_LOAD_ERRORS) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    modes = ["columnar", "scalar"] if args.verify == "both" else [args.verify]
     try:
         if "columnar" in modes:
             # The CSR view is a one-time, whole-database cost — keep it out
@@ -384,19 +423,19 @@ def _cmd_join(args) -> int:
         result = None
         for mode in modes:
             start = time.perf_counter()
-            joined = query_engine.join(args.threshold, verify=mode)
+            joined = execute(query_engine, requests[mode])
             seconds[mode] = time.perf_counter() - start
             if result is None:
                 result = joined
-            elif joined.pairs != result.pairs:
+            elif joined.matches != result.matches:
                 print("error: join results differ between verify modes", file=sys.stderr)
                 return 2
-        for x, y, similarity in result.pairs[: args.limit]:
+        for x, y, similarity in result.matches[: args.limit]:
             print(f"{similarity:.4f}\t#{x}\t#{y}")
-        if args.limit and len(result.pairs) > args.limit:
-            print(f"... and {len(result.pairs) - args.limit} more pairs")
+        if args.limit and len(result.matches) > args.limit:
+            print(f"... and {len(result.matches) - args.limit} more pairs")
         print(
-            f"# {len(result)} pairs; verified {result.stats.candidates_verified} "
+            f"# {len(result.matches)} pairs; verified {result.stats.candidates_verified} "
             f"candidates, pruned {result.stats.groups_pruned}/"
             f"{result.stats.groups_scored} group pairs",
             file=sys.stderr,
@@ -409,6 +448,32 @@ def _cmd_join(args) -> int:
         return 0
     finally:
         _close_engine(query_engine)
+
+
+def _load_bench_engine(args) -> ShardedLES3:
+    """Load the bench target, always as a sharded engine.
+
+    Unlike the query commands, ``repro bench`` times the batch kernels
+    through the sharded scatter-gather path even for single-engine saves
+    (a 1-shard in-memory wrap), so its report always carries a shard
+    count and any ``--parallel`` mode short of ``process`` applies.
+    """
+    engine = load(args.index, mode=args.mode)
+    if isinstance(engine, ShardedLES3):
+        if args.shards != 1:
+            raise _CliError(
+                "--shards re-shards single-engine indexes; this index is already "
+                "sharded (its shard count is fixed by the save)"
+            )
+        engine.parallel = args.parallel
+        return engine
+    if args.parallel == "process":
+        raise _CliError(
+            "--parallel process rehydrates shard workers from a sharded "
+            "save; create one with `repro save <index> <out> --shards S` "
+            "and bench that directory instead"
+        )
+    return ShardedLES3.from_engine(engine, args.shards, parallel=args.parallel)
 
 
 def _cmd_bench(args) -> int:
@@ -427,21 +492,7 @@ def _cmd_bench(args) -> int:
     from repro.workloads import sample_queries
 
     try:
-        if is_sharded_index(args.index):
-            engine = _load_query_engine(args)
-            sharded = engine
-        else:
-            _reject_lazy_on_single_engine(args.mode)
-            engine = load_engine(args.index, mode=args.mode)
-            if args.parallel == "process":
-                raise _CliError(
-                    "--parallel process rehydrates shard workers from a sharded "
-                    "save; create one with `repro save <index> <out> --shards S` "
-                    "and bench that directory instead"
-                )
-            sharded = ShardedLES3.from_engine(
-                engine, args.shards, parallel=args.parallel
-            )
+        sharded = _load_bench_engine(args)
     except (_CliError, *_LOAD_ERRORS) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -542,36 +593,72 @@ def _check_dataset_bin(index_dir: str) -> None:
 
 def _cmd_validate(args) -> int:
     try:
-        if is_sharded_index(args.index):
-            engine = load_sharded(args.index)
-            _check_dataset_bin(args.index)
-            # Global coverage (each record in exactly one shard, tombstones
-            # excepted) was already enforced by load_sharded; per shard,
-            # check the TGM invariants with every record outside the shard
-            # treated as intentionally absent.
-            all_records = set(range(len(engine.dataset)))
-            ok = True
-            for shard_id, tgm in enumerate(engine.tgms):
-                assigned = {
-                    record_index
-                    for members in tgm.group_members
-                    for record_index in members
-                }
-                report = validate_tgm(
-                    engine.dataset, tgm, removed=all_records - assigned
-                )
-                print(f"shard {shard_id:04d}: {report.summary()}")
-                ok = ok and report.ok
-            print("index OK" if ok else "index CORRUPT")
-            return 0 if ok else 2
-        engine = load_engine(args.index)
+        engine = load(args.index)
         _check_dataset_bin(args.index)
     except (ValueError, FileNotFoundError) as error:
         print(f"index CORRUPT: {error}")
         return 2
+    if isinstance(engine, ShardedLES3):
+        # Global coverage (each record in exactly one shard, tombstones
+        # excepted) was already enforced by the load; per shard, check the
+        # TGM invariants with every record outside the shard treated as
+        # intentionally absent.
+        all_records = set(range(len(engine.dataset)))
+        ok = True
+        for shard_id, tgm in enumerate(engine.tgms):
+            assigned = {
+                record_index
+                for members in tgm.group_members
+                for record_index in members
+            }
+            report = validate_tgm(
+                engine.dataset, tgm, removed=all_records - assigned
+            )
+            print(f"shard {shard_id:04d}: {report.summary()}")
+            ok = ok and report.ok
+        print("index OK" if ok else "index CORRUPT")
+        return 0 if ok else 2
     report = validate_tgm(engine.dataset, engine.tgm, removed=engine.removed)
     print(report.summary())
     return 0 if report.ok else 2
+
+
+def _cmd_serve(args) -> int:
+    if args.port < 0 or args.port > 65535:
+        print("error: --port must be in [0, 65535]", file=sys.stderr)
+        return 1
+    for flag, value in (
+        ("--max-batch", args.max_batch),
+        ("--max-queue", args.max_queue),
+        ("--concurrency", args.concurrency),
+    ):
+        if value < 1:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 1
+    if args.batch_window_ms < 0:
+        print("error: --batch-window-ms must be >= 0", file=sys.stderr)
+        return 1
+    from repro.serve import serve
+
+    try:
+        serve(
+            args.index,
+            announce=print,
+            host=args.host,
+            port=args.port,
+            mode=args.mode,
+            parallel=args.parallel,
+            verify=args.verify,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            concurrency=args.concurrency,
+            shard_workers=args.shard_workers,
+        )
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 _COMMANDS = {
@@ -582,6 +669,7 @@ _COMMANDS = {
     "range": _cmd_range,
     "join": _cmd_join,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
 }

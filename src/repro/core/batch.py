@@ -24,7 +24,9 @@ from repro.core.metrics import QueryStats
 from repro.core.search import (
     SearchResult,
     finalize_result,
-    knn_search,
+    knn_heap_matches,
+    knn_visit_groups,
+    pad_zero_matches,
     prepare_query,
     range_collect_groups,
 )
@@ -61,8 +63,12 @@ def batch_covered_counts(
 ) -> np.ndarray:
     """``|Q_i ∩ GS_g|`` for every query i and group g, shape (len(queries), n).
 
-    Dense backend: one boolean matrix product.  Roaring backend: falls back
-    to per-query scoring (still correct, not faster).
+    Dense backend: one boolean matrix product over the *union* of the
+    batch's known tokens — the product is ``(B × |union|) @ (|union| × n)``,
+    far smaller than the full universe width, and only the touched TGM
+    columns are ever materialized (a full-matrix conversion would copy
+    ``n × U`` floats per batch, dwarfing the BLAS win).  Roaring backend:
+    falls back to per-query scoring (still correct, not faster).
     """
     if tgm.backend != "dense":
         rows = []
@@ -72,12 +78,19 @@ def batch_covered_counts(
         return np.stack(rows) if rows else np.zeros((0, tgm.num_groups), dtype=np.int64)
     if not queries:
         return np.zeros((0, tgm.num_groups), dtype=np.int64)
-    weighted = query_weight_matrix(queries, tgm.universe_size)
-    # (queries × tokens) @ (tokens × groups) — multiplicity-weighted coverage.
+    per_query = [prepare_query(query, tgm.universe_size) for query in queries]
+    union = sorted({token for known, _, _ in per_query for token in known})
+    if not union:
+        return np.zeros((len(queries), tgm.num_groups), dtype=np.int64)
+    column_of = {token: column for column, token in enumerate(union)}
     # The product runs in float64 so it goes through BLAS (an int64 matmul
     # falls back to numpy's slow generic loop); every partial sum is an
     # integer far below 2^53, so the rounded counts are exact.
-    counts = weighted.astype(np.float64) @ tgm._matrix.T.astype(np.float64)
+    weighted = np.zeros((len(queries), len(union)), dtype=np.float64)
+    for i, (known, weights, _) in enumerate(per_query):
+        for token, weight in zip(known, weights):
+            weighted[i, column_of[token]] = weight
+    counts = weighted @ tgm._matrix[:, union].T.astype(np.float64)
     return np.rint(counts).astype(np.int64)
 
 
@@ -119,12 +132,29 @@ def batch_knn_search(
     k: int,
     verify: str = "columnar",
 ) -> list[SearchResult]:
-    """kNN for every query.
+    """kNN for every query; one TGM scan for the whole batch.
 
-    The group scan is shared conceptually but kNN's verification order is
-    query-specific, so this simply loops :func:`knn_search`; provided for
-    API symmetry and used by the join and the examples.
+    Group scoring is shared — one :func:`batch_covered_counts` product
+    covers every query — while the best-first descent and verification
+    stay per-query (their order is query-specific).  Matches are
+    bit-identical to looping :func:`knn_search`.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    return [knn_search(dataset, tgm, query, k, verify=verify) for query in queries]
+    counts = batch_covered_counts(tgm, queries)
+    measure = tgm.measure
+    results = []
+    for i, query in enumerate(queries):
+        stats = QueryStats()
+        stats.groups_scored = tgm.num_groups
+        bounds = measure.bounds_from_counts(counts[i], len(query))
+        heap: list[tuple[float, int]] = []
+        zero_candidates: list[list[int]] = []
+        verifier = make_verifier(dataset, query, measure, verify)
+        knn_visit_groups(
+            dataset, tgm, query, k, bounds, heap, stats, measure,
+            zero_candidates, verifier,
+        )
+        pad_zero_matches(heap, k, zero_candidates)
+        results.append(finalize_result(knn_heap_matches(heap), stats))
+    return results

@@ -26,7 +26,15 @@ from repro.core.similarity import Similarity
 from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set, remove_set
 
-__all__ = ["LES3", "suggest_num_groups", "as_query_record"]
+__all__ = ["LES3", "suggest_num_groups", "as_query_record", "PARALLEL_MODES"]
+
+#: Execution modes of the query methods — one canonical tuple shared by
+#: both engine classes so their signatures validate identically.  A
+#: single-node :class:`LES3` always executes serially; it still accepts
+#: (and validates) the keyword so callers can treat the engines
+#: interchangeably.  :class:`repro.distributed.ShardedLES3` actually
+#: dispatches to thread/process pools.
+PARALLEL_MODES = ("serial", "thread", "process")
 
 
 def suggest_num_groups(database_size: int) -> int:
@@ -164,40 +172,117 @@ class LES3:
     def _verify_mode(self, verify: str | None) -> str:
         return self.verify if verify is None else verify
 
+    def _resolve_parallel(self, parallel: str | None) -> str:
+        """Validate ``parallel`` for signature parity with ShardedLES3.
+
+        A single-node engine has no shards to scatter over, so every
+        valid mode executes the same serial plan; an *unknown* mode is
+        still rejected, exactly like the sharded engine rejects it.
+        """
+        mode = "serial" if parallel is None else parallel
+        if mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {mode!r}; expected one of {PARALLEL_MODES}"
+            )
+        return mode
+
     def knn(
-        self, query_tokens: Sequence[Hashable], k: int, verify: str | None = None
+        self,
+        query_tokens: Sequence[Hashable],
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """kNN search over external tokens."""
+        self._resolve_parallel(parallel)
         return knn_search(
             self.dataset, self.tgm, self._as_record(query_tokens), k,
             verify=self._verify_mode(verify),
         )
 
     def range(
-        self, query_tokens: Sequence[Hashable], threshold: float, verify: str | None = None
+        self,
+        query_tokens: Sequence[Hashable],
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """Range search over external tokens."""
+        self._resolve_parallel(parallel)
         return range_search(
             self.dataset, self.tgm, self._as_record(query_tokens), threshold,
             verify=self._verify_mode(verify),
         )
 
-    def knn_record(self, query: SetRecord, k: int, verify: str | None = None) -> SearchResult:
+    def knn_record(
+        self,
+        query: SetRecord,
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> SearchResult:
         """kNN search with a pre-interned query record."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._resolve_parallel(parallel)
         return knn_search(
             self.dataset, self.tgm, query, k, verify=self._verify_mode(verify)
         )
 
     def range_record(
-        self, query: SetRecord, threshold: float, verify: str | None = None
+        self,
+        query: SetRecord,
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
     ) -> SearchResult:
         """Range search with a pre-interned query record."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self._resolve_parallel(parallel)
         return range_search(
             self.dataset, self.tgm, query, threshold, verify=self._verify_mode(verify)
         )
 
-    def join(self, threshold: float, verify: str | None = None) -> JoinResult:
+    def batch_knn_record(
+        self,
+        queries: Sequence[SetRecord],
+        k: int,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> list[SearchResult]:
+        """kNN for every query (see :func:`repro.core.batch.batch_knn_search`)."""
+        from repro.core.batch import batch_knn_search
+
+        self._resolve_parallel(parallel)
+        return batch_knn_search(
+            self.dataset, self.tgm, queries, k, verify=self._verify_mode(verify)
+        )
+
+    def batch_range_record(
+        self,
+        queries: Sequence[SetRecord],
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> list[SearchResult]:
+        """Range search for every query; one TGM scan for the whole batch."""
+        from repro.core.batch import batch_range_search
+
+        self._resolve_parallel(parallel)
+        return batch_range_search(
+            self.dataset, self.tgm, queries, threshold,
+            verify=self._verify_mode(verify),
+        )
+
+    def join(
+        self,
+        threshold: float,
+        verify: str | None = None,
+        parallel: str | None = None,
+    ) -> JoinResult:
         """Exact similarity self-join: all pairs with ``Sim >= threshold``."""
+        self._resolve_parallel(parallel)
         return similarity_self_join(
             self.dataset, self.tgm, threshold, verify=self._verify_mode(verify)
         )

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from pathlib import Path
 
 from repro.core.columnar import VERIFY_MODES
@@ -325,16 +326,16 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
 
     Examples
     --------
-    >>> import tempfile, os
+    >>> import tempfile, os, repro
     >>> from repro import Dataset, LES3
-    >>> from repro.core import save_engine, load_engine
+    >>> from repro.core import save_engine
     >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
     >>> engine = LES3.build(dataset, num_groups=2)
     >>> path = os.path.join(tempfile.mkdtemp(), "index")
     >>> save_engine(engine, path)
-    >>> load_engine(path).knn(["a", "b"], k=1).matches
+    >>> repro.load(path).knn(["a", "b"], k=1).matches
     [(0, 1.0)]
-    >>> load_engine(path, mode="mmap").knn(["a", "b"], k=1).matches
+    >>> repro.load(path, mode="mmap").knn(["a", "b"], k=1).matches
     [(0, 1.0)]
     """
     directory = Path(directory)
@@ -357,6 +358,24 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
 
 
 def load_engine(directory: str | Path, mode: str = "memory") -> LES3:
+    """Deprecated alias of :func:`repro.load` for single-engine saves.
+
+    Kept as a documented thin wrapper: it behaves exactly like
+    :func:`_load_engine` always has, but new code should call
+    :func:`repro.load`, which auto-detects single-engine vs sharded
+    directories and accepts one uniform set of options for both.  See
+    the migration note in ``docs/persistence.md``.
+    """
+    warnings.warn(
+        "load_engine is deprecated; use repro.load(directory, mode=...) — "
+        "it auto-detects single-engine and sharded saves",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_engine(directory, mode)
+
+
+def _load_engine(directory: str | Path, mode: str = "memory") -> LES3:
     """Load an engine persisted by :func:`save_engine`.
 
     Reads the current format (v3) as well as v2 and v1 directories (v1:

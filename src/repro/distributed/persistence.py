@@ -43,6 +43,7 @@ import hashlib
 import json
 import re
 import shutil
+import warnings
 from pathlib import Path
 
 from repro.core.cache import LRUCache
@@ -309,6 +310,30 @@ def load_sharded(
     mode: str = "memory",
     max_resident_shards: int | None = None,
 ) -> ShardedLES3:
+    """Deprecated alias of :func:`repro.load` for sharded saves.
+
+    Kept as a documented thin wrapper: it behaves exactly like
+    :func:`_load_sharded` always has, but new code should call
+    :func:`repro.load`, which auto-detects single-engine vs sharded
+    directories and accepts one uniform set of options for both.  See
+    the migration note in ``docs/persistence.md``.
+    """
+    warnings.warn(
+        "load_sharded is deprecated; use repro.load(directory, mode=...) — "
+        "it auto-detects single-engine and sharded saves",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_sharded(directory, parallel, workers, mode, max_resident_shards)
+
+
+def _load_sharded(
+    directory: str | Path,
+    parallel: str | None = None,
+    workers: int | None = None,
+    mode: str = "memory",
+    max_resident_shards: int | None = None,
+) -> ShardedLES3:
     """Load a sharded engine persisted by :func:`save_sharded`.
 
     Every shard's digest is verified and the shard groups plus
@@ -361,16 +386,16 @@ def load_sharded(
 
     Examples
     --------
-    >>> import tempfile, os
+    >>> import tempfile, os, repro
     >>> from repro import Dataset, ShardedLES3
-    >>> from repro.distributed import save_sharded, load_sharded
+    >>> from repro.distributed import save_sharded
     >>> dataset = Dataset.from_token_lists([["a", "b"], ["b", "c"], ["x", "y"]])
     >>> engine = ShardedLES3.build(dataset, num_shards=2, num_groups=2)
     >>> path = os.path.join(tempfile.mkdtemp(), "sharded-index")
     >>> save_sharded(engine, path)
-    >>> load_sharded(path).knn(["a", "b"], k=1).matches
+    >>> repro.load(path).knn(["a", "b"], k=1).matches
     [(0, 1.0)]
-    >>> load_sharded(path, mode="lazy").knn(["a", "b"], k=1).matches
+    >>> repro.load(path, mode="lazy").knn(["a", "b"], k=1).matches
     [(0, 1.0)]
     """
     if mode not in SHARDED_LOAD_MODES:

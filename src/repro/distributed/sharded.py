@@ -59,7 +59,12 @@ from repro.core.batch import batch_covered_counts
 from repro.core.cache import LRUCache
 from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
-from repro.core.engine import LES3, as_query_record, suggest_num_groups
+from repro.core.engine import (
+    LES3,
+    PARALLEL_MODES,
+    as_query_record,
+    suggest_num_groups,
+)
 from repro.core.join import (
     JoinResult,
     best_feasible_pair_bound,
@@ -85,9 +90,9 @@ from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set
 from repro.distributed.sharding import assign_shards, lpt_balance
 
+# PARALLEL_MODES is re-exported here (its canonical home is
+# repro.core.engine, shared by both engine classes) for back-compat.
 __all__ = ["ShardedLES3", "LazyShardTGMs", "PARALLEL_MODES"]
-
-PARALLEL_MODES = ("serial", "thread", "process")
 
 
 def _build_concurrently(builders, workers: int | None):

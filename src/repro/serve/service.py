@@ -1,0 +1,322 @@
+"""The query service core: admission, micro-batching, execution, stats.
+
+This is the engine-facing half of ``repro serve`` (the HTTP half lives in
+:mod:`repro.serve.http`).  Concurrent requests do not each pay their own
+trip through the engine; they flow through a :class:`QueryService`:
+
+1. **Admission.**  A request is accepted only while the number of
+   admitted-but-unanswered requests is below ``max_queue``; beyond that
+   :meth:`QueryService.submit` raises :class:`ServiceOverloaded` and the
+   HTTP layer answers ``503`` with a ``Retry-After`` hint — the service
+   degrades by shedding load, never by growing an unbounded backlog.
+2. **Micro-batching.**  Admitted requests sit in an asyncio queue for at
+   most ``batch_window_ms`` (or until ``max_batch`` of them are waiting;
+   with a window of 0 the batcher still drains whatever arrived while
+   the previous batch was executing — classic adaptive batching).  The
+   batch is handed to :func:`repro.api.execute_batch`, which coalesces
+   compatible kNN/range requests into the engine's batched BLAS kernels.
+3. **Execution.**  Engine work is CPU-bound, so batches run on a small
+   thread pool (``concurrency`` batches in flight at most, default 1 —
+   numpy releases the GIL inside BLAS, and the engine's own
+   thread/process pools parallelize *within* a batch across shards;
+   ``shard_workers`` caps that per-shard fan-out).
+4. **Accounting.**  Every answered request feeds the service stats:
+   queries served per kind, a batch-size histogram, and a latency
+   reservoir from which ``/stats`` reports p50/p99.
+
+Results are bit-identical to calling the engine directly: batching only
+changes *when* a request is executed, never what it computes (the
+server integration tests assert this request-for-request).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.api import Engine, QueryRequest, QueryResult, execute_batch
+
+__all__ = ["QueryService", "ServiceOverloaded", "ServiceStats"]
+
+#: Most recent per-request latencies (seconds) kept for the quantile
+#: report; a bounded reservoir so a long-lived server's memory stays flat.
+_LATENCY_RESERVOIR = 4096
+
+
+class ServiceOverloaded(Exception):
+    """The admission queue is full; the caller should retry later.
+
+    ``retry_after`` is the server's hint (in seconds, integral) for the
+    HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, max_queue: int, retry_after: int = 1) -> None:
+        super().__init__(
+            f"query queue is full ({depth} in flight, bound {max_queue}); "
+            "retry later"
+        )
+        self.retry_after = retry_after
+
+
+@dataclass
+class ServiceStats:
+    """Counters a :class:`QueryService` maintains while serving.
+
+    ``batch_sizes`` maps dispatched batch size → number of batches of
+    that size; ``latencies`` holds the most recent per-request wall
+    latencies in seconds (admission to answer, execution included).
+    """
+
+    started_at: float = field(default_factory=time.time)
+    queries_served: int = 0
+    queries_rejected: int = 0
+    queries_failed: int = 0
+    batches_dispatched: int = 0
+    served_by_kind: dict = field(default_factory=dict)
+    batch_sizes: dict = field(default_factory=dict)
+    latencies: list = field(default_factory=list)
+
+    def record_batch(self, size: int) -> None:
+        self.batches_dispatched += 1
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def record_served(self, kind: str, latency: float) -> None:
+        self.queries_served += 1
+        self.served_by_kind[kind] = self.served_by_kind.get(kind, 0) + 1
+        self.latencies.append(latency)
+        if len(self.latencies) > _LATENCY_RESERVOIR:
+            del self.latencies[: -_LATENCY_RESERVOIR]
+
+    def latency_quantiles(self) -> dict:
+        """p50/p99 (seconds) over the reservoir; zeros before any traffic."""
+        if not self.latencies:
+            return {"p50": 0.0, "p99": 0.0}
+        ordered = sorted(self.latencies)
+        last = len(ordered) - 1
+        return {
+            "p50": ordered[int(last * 0.50)],
+            "p99": ordered[int(last * 0.99)],
+        }
+
+    def snapshot(self) -> dict:
+        """The JSON-safe dict ``/stats`` returns."""
+        quantiles = self.latency_quantiles()
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "queries_served": self.queries_served,
+            "queries_rejected": self.queries_rejected,
+            "queries_failed": self.queries_failed,
+            "served_by_kind": dict(self.served_by_kind),
+            "batches_dispatched": self.batches_dispatched,
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(self.batch_sizes.items())
+            },
+            "mean_batch_size": (
+                self.queries_served / self.batches_dispatched
+                if self.batches_dispatched
+                else 0.0
+            ),
+            "latency_ms": {
+                "p50": quantiles["p50"] * 1000.0,
+                "p99": quantiles["p99"] * 1000.0,
+            },
+        }
+
+
+class _Pending:
+    """One admitted request awaiting its answer."""
+
+    __slots__ = ("request", "future", "admitted_at")
+
+    def __init__(self, request: QueryRequest, future: asyncio.Future) -> None:
+        self.request = request
+        self.future = future
+        self.admitted_at = time.perf_counter()
+
+
+class QueryService:
+    """Admission + micro-batching front of one loaded engine.
+
+    Parameters
+    ----------
+    engine : LES3 or ShardedLES3
+        The loaded engine (any kind — the unified query API hides the
+        difference).
+    batch_window_ms : float, default 2.0
+        How long the first request of a batch waits for company before
+        the batch is dispatched.  0 disables the *timed* wait; requests
+        that queued while the previous batch was executing still
+        coalesce (set ``max_batch=1`` for strict one-request-per-call).
+    max_batch : int, default 64
+        Largest batch ever dispatched to the engine.
+    max_queue : int, default 256
+        Admission bound: maximum admitted-but-unanswered requests.
+        Beyond it :meth:`submit` raises :class:`ServiceOverloaded`.
+    concurrency : int, default 1
+        Batches allowed in flight on the executor simultaneously.
+    shard_workers : int, optional
+        Per-shard fan-out cap for the engine's own thread/process pools
+        (``engine.query_workers``); None keeps the engine default
+        (``min(num_shards, cpu_count)``).
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 64,
+        max_queue: int = 256,
+        concurrency: int = 1,
+        shard_workers: int | None = None,
+    ) -> None:
+        if batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        self.engine = engine
+        self.batch_window = batch_window_ms / 1000.0
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.concurrency = concurrency
+        if shard_workers is not None:
+            engine.query_workers = shard_workers
+        self.stats = ServiceStats()
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
+        self._in_flight = 0
+        self._dispatcher: asyncio.Task | None = None
+        self._batch_slots = asyncio.Semaphore(concurrency)
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "QueryService":
+        """Start the dispatcher loop (idempotent)."""
+        if self._dispatcher is None:
+            self.stats.started_at = time.time()
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Drain nothing, cancel the dispatcher, fail unanswered requests."""
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for task in list(self._batch_tasks):
+            task.cancel()
+        while not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ConnectionError("query service is shutting down")
+                )
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.stop()
+        return False
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unanswered requests right now."""
+        return self._in_flight
+
+    # -- admission ---------------------------------------------------------
+
+    async def submit(self, request: QueryRequest) -> QueryResult:
+        """Admit one request, await its (possibly batched) answer.
+
+        Raises
+        ------
+        ServiceOverloaded
+            When the admission bound is hit; the request was *not*
+            enqueued.
+        """
+        if self._closed or self._dispatcher is None:
+            raise ConnectionError("query service is not running")
+        if self._in_flight >= self.max_queue:
+            self.stats.queries_rejected += 1
+            raise ServiceOverloaded(self._in_flight, self.max_queue)
+        self._in_flight += 1
+        pending = _Pending(request, asyncio.get_running_loop().create_future())
+        self._queue.put_nowait(pending)
+        try:
+            return await pending.future
+        finally:
+            self._in_flight -= 1
+
+    # -- batching ----------------------------------------------------------
+
+    async def _collect_batch(self) -> list[_Pending]:
+        """Block for the first request, then gather company for it.
+
+        Whatever is already queued is drained immediately (up to
+        ``max_batch``); only then does the timed window wait for more.
+        Under load the queue is never empty when a batch closes, so the
+        window adds no latency — it only matters at low arrival rates.
+        """
+        batch = [await self._queue.get()]
+        while len(batch) < self.max_batch and not self._queue.empty():
+            batch.append(self._queue.get_nowait())
+        if self.batch_window > 0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            await self._batch_slots.acquire()
+            task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        try:
+            self.stats.record_batch(len(batch))
+            requests = [pending.request for pending in batch]
+            try:
+                results = await asyncio.get_running_loop().run_in_executor(
+                    None, execute_batch, self.engine, requests
+                )
+            except Exception as error:  # noqa: BLE001 - forwarded per request
+                self.stats.queries_failed += len(batch)
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                return
+            finished = time.perf_counter()
+            for pending, result in zip(batch, results):
+                self.stats.record_served(
+                    pending.request.kind, finished - pending.admitted_at
+                )
+                if not pending.future.done():
+                    pending.future.set_result(result)
+        finally:
+            self._batch_slots.release()

@@ -1,0 +1,321 @@
+"""Integration tests for the HTTP layer (:mod:`repro.serve.http`).
+
+Every test binds a real server on an ephemeral port (``port=0``) and
+talks to it over a real socket.  The load-bearing assertions from the
+PR-6 acceptance criteria live here: server answers are bit-identical to
+direct engine calls, concurrent clients coalesce without corruption,
+saturation answers ``503`` + ``Retry-After``, and ``/healthz`` reports
+``loading`` before the index is up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import Dataset, LES3, __version__, save_engine
+from repro.api import QueryRequest, execute, load
+from repro.distributed import ShardedLES3, save_sharded
+from repro.serve import ReproServer, request_json, wait_ready
+from repro.serve.http import MAX_BODY_BYTES
+
+
+@pytest.fixture(scope="module")
+def dataset() -> Dataset:
+    rows = [[f"t{(i * 7 + j * 3) % 37}" for j in range(2 + i % 6)] for i in range(160)]
+    return Dataset.from_token_lists(rows)
+
+
+@pytest.fixture(scope="module")
+def single_dir(dataset, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("serve") / "single"
+    save_engine(LES3.build(dataset, num_groups=8), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(dataset, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("serve") / "sharded"
+    save_sharded(ShardedLES3.build(dataset, num_shards=3, num_groups=8), path)
+    return str(path)
+
+
+def _query(dataset: Dataset, index: int) -> list:
+    return [
+        dataset.universe.token_of(t) for t in dataset.records[index].tokens
+    ]
+
+
+async def _ready_server(directory: str, **options) -> ReproServer:
+    server = ReproServer(directory, port=0, **options)
+    await server.start()
+    await wait_ready(server.host, server.port)
+    return server
+
+
+@pytest.mark.parametrize(
+    "directory_fixture, mode",
+    [("single_dir", "memory"), ("sharded_dir", "memory"), ("sharded_dir", "lazy")],
+)
+def test_server_is_bit_identical_to_direct_calls(
+    directory_fixture, mode, dataset, request
+):
+    directory = request.getfixturevalue(directory_fixture)
+
+    async def main():
+        server = await _ready_server(directory, mode=mode)
+        reference = load(directory, mode=mode)
+        try:
+            for index in range(0, 12, 3):
+                tokens = _query(dataset, index)
+                for path, payload, req in [
+                    ("/knn", {"tokens": tokens, "k": 5}, QueryRequest.knn(tokens, k=5)),
+                    (
+                        "/range",
+                        {"tokens": tokens, "threshold": 0.5},
+                        QueryRequest.range(tokens, threshold=0.5),
+                    ),
+                ]:
+                    status, body = await request_json(
+                        server.host, server.port, "POST", path, payload
+                    )
+                    assert status == 200
+                    assert body == execute(reference, req).to_payload()
+            status, body = await request_json(
+                server.host, server.port, "POST", "/join", {"threshold": 0.9}
+            )
+            assert status == 200
+            assert body == execute(
+                reference, QueryRequest.join(threshold=0.9)
+            ).to_payload()
+        finally:
+            await server.stop()
+            if hasattr(reference, "close"):
+                reference.close()
+
+    asyncio.run(main())
+
+
+def test_concurrent_clients_batch_and_stay_correct(single_dir, dataset):
+    async def main():
+        server = await _ready_server(single_dir, batch_window_ms=10.0)
+        reference = load(single_dir)
+        try:
+            requests = [QueryRequest.knn(_query(dataset, i % 40), k=3) for i in range(48)]
+
+            async def one(req):
+                return await request_json(
+                    server.host,
+                    server.port,
+                    "POST",
+                    "/knn",
+                    {"tokens": list(req.tokens), "k": req.k},
+                )
+
+            answers = await asyncio.gather(*(one(r) for r in requests))
+            for req, (status, body) in zip(requests, answers):
+                assert status == 200
+                assert body == execute(reference, req).to_payload()
+            status, stats = await request_json(server.host, server.port, "GET", "/stats")
+            service = stats["service"]
+            assert service["queries_served"] == 48
+            assert service["batches_dispatched"] < 48  # micro-batching engaged
+            assert service["mean_batch_size"] > 1.0
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_healthz_reports_loading_then_ok(single_dir):
+    async def main():
+        # Gate the load so the not-ready window is deterministic: the
+        # server binds first, and /healthz answers 503 "loading" (and
+        # query endpoints shed) until the engine is allowed through.
+        gate = asyncio.Event()
+
+        class _GatedServer(ReproServer):
+            async def _bring_up(self):
+                await gate.wait()
+                await super()._bring_up()
+
+        server = _GatedServer(single_dir, port=0)
+        await server.start()
+        status, body = await request_json(server.host, server.port, "GET", "/healthz")
+        assert status == 503 and body["status"] == "loading"
+        status, body = await request_json(
+            server.host, server.port, "POST", "/knn", {"tokens": ["t1"], "k": 1}
+        )
+        assert status == 503 and "loading" in body["error"]
+        gate.set()
+        await wait_ready(server.host, server.port)
+        status, body = await request_json(server.host, server.port, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        await server.stop()
+
+    asyncio.run(main())
+
+
+def test_load_failure_surfaces_in_healthz(tmp_path):
+    async def main():
+        server = ReproServer(str(tmp_path / "missing"), port=0)
+        await server.start()
+        with pytest.raises(FileNotFoundError):
+            await server.ready()
+        status, body = await request_json(server.host, server.port, "GET", "/healthz")
+        assert status == 503 and body["status"] == "failed"
+        status, body = await request_json(
+            server.host, server.port, "POST", "/knn", {"tokens": ["a"], "k": 1}
+        )
+        assert status == 503 and "failed to load" in body["error"]
+        await server.stop()
+
+    asyncio.run(main())
+
+
+def test_saturation_answers_503_with_retry_after(single_dir, dataset):
+    async def main():
+        # max_queue=1 plus a long batch window: the first request parks in
+        # the batcher and every concurrent one must be shed.
+        server = await _ready_server(
+            single_dir, batch_window_ms=300.0, max_queue=1
+        )
+        try:
+            tokens = _query(dataset, 0)
+
+            async def raw_roundtrip():
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                body = json.dumps({"tokens": tokens, "k": 3}).encode()
+                writer.write(
+                    (
+                        f"POST /knn HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                    ).encode()
+                    + body
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                status = int(raw.split(b" ", 2)[1])
+                headers, _, payload = raw.partition(b"\r\n\r\n")
+                return status, headers.decode("latin-1"), json.loads(payload)
+
+            results = await asyncio.gather(*(raw_roundtrip() for _ in range(6)))
+            statuses = [status for status, _, _ in results]
+            assert 200 in statuses, statuses
+            assert 503 in statuses, statuses
+            for status, headers, payload in results:
+                if status == 503:
+                    assert "Retry-After:" in headers
+                    assert "retry later" in payload["error"]
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_protocol_errors(single_dir):
+    async def main():
+        server = await _ready_server(single_dir)
+        host, port = server.host, server.port
+        try:
+            status, body = await request_json(host, port, "GET", "/nope")
+            assert status == 404
+            status, body = await request_json(host, port, "GET", "/knn")
+            assert status == 405
+            status, body = await request_json(host, port, "POST", "/stats")
+            assert status == 405
+            status, body = await request_json(
+                host, port, "POST", "/knn", {"tokens": [], "k": 1}
+            )
+            assert status == 400 and "token" in body["error"]
+            status, body = await request_json(
+                host, port, "POST", "/knn", {"tokens": ["a"], "k": 1, "oops": True}
+            )
+            assert status == 400 and "oops" in body["error"]
+
+            # Raw junk: bad JSON, bad request line, oversized body.
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /knn HTTP/1.1\r\nHost: t\r\nContent-Length: 3\r\n\r\n{{{"
+            )
+            await writer.drain()
+            raw = await reader.readline()
+            assert b"400" in raw
+            writer.close()
+
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"NONSENSE\r\n\r\n")
+            await writer.drain()
+            raw = await reader.readline()
+            assert b"400" in raw
+            writer.close()
+
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                f"POST /knn HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.readline()
+            assert b"413" in raw
+            writer.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_stats_endpoint_shape(sharded_dir):
+    async def main():
+        server = await _ready_server(sharded_dir, mode="lazy")
+        try:
+            status, stats = await request_json(server.host, server.port, "GET", "/stats")
+            assert status == 200
+            assert stats["version"] == __version__
+            assert stats["ready"] is True
+            assert stats["mode"] == "lazy"
+            assert stats["num_shards"] == 3
+            assert stats["num_records"] == 160
+            service = stats["service"]
+            assert service["max_batch"] == 64 and service["max_queue"] == 256
+            assert service["queue_depth"] == 0
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_keep_alive_connections_are_reused(single_dir, dataset):
+    from repro.serve.http import _roundtrip
+
+    async def main():
+        server = await _ready_server(single_dir)
+        try:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            tokens = _query(dataset, 0)
+            for _ in range(3):  # three requests down one connection
+                status, body = await _roundtrip(
+                    reader, writer, "POST", "/knn", {"tokens": tokens, "k": 2}
+                )
+                assert status == 200 and body["count"] == 2
+            writer.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_cli_has_a_serve_command():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "some-index", "--port", "0", "--mode", "lazy", "--max-batch", "8"]
+    )
+    assert args.command == "serve"
+    assert args.port == 0 and args.mode == "lazy" and args.max_batch == 8
+    assert args.batch_window_ms == 2.0 and args.max_queue == 256

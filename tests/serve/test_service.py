@@ -1,0 +1,169 @@
+"""Unit tests for the micro-batcher core (:mod:`repro.serve.service`).
+
+Everything here runs against a real (small) engine but no HTTP: batching
+behavior, the admission bound, lifecycle, and the stats the ``/stats``
+endpoint reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import Dataset, LES3
+from repro.api import QueryRequest, execute
+from repro.serve import QueryService, ServiceOverloaded, ServiceStats
+
+
+@pytest.fixture(scope="module")
+def engine() -> LES3:
+    rows = [[f"t{(i * 5 + j) % 29}" for j in range(2 + i % 5)] for i in range(120)]
+    return LES3.build(Dataset.from_token_lists(rows), num_groups=8)
+
+
+def _query(engine: LES3, index: int) -> list:
+    return [
+        engine.dataset.universe.token_of(t)
+        for t in engine.dataset.records[index].tokens
+    ]
+
+
+def test_submit_answers_bit_identically(engine):
+    async def main():
+        async with QueryService(engine) as service:
+            request = QueryRequest.knn(_query(engine, 0), k=4)
+            result = await service.submit(request)
+            assert result.matches == execute(engine, request).matches
+            request = QueryRequest.range(_query(engine, 1), threshold=0.5)
+            assert (await service.submit(request)).matches == execute(
+                engine, request
+            ).matches
+
+    asyncio.run(main())
+
+
+def test_concurrent_requests_coalesce_into_batches(engine):
+    async def main():
+        # A generous window so every concurrently submitted request lands
+        # in one batch deterministically.
+        async with QueryService(engine, batch_window_ms=50.0, max_batch=64) as service:
+            requests = [QueryRequest.knn(_query(engine, i), k=3) for i in range(32)]
+            results = await asyncio.gather(*(service.submit(r) for r in requests))
+            for request, result in zip(requests, results):
+                assert result.matches == execute(engine, request).matches
+            assert service.stats.queries_served == 32
+            assert service.stats.batches_dispatched < 32  # really coalesced
+            assert max(service.stats.batch_sizes) > 1
+
+    asyncio.run(main())
+
+
+def test_max_batch_bounds_batch_size(engine):
+    async def main():
+        async with QueryService(engine, batch_window_ms=50.0, max_batch=4) as service:
+            requests = [QueryRequest.knn(_query(engine, i), k=3) for i in range(10)]
+            await asyncio.gather(*(service.submit(r) for r in requests))
+            assert max(service.stats.batch_sizes) <= 4
+
+    asyncio.run(main())
+
+
+def test_admission_bound_sheds_load(engine):
+    async def main():
+        # One slot: the second in-flight request must be rejected with the
+        # Retry-After hint the HTTP layer forwards.
+        async with QueryService(engine, batch_window_ms=200.0, max_queue=1) as service:
+            first = asyncio.ensure_future(
+                service.submit(QueryRequest.knn(_query(engine, 0), k=3))
+            )
+            await asyncio.sleep(0)  # let it enter the queue
+            with pytest.raises(ServiceOverloaded) as caught:
+                await service.submit(QueryRequest.knn(_query(engine, 1), k=3))
+            assert caught.value.retry_after >= 1
+            assert service.stats.queries_rejected == 1
+            assert (await first).matches  # the admitted one still completes
+
+    asyncio.run(main())
+
+
+def test_engine_errors_fail_the_request_not_the_service(engine):
+    async def main():
+        async with QueryService(engine, batch_window_ms=0.0) as service:
+            bogus = QueryRequest(kind="fuzzy", tokens=("a",))
+            with pytest.raises(ValueError, match="unknown query kind"):
+                await service.submit(bogus)
+            assert service.stats.queries_failed == 1
+            # The service survives and keeps answering.
+            good = QueryRequest.knn(_query(engine, 2), k=2)
+            assert (await service.submit(good)).matches == execute(engine, good).matches
+
+    asyncio.run(main())
+
+
+def test_submit_after_stop_is_a_connection_error(engine):
+    async def main():
+        service = QueryService(engine)
+        await service.start()
+        await service.stop()
+        with pytest.raises(ConnectionError):
+            await service.submit(QueryRequest.knn(_query(engine, 0), k=1))
+
+    asyncio.run(main())
+
+
+def test_constructor_validates_knobs(engine):
+    for kwargs in (
+        {"batch_window_ms": -1},
+        {"max_batch": 0},
+        {"max_queue": 0},
+        {"concurrency": 0},
+    ):
+        with pytest.raises(ValueError):
+            QueryService(engine, **kwargs)
+
+
+def test_shard_workers_knob_sets_engine_pool_size(engine):
+    # On a single-node engine the attribute simply appears; on a sharded
+    # one it caps the existing query_workers pool — either way the service
+    # records the caller's intent on the engine it owns.
+    QueryService(engine, shard_workers=2)
+    assert engine.query_workers == 2
+
+
+def test_stats_snapshot_shape(engine):
+    async def main():
+        async with QueryService(engine, batch_window_ms=20.0) as service:
+            await asyncio.gather(
+                *(
+                    service.submit(QueryRequest.knn(_query(engine, i), k=2))
+                    for i in range(8)
+                )
+            )
+            snapshot = service.stats.snapshot()
+            assert snapshot["queries_served"] == 8
+            assert snapshot["served_by_kind"]["knn"] == 8
+            assert snapshot["uptime_seconds"] >= 0
+            assert snapshot["mean_batch_size"] >= 1
+            assert sum(
+                int(size) * count
+                for size, count in snapshot["batch_size_histogram"].items()
+            ) == 8
+            assert snapshot["latency_ms"]["p99"] >= snapshot["latency_ms"]["p50"] > 0
+
+    asyncio.run(main())
+
+
+def test_latency_reservoir_is_bounded():
+    stats = ServiceStats()
+    for i in range(10_000):
+        stats.record_served("knn", i * 1e-6)
+    assert len(stats.latencies) <= 4096
+    quantiles = stats.latency_quantiles()
+    assert quantiles["p99"] >= quantiles["p50"]
+
+
+def test_empty_stats_are_json_safe():
+    snapshot = ServiceStats().snapshot()
+    assert snapshot["latency_ms"] == {"p50": 0.0, "p99": 0.0}
+    assert snapshot["mean_batch_size"] == 0.0
