@@ -39,8 +39,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Hashable, Sequence, Union
 
-from repro.core.engine import LES3, PARALLEL_MODES, as_query_record
+from repro.core.engine import DEGRADED_MODES, LES3, PARALLEL_MODES, as_query_record
 from repro.core.metrics import QueryStats
+from repro.core.resilience import Deadline
 from repro.distributed.sharded import ShardedLES3
 
 __all__ = [
@@ -176,18 +177,24 @@ class QueryRequest:
     the query tokens (except for joins, which run over the indexed data),
     the kind's own parameter (``k`` / ``threshold``), and the uniform
     execution knobs ``verify`` / ``parallel`` (``None`` = the engine's
-    defaults).
+    defaults).  Two robustness knobs ride along: ``timeout_ms`` (a
+    per-request deadline; the service maps an expired one to HTTP 504)
+    and ``degraded`` (``"strict"``, the default, demands bit-identical
+    answers or an exception; ``"partial"`` accepts answers from the
+    healthy shards, with the failed ones reported back).
 
     Use the constructors — they validate eagerly, so a malformed request
     fails where it is built (e.g. at the server's admission edge), not
     deep inside an engine::
 
-        >>> QueryRequest.knn(["a", "b"], k=3)
-        QueryRequest(kind='knn', tokens=('a', 'b'), k=3, threshold=None, verify=None, parallel=None)
+        >>> QueryRequest.knn(["a", "b"], k=3).k
+        3
         >>> QueryRequest.range(["a"], threshold=0.5).threshold
         0.5
         >>> QueryRequest.join(threshold=0.8).tokens is None
         True
+        >>> QueryRequest.knn(["a"], k=1, timeout_ms=250).timeout_ms
+        250
         >>> QueryRequest.knn([], k=3)
         Traceback (most recent call last):
             ...
@@ -200,6 +207,8 @@ class QueryRequest:
     threshold: float | None = None
     verify: str | None = None
     parallel: str | None = None
+    timeout_ms: int | None = None
+    degraded: str | None = None
 
     @classmethod
     def knn(
@@ -208,13 +217,18 @@ class QueryRequest:
         k: int,
         verify: str | None = None,
         parallel: str | None = None,
+        timeout_ms: int | None = None,
+        degraded: str | None = None,
     ) -> "QueryRequest":
         """A k-nearest-neighbours request over external query tokens."""
         if not tokens:
             raise ValueError("a knn query needs at least one token")
         if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
             raise ValueError(f"k must be a positive integer, got {k!r}")
-        request = cls(kind="knn", tokens=tuple(tokens), k=k, verify=verify, parallel=parallel)
+        request = cls(
+            kind="knn", tokens=tuple(tokens), k=k, verify=verify, parallel=parallel,
+            timeout_ms=timeout_ms, degraded=degraded,
+        )
         request._check_modes()
         return request
 
@@ -225,6 +239,8 @@ class QueryRequest:
         threshold: float,
         verify: str | None = None,
         parallel: str | None = None,
+        timeout_ms: int | None = None,
+        degraded: str | None = None,
     ) -> "QueryRequest":
         """A range request: all sets within ``threshold`` of the tokens."""
         if not tokens:
@@ -233,6 +249,7 @@ class QueryRequest:
         request = cls(
             kind="range", tokens=tuple(tokens), threshold=threshold,
             verify=verify, parallel=parallel,
+            timeout_ms=timeout_ms, degraded=degraded,
         )
         request._check_modes()
         return request
@@ -243,10 +260,15 @@ class QueryRequest:
         threshold: float,
         verify: str | None = None,
         parallel: str | None = None,
+        timeout_ms: int | None = None,
+        degraded: str | None = None,
     ) -> "QueryRequest":
         """A similarity self-join of the indexed data (no query tokens)."""
         threshold = _checked_threshold(threshold, low=0.0, low_open=True)
-        request = cls(kind="join", threshold=threshold, verify=verify, parallel=parallel)
+        request = cls(
+            kind="join", threshold=threshold, verify=verify, parallel=parallel,
+            timeout_ms=timeout_ms, degraded=degraded,
+        )
         request._check_modes()
         return request
 
@@ -261,6 +283,19 @@ class QueryRequest:
             raise ValueError(
                 f"unknown parallel mode {self.parallel!r}; expected one of {PARALLEL_MODES}"
             )
+        if self.degraded is not None and self.degraded not in DEGRADED_MODES:
+            raise ValueError(
+                f"unknown degraded mode {self.degraded!r}; expected one of {DEGRADED_MODES}"
+            )
+        if self.timeout_ms is not None:
+            if (
+                isinstance(self.timeout_ms, bool)
+                or not isinstance(self.timeout_ms, int)
+                or self.timeout_ms <= 0
+            ):
+                raise ValueError(
+                    f"timeout_ms must be a positive integer, got {self.timeout_ms!r}"
+                )
 
     @classmethod
     def from_payload(cls, kind: str, payload: dict) -> "QueryRequest":
@@ -276,9 +311,9 @@ class QueryRequest:
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         allowed = {
-            "knn": {"tokens", "k", "verify", "parallel"},
-            "range": {"tokens", "threshold", "verify", "parallel"},
-            "join": {"threshold", "verify", "parallel"},
+            "knn": {"tokens", "k", "verify", "parallel", "timeout_ms", "degraded"},
+            "range": {"tokens", "threshold", "verify", "parallel", "timeout_ms", "degraded"},
+            "join": {"threshold", "verify", "parallel", "timeout_ms", "degraded"},
         }[kind]
         unknown = set(payload) - allowed
         if unknown:
@@ -289,6 +324,8 @@ class QueryRequest:
         modes = {
             "verify": payload.get("verify"),
             "parallel": payload.get("parallel"),
+            "timeout_ms": payload.get("timeout_ms"),
+            "degraded": payload.get("degraded"),
         }
         if kind == "join":
             return cls.join(_payload_threshold(payload), **modes)
@@ -334,8 +371,13 @@ class QueryResult:
     stats: QueryStats = field(default_factory=QueryStats)
 
     def to_payload(self) -> dict:
-        """A JSON-safe dict: the service's response body."""
-        return {
+        """A JSON-safe dict: the service's response body.
+
+        A query answered in ``degraded="partial"`` mode with one or more
+        shards down additionally carries a top-level ``failed_shards``
+        list, so clients can tell a complete answer from a degraded one.
+        """
+        payload = {
             "kind": self.kind,
             "matches": [list(match) for match in self.matches],
             "count": len(self.matches),
@@ -345,14 +387,34 @@ class QueryResult:
                 "groups_pruned": self.stats.groups_pruned,
             },
         }
+        failed_shards = self.stats.extra.get("failed_shards")
+        if failed_shards:
+            payload["failed_shards"] = list(failed_shards)
+        return payload
 
 
-def execute(engine: Engine, request: QueryRequest) -> QueryResult:
+def _request_deadline(
+    request: QueryRequest, deadline: Deadline | None
+) -> Deadline | None:
+    """The effective deadline: an explicit one wins over ``timeout_ms``."""
+    if deadline is not None:
+        return deadline
+    return Deadline.from_timeout_ms(request.timeout_ms)
+
+
+def execute(
+    engine: Engine, request: QueryRequest, deadline: Deadline | None = None
+) -> QueryResult:
     """Run one request against either engine kind.
 
     Thanks to the aligned query signatures this is a straight dispatch;
-    ``verify``/``parallel`` overrides pass through unchanged (``None``
-    falls back to the engine's defaults).
+    ``verify``/``parallel``/``degraded`` overrides pass through unchanged
+    (``None`` falls back to the engine's defaults).  The request's
+    ``timeout_ms`` becomes a :class:`~repro.core.resilience.Deadline`
+    starting *now*, unless the caller passes an explicit ``deadline``
+    (the query service does: its deadline starts at admission, so queue
+    time counts against the budget).  An expired deadline raises
+    :class:`~repro.core.resilience.DeadlineExceeded`.
 
     Examples
     --------
@@ -365,21 +427,25 @@ def execute(engine: Engine, request: QueryRequest) -> QueryResult:
     >>> execute(engine, QueryRequest.join(threshold=0.3)).matches
     [(0, 1, 0.3333333333333333)]
     """
+    deadline = _request_deadline(request, deadline)
     if request.kind == "knn":
         result = engine.knn(
             request.tokens, k=request.k,
             verify=request.verify, parallel=request.parallel,
+            deadline=deadline, degraded=request.degraded,
         )
         return QueryResult("knn", result.matches, result.stats)
     if request.kind == "range":
         result = engine.range(
             request.tokens, threshold=request.threshold,
             verify=request.verify, parallel=request.parallel,
+            deadline=deadline, degraded=request.degraded,
         )
         return QueryResult("range", result.matches, result.stats)
     if request.kind == "join":
         joined = engine.join(
-            request.threshold, verify=request.verify, parallel=request.parallel
+            request.threshold, verify=request.verify, parallel=request.parallel,
+            deadline=deadline, degraded=request.degraded,
         )
         return QueryResult("join", joined.pairs, joined.stats)
     raise ValueError(f"unknown query kind {request.kind!r}; expected one of {QUERY_KINDS}")
@@ -388,30 +454,43 @@ def execute(engine: Engine, request: QueryRequest) -> QueryResult:
 def _coalesce_key(request: QueryRequest):
     """Requests sharing this key can ride one batched kernel call."""
     if request.kind == "knn":
-        return ("knn", request.k, request.verify, request.parallel)
+        return (
+            "knn", request.k, request.verify, request.parallel,
+            request.timeout_ms, request.degraded,
+        )
     if request.kind == "range":
-        return ("range", request.threshold, request.verify, request.parallel)
+        return (
+            "range", request.threshold, request.verify, request.parallel,
+            request.timeout_ms, request.degraded,
+        )
     return None  # joins are whole-database operations; never coalesced
 
 
-def execute_batch(engine: Engine, requests: Sequence[QueryRequest]) -> list[QueryResult]:
+def execute_batch(
+    engine: Engine,
+    requests: Sequence[QueryRequest],
+    deadline: Deadline | None = None,
+) -> list[QueryResult]:
     """Run many requests, coalescing compatible ones into the batch kernels.
 
-    kNN requests sharing ``(k, verify, parallel)`` and range requests
-    sharing ``(threshold, verify, parallel)`` are interned together and
-    answered by one ``batch_knn_record`` / ``batch_range_record`` call —
-    group scoring becomes one BLAS product for the whole sub-batch
-    instead of one scan per request.  Results come back in request
-    order and are bit-identical to running :func:`execute` per request
-    (asserted by the service's integration tests).  This is the
-    primitive ``repro serve``'s micro-batcher dispatches to.
+    kNN requests sharing ``(k, verify, parallel, timeout_ms, degraded)``
+    and range requests sharing the analogous key are interned together
+    and answered by one ``batch_knn_record`` / ``batch_range_record``
+    call — group scoring becomes one BLAS product for the whole
+    sub-batch instead of one scan per request.  Results come back in
+    request order and are bit-identical to running :func:`execute` per
+    request (asserted by the service's integration tests).  This is the
+    primitive ``repro serve``'s micro-batcher dispatches to.  An
+    explicit ``deadline`` (the service's, anchored at admission) bounds
+    every sub-batch; otherwise each sub-batch gets a deadline from its
+    shared ``timeout_ms``.
     """
     results: list[QueryResult | None] = [None] * len(requests)
     coalesced: dict[tuple, list[int]] = {}
     for position, request in enumerate(requests):
         key = _coalesce_key(request)
         if key is None:
-            results[position] = execute(engine, request)
+            results[position] = execute(engine, request, deadline)
         else:
             coalesced.setdefault(key, []).append(position)
     for key, positions in coalesced.items():
@@ -421,13 +500,17 @@ def execute_batch(engine: Engine, requests: Sequence[QueryRequest]) -> list[Quer
             for position in positions
         ]
         verify, parallel = key[2], key[3]
+        batch_deadline = _request_deadline(requests[positions[0]], deadline)
+        degraded = key[5]
         if kind == "knn":
             answers = engine.batch_knn_record(
-                records, key[1], verify=verify, parallel=parallel
+                records, key[1], verify=verify, parallel=parallel,
+                deadline=batch_deadline, degraded=degraded,
             )
         else:
             answers = engine.batch_range_record(
-                records, key[1], verify=verify, parallel=parallel
+                records, key[1], verify=verify, parallel=parallel,
+                deadline=batch_deadline, degraded=degraded,
             )
         for position, answer in zip(positions, answers):
             results[position] = QueryResult(kind, answer.matches, answer.stats)

@@ -43,6 +43,7 @@ from repro.api import QueryRequest, execute, load
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3
 from repro.core.persistence import PersistenceError, save_engine
+from repro.core.resilience import DeadlineExceeded
 from repro.core.validation import validate_tgm
 from repro.distributed import ShardedLES3, save_sharded
 from repro.distributed.persistence import is_sharded_index
@@ -60,6 +61,18 @@ def _add_parallel_flag(command) -> None:
     command.add_argument(
         "--parallel", default="serial", choices=["serial", "thread", "process"],
         help="sharded execution mode (process needs a sharded index directory)",
+    )
+
+
+def _add_robustness_flags(command) -> None:
+    command.add_argument(
+        "--timeout-ms", type=int, default=None,
+        help="per-query deadline in milliseconds (expired queries fail)",
+    )
+    command.add_argument(
+        "--degraded", default=None, choices=["strict", "partial"],
+        help="strict (default): exact answers or an error; "
+        "partial: answer from healthy shards, report the failed ones",
     )
 
 
@@ -112,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mode_flag(knn)
     _add_parallel_flag(knn)
+    _add_robustness_flags(knn)
 
     range_cmd = commands.add_parser("range", help="all sets within a similarity threshold")
     range_cmd.add_argument("index", help="index directory (single-engine or sharded)")
@@ -124,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mode_flag(range_cmd)
     _add_parallel_flag(range_cmd)
+    _add_robustness_flags(range_cmd)
 
     join = commands.add_parser("join", help="exact similarity self-join of the indexed data")
     join.add_argument("index", help="index directory (single-engine or sharded)")
@@ -136,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mode_flag(join)
     _add_parallel_flag(join)
+    _add_robustness_flags(join)
 
     bench = commands.add_parser("bench", help="batch-query throughput of a built index")
     bench.add_argument("index", help="index directory (single-engine or sharded)")
@@ -189,6 +205,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers", type=int, default=None,
         help="per-shard fan-out cap for the engine's thread/process pools",
     )
+    serve_cmd.add_argument(
+        "--default-timeout-ms", type=int, default=None,
+        help="deadline for requests without their own timeout_ms (504 on expiry)",
+    )
+    serve_cmd.add_argument(
+        "--max-timeout-ms", type=int, default=None,
+        help="server-side cap on any request's timeout_ms budget",
+    )
+    serve_cmd.add_argument(
+        "--drain-seconds", type=float, default=5.0,
+        help="graceful-shutdown budget: SIGTERM stops accepting and finishes "
+        "in-flight requests within this many seconds",
+    )
+    serve_cmd.add_argument(
+        "--retry-attempts", type=int, default=None,
+        help="bounded retries per process-mode shard task (default 3)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-threshold", type=int, default=None,
+        help="consecutive shard failures that open its circuit breaker (default 5)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-reset-seconds", type=float, default=None,
+        help="seconds an open breaker waits before its half-open probe (default 30)",
+    )
 
     stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
     stats.add_argument("data", help="dataset file")
@@ -240,6 +281,17 @@ def _print_matches(engine, matches) -> None:
     for record_index, similarity in matches:
         tokens = " ".join(str(t) for t in engine.tokens_of(record_index))
         print(f"{similarity:.4f}\t#{record_index}\t{tokens}")
+
+
+def _print_degraded(result) -> None:
+    """Warn (stderr) when a partial-mode answer is missing shards."""
+    failed = result.stats.extra.get("failed_shards")
+    if failed:
+        shards = ", ".join(str(shard) for shard in failed)
+        print(
+            f"# WARNING: degraded answer — shard(s) {shards} failed and were skipped",
+            file=sys.stderr,
+        )
 
 
 def _load_query_engine(args):
@@ -344,7 +396,10 @@ def _cmd_knn(args) -> int:
         print("error: --shards must be positive", file=sys.stderr)
         return 1
     try:
-        request = QueryRequest.knn(args.query.split(), k=args.k)
+        request = QueryRequest.knn(
+            args.query.split(), k=args.k,
+            timeout_ms=args.timeout_ms, degraded=args.degraded,
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -356,12 +411,16 @@ def _cmd_knn(args) -> int:
     try:
         result = execute(engine, request)
         _print_matches(engine, result.matches)
+        _print_degraded(result)
         print(
             f"# verified {result.stats.candidates_verified}/{len(engine.dataset)} sets, "
             f"pruned {result.stats.groups_pruned}/{engine.num_groups} groups",
             file=sys.stderr,
         )
         return 0
+    except DeadlineExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     finally:
         _close_engine(engine)
 
@@ -371,7 +430,10 @@ def _cmd_range(args) -> int:
         print("error: --shards must be positive", file=sys.stderr)
         return 1
     try:
-        request = QueryRequest.range(args.query.split(), threshold=args.threshold)
+        request = QueryRequest.range(
+            args.query.split(), threshold=args.threshold,
+            timeout_ms=args.timeout_ms, degraded=args.degraded,
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -383,12 +445,16 @@ def _cmd_range(args) -> int:
     try:
         result = execute(engine, request)
         _print_matches(engine, result.matches)
+        _print_degraded(result)
         print(
             f"# {len(result.matches)} matches; verified "
             f"{result.stats.candidates_verified}/{len(engine.dataset)} sets",
             file=sys.stderr,
         )
         return 0
+    except DeadlineExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     finally:
         _close_engine(engine)
 
@@ -403,7 +469,10 @@ def _cmd_join(args) -> int:
     modes = ["columnar", "scalar"] if args.verify == "both" else [args.verify]
     try:
         requests = {
-            mode: QueryRequest.join(threshold=args.threshold, verify=mode)
+            mode: QueryRequest.join(
+                threshold=args.threshold, verify=mode,
+                timeout_ms=args.timeout_ms, degraded=args.degraded,
+            )
             for mode in modes
         }
     except ValueError as error:
@@ -434,6 +503,7 @@ def _cmd_join(args) -> int:
             print(f"{similarity:.4f}\t#{x}\t#{y}")
         if args.limit and len(result.matches) > args.limit:
             print(f"... and {len(result.matches) - args.limit} more pairs")
+        _print_degraded(result)
         print(
             f"# {len(result.matches)} pairs; verified {result.stats.candidates_verified} "
             f"candidates, pruned {result.stats.groups_pruned}/"
@@ -446,6 +516,9 @@ def _cmd_join(args) -> int:
                 file=sys.stderr,
             )
         return 0
+    except DeadlineExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     finally:
         _close_engine(query_engine)
 
@@ -638,6 +711,19 @@ def _cmd_serve(args) -> int:
     if args.batch_window_ms < 0:
         print("error: --batch-window-ms must be >= 0", file=sys.stderr)
         return 1
+    if args.drain_seconds < 0:
+        print("error: --drain-seconds must be >= 0", file=sys.stderr)
+        return 1
+    for flag, value in (
+        ("--default-timeout-ms", args.default_timeout_ms),
+        ("--max-timeout-ms", args.max_timeout_ms),
+        ("--retry-attempts", args.retry_attempts),
+        ("--breaker-threshold", args.breaker_threshold),
+        ("--breaker-reset-seconds", args.breaker_reset_seconds),
+    ):
+        if value is not None and value <= 0:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 1
     from repro.serve import serve
 
     try:
@@ -654,6 +740,12 @@ def _cmd_serve(args) -> int:
             max_queue=args.max_queue,
             concurrency=args.concurrency,
             shard_workers=args.shard_workers,
+            default_timeout_ms=args.default_timeout_ms,
+            max_timeout_ms=args.max_timeout_ms,
+            drain_seconds=args.drain_seconds,
+            retry_attempts=args.retry_attempts,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_seconds=args.breaker_reset_seconds,
         )
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)

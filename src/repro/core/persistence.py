@@ -42,17 +42,23 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
 import warnings
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 from repro.core.columnar import VERIFY_MODES
 from repro.core.dataset import Dataset
 from repro.core.engine import LES3
 from repro.core.similarity import get_measure
 from repro.core.tgm import TokenGroupMatrix
+from repro.testing.faults import fault_point
 
 __all__ = [
     "PersistenceError",
+    "atomic_directory",
     "save_engine",
     "load_engine",
     "engine_manifest",
@@ -121,6 +127,93 @@ class PersistenceError(ValueError):
     exact search engine a silently wrong index is the worst failure
     mode, so any inconsistency raises instead of answering queries.
     """
+
+
+# -- crash-safe directory replacement --------------------------------------
+
+
+def _fsync_path(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(root: Path) -> None:
+    """fsync every file, then every directory, of ``root`` (bottom-up)."""
+    for dirpath, _dirnames, filenames in os.walk(root, topdown=False):
+        for name in sorted(filenames):
+            relative = os.path.relpath(os.path.join(dirpath, name), root)
+            fault_point("save.fsync_file", relative)
+            _fsync_path(Path(dirpath) / name)
+        fault_point("save.fsync_dir", os.path.relpath(dirpath, root))
+        _fsync_path(Path(dirpath))
+
+
+def _clear_stale_siblings(target: Path) -> None:
+    """Remove leftovers of crashed saves (``<name>.tmp-*`` / ``<name>.old-*``)."""
+    for pattern in (f"{target.name}.tmp-*", f"{target.name}.old-*"):
+        for stale in target.parent.glob(pattern):
+            shutil.rmtree(stale, ignore_errors=True)
+
+
+@contextmanager
+def atomic_directory(target: str | Path) -> Iterator[Path]:
+    """Build a directory crash-safely: stage, fsync, atomically swap.
+
+    The block receives a fresh staging directory (``<target>.tmp-<pid>``,
+    a sibling so the rename stays within one filesystem) and writes the
+    full new contents into it.  On normal exit every staged file and
+    directory is fsynced, then the staging directory is renamed into
+    place — replacing an existing generation via a two-step swap through
+    ``<target>.old-<pid>`` — and the parent directory is fsynced so the
+    rename itself is durable.
+
+    A crash (or exception) at *any* point leaves ``target`` either the
+    complete old save, absent (mid-swap, with the old generation parked
+    at the ``.old-<pid>`` sibling), or the complete new save — never a
+    half-written directory.  Stale ``.tmp-*`` / ``.old-*`` siblings from
+    crashed saves are cleared on the next save of the same target, and
+    loaders never look at them.
+
+    >>> import tempfile, os
+    >>> parent = tempfile.mkdtemp()
+    >>> with atomic_directory(os.path.join(parent, "gen")) as staging:
+    ...     _ = (staging / "data.txt").write_text("v1")
+    >>> sorted(os.listdir(os.path.join(parent, "gen")))
+    ['data.txt']
+    """
+    target = Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    _clear_stale_siblings(target)
+    staging = target.parent / f"{target.name}.tmp-{os.getpid()}"
+    staging.mkdir()
+    try:
+        yield staging
+        _fsync_tree(staging)
+        fault_point("save.swap", str(target))
+        if target.exists():
+            retired = target.parent / f"{target.name}.old-{os.getpid()}"
+            os.rename(target, retired)
+            fault_point("save.swap_mid", str(target))
+            os.rename(staging, target)
+            fault_point("save.retire", str(retired))
+            shutil.rmtree(retired, ignore_errors=True)
+        else:
+            os.rename(staging, target)
+        _fsync_path(target.parent)
+        fault_point("save.committed", str(target))
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        # An exception between the two swap renames leaves the old
+        # generation parked at the .old sibling: roll it back into place
+        # (a hard crash there is healed by loaders never reading .old and
+        # the next save clearing it — but for exceptions we can do better).
+        retired = target.parent / f"{target.name}.old-{os.getpid()}"
+        if retired.exists() and not target.exists():
+            os.rename(retired, target)
+        raise
 
 
 # -- shared low-level pieces (also used by the sharded lifecycle) ----------
@@ -310,7 +403,8 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
         A built engine; its dataset, group structure, verify mode, and
         delete log are all captured.
     directory : str or Path
-        Target directory; created if missing, overwritten if present.
+        Target directory; created if missing, atomically replaced if
+        present.
 
     Returns
     -------
@@ -318,6 +412,14 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
         The directory holds ``manifest.json``, ``dataset.txt``,
         ``dataset.bin`` (the binary columnar dataset the mmap load path
         maps), and ``groups.json`` afterwards (format v3).
+
+    Notes
+    -----
+    The save is **crash-safe**: all files are written into a
+    ``<directory>.tmp-<pid>`` sibling, fsynced, and renamed into place
+    (:func:`atomic_directory`).  A crash at any point leaves the target
+    either the previous save, absent, or the new save — never a
+    half-written directory that :func:`repro.load` would reject.
 
     See Also
     --------
@@ -338,8 +440,6 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
     >>> repro.load(path, mode="mmap").knn(["a", "b"], k=1).matches
     [(0, 1.0)]
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     # The engine's own delete log, NOT the records missing from the groups:
     # a record that is unassigned without having been removed is an orphan
     # (partitioner bug, hand-built TGM), and writing it as a tombstone
@@ -353,8 +453,9 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
         verify=engine.verify,
         deleted=sorted(engine.removed),
     )
-    manifest.update(write_dataset_files(engine.dataset, directory))
-    write_index_files(directory, engine.tgm.group_members, manifest)
+    with atomic_directory(directory) as staging:
+        manifest.update(write_dataset_files(engine.dataset, staging))
+        write_index_files(staging, engine.tgm.group_members, manifest)
 
 
 def load_engine(directory: str | Path, mode: str = "memory") -> LES3:

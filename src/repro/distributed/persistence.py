@@ -41,8 +41,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import re
-import shutil
 import warnings
 from pathlib import Path
 
@@ -53,6 +51,7 @@ from repro.core.persistence import (
     DATASET_BIN,
     SHARDED_MANIFEST_KEY,
     PersistenceError,
+    atomic_directory,
     check_dataset_digest,
     check_exact_cover,
     engine_manifest,
@@ -66,6 +65,7 @@ from repro.core.persistence import (
 from repro.core.sets import SetRecord
 from repro.core.similarity import get_measure
 from repro.core.tgm import TokenGroupMatrix
+from repro.testing.faults import fault_point
 from repro.distributed.sharded import (
     LazyShardTGMs,
     ShardedLES3,
@@ -99,7 +99,6 @@ DEFAULT_RESIDENT_SHARDS = 4
 #: accumulating one entry per shard ever touched.
 _WORKER_CACHE_CAPACITY = 8
 
-_SHARD_DIR_PATTERN = re.compile(r"shard-\d{4}$")
 _SHARD_FILES = ("manifest.json", "groups.json")
 
 
@@ -151,8 +150,15 @@ def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
     shard's ``deleted`` tombstones and the engine's ``verify`` mode) and
     ``groups.json`` (global record indices).  The top-level manifest
     records the placement policy, the shard count, and a digest of every
-    shard's files.  Stale ``shard-NNNN`` subdirectories from a previous
-    save with more shards are removed.
+    shard's files.
+
+    The save is **crash-safe**: the whole directory is staged as a
+    ``<directory>.tmp-<pid>`` sibling, fsynced, and atomically renamed
+    into place (:func:`repro.core.persistence.atomic_directory`) — a
+    crash leaves the target either the previous save, absent, or the new
+    save, never a half-written generation.  Because each save is a fresh
+    staged directory, stale ``shard-NNNN`` subdirectories from a
+    previous save with more shards can never survive a re-save.
 
     On success the engine's :attr:`~repro.distributed.sharded.ShardedLES3.source_dir`
     is set to ``directory``, which is what arms the ``"process"``
@@ -164,7 +170,8 @@ def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
         The engine to persist; dataset, shard groups, placement policy,
         verify mode, and delete log are all captured.
     directory : str or Path
-        Target directory; created if missing, overwritten if present.
+        Target directory; created if missing, atomically replaced if
+        present.
 
     See Also
     --------
@@ -172,49 +179,39 @@ def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
     repro.core.persistence.save_engine : the single-engine variant.
     """
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    dataset_digests = write_dataset_files(engine.dataset, directory)
     deleted_of_shard: dict[int, list[int]] = {}
     for record_index, shard_id in engine.removed.items():
         deleted_of_shard.setdefault(shard_id, []).append(record_index)
-    entries = []
-    for shard_id, tgm in enumerate(engine.tgms):
-        shard_dir = directory / shard_dir_name(shard_id)
-        manifest = engine_manifest(
-            measure=engine.measure.name,
-            backend=tgm.backend,
-            num_records=len(engine.dataset),
-            universe_size=len(engine.dataset.universe),
-            verify=engine.verify,
-            deleted=sorted(deleted_of_shard.get(shard_id, [])),
-        )
-        write_index_files(shard_dir, tgm.group_members, manifest)
-        entries.append(
-            {"directory": shard_dir_name(shard_id), "digest": _shard_digest(shard_dir)}
-        )
-    # A re-save with fewer shards must not leave shard-0007/ lying around
-    # for a hand-rolled reader to trip over; only our own canonical shard
-    # subdirectories are ever removed.
-    for child in directory.iterdir():
-        if (
-            child.is_dir()
-            and _SHARD_DIR_PATTERN.fullmatch(child.name)
-            and child.name not in {entry["directory"] for entry in entries}
-        ):
-            shutil.rmtree(child)
-    top = {
-        "sharded_format_version": SHARDED_FORMAT_VERSION,
-        "num_shards": engine.num_shards,
-        "placement": engine.placement,
-        "measure": engine.measure.name,
-        "verify": engine.verify,
-        "num_records": len(engine.dataset),
-        "universe_size": len(engine.dataset.universe),
-        **dataset_digests,
-        "shards": entries,
-    }
-    payload = json.dumps(top, indent=2) + "\n"
-    (directory / "manifest.json").write_text(payload)
+    with atomic_directory(directory) as staging:
+        dataset_digests = write_dataset_files(engine.dataset, staging)
+        entries = []
+        for shard_id, tgm in enumerate(engine.tgms):
+            shard_dir = staging / shard_dir_name(shard_id)
+            manifest = engine_manifest(
+                measure=engine.measure.name,
+                backend=tgm.backend,
+                num_records=len(engine.dataset),
+                universe_size=len(engine.dataset.universe),
+                verify=engine.verify,
+                deleted=sorted(deleted_of_shard.get(shard_id, [])),
+            )
+            write_index_files(shard_dir, tgm.group_members, manifest)
+            entries.append(
+                {"directory": shard_dir_name(shard_id), "digest": _shard_digest(shard_dir)}
+            )
+        top = {
+            "sharded_format_version": SHARDED_FORMAT_VERSION,
+            "num_shards": engine.num_shards,
+            "placement": engine.placement,
+            "measure": engine.measure.name,
+            "verify": engine.verify,
+            "num_records": len(engine.dataset),
+            "universe_size": len(engine.dataset.universe),
+            **dataset_digests,
+            "shards": entries,
+        }
+        payload = json.dumps(top, indent=2) + "\n"
+        (staging / "manifest.json").write_text(payload)
     engine._source_dir = str(directory)
     engine._source_epoch = hashlib.sha256(payload.encode()).hexdigest()
 
@@ -619,6 +616,7 @@ def run_shard_task(directory: str, task: tuple, epoch: str = "") -> object:
     without translation.
     """
     kind = task[0]
+    fault_point("shard.task", f"{kind}:shard={task[1]}")
     dataset = _worker_dataset(directory, epoch)
     if kind == "knn":
         _, shard_id, items, k, verify = task

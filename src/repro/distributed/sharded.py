@@ -49,8 +49,12 @@ from __future__ import annotations
 
 import heapq
 import os
+import random
+import time
 from collections.abc import Sequence as SequenceABC
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -60,6 +64,7 @@ from repro.core.cache import LRUCache
 from repro.core.columnar import make_verifier
 from repro.core.dataset import Dataset
 from repro.core.engine import (
+    DEGRADED_MODES,
     LES3,
     PARALLEL_MODES,
     as_query_record,
@@ -73,6 +78,13 @@ from repro.core.join import (
     similarity_self_join,
 )
 from repro.core.metrics import QueryStats
+from repro.core.persistence import PersistenceError
+from repro.core.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
 from repro.core.search import (
     SearchResult,
     finalize_result,
@@ -89,10 +101,15 @@ from repro.core.similarity import Similarity, get_measure
 from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set
 from repro.distributed.sharding import assign_shards, lpt_balance
+from repro.testing.faults import fault_point
 
 # PARALLEL_MODES is re-exported here (its canonical home is
 # repro.core.engine, shared by both engine classes) for back-compat.
 __all__ = ["ShardedLES3", "LazyShardTGMs", "PARALLEL_MODES"]
+
+# Errors shard supervision must never retry, fall back on, or degrade:
+# an integrity refusal or an expired deadline is not a shard fault.
+_FATAL_ERRORS = (PersistenceError, DeadlineExceeded)
 
 
 def _build_concurrently(builders, workers: int | None):
@@ -260,6 +277,15 @@ class ShardedLES3:
     query_workers : int or None
         Pool size for the thread/process execution modes; defaults to
         ``min(num_shards, cpu_count)``.
+    retry_policy : repro.core.resilience.RetryPolicy
+        Supervision of ``"process"``-mode shard tasks: each task gets
+        ``retry_policy.attempts`` tries with exponential backoff +
+        jitter before the engine falls back to in-process execution.
+    breaker_threshold, breaker_reset_seconds : int, float
+        Per-shard circuit breaker knobs: after ``breaker_threshold``
+        consecutive process-task failures a shard's breaker opens and
+        its work runs in-process until a half-open probe (after
+        ``breaker_reset_seconds``) succeeds.  See ``docs/operations.md``.
 
     Examples
     --------
@@ -303,6 +329,12 @@ class ShardedLES3:
         # the tombstone log the sharded manifests persist.
         self.removed: dict[int, int] = {}
         self.query_workers: int | None = None
+        # Process-mode supervision knobs (see docs/operations.md).
+        self.retry_policy = RetryPolicy()
+        self.breaker_threshold = 5
+        self.breaker_reset_seconds = 30.0
+        self._breaker_clock = time.monotonic  # injectable for tests
+        self._breakers: dict[int, CircuitBreaker] = {}
         self._source_dir: str | None = None
         self._source_epoch: str | None = None
         self._thread_executor: ThreadPoolExecutor | None = None
@@ -650,6 +682,162 @@ class ShardedLES3:
             )
         return mode
 
+    def _resolve_degraded(self, degraded: str | None) -> str:
+        mode = "strict" if degraded is None else degraded
+        if mode not in DEGRADED_MODES:
+            raise ValueError(
+                f"unknown degraded mode {mode!r}; expected one of {DEGRADED_MODES}"
+            )
+        return mode
+
+    # -- shard execution supervision ---------------------------------------
+
+    def _breaker(self, shard_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(shard_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.breaker_threshold,
+                self.breaker_reset_seconds,
+                clock=self._breaker_clock,
+            )
+            self._breakers[shard_id] = breaker
+        return breaker
+
+    def _discard_broken_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Retire a poisoned process pool so the next submit gets a fresh one."""
+        if self._process_executor is pool:
+            self._process_executor = None
+        pool.shutdown(wait=False)
+
+    @staticmethod
+    def _remaining(deadline: Deadline | None) -> float | None:
+        if deadline is None:
+            return None
+        return max(deadline.remaining(), 0.0)
+
+    def _run_supervised(
+        self,
+        entries: list[tuple[int, tuple, object]],
+        deadline: Deadline | None,
+        degraded: str,
+    ) -> tuple[dict[int, object], list[int]]:
+        """Run process-mode shard tasks under full supervision.
+
+        ``entries`` is a list of ``(shard_id, descriptor, local_thunk)``.
+        Each descriptor is dispatched to the process pool with:
+
+        * bounded retry (``retry_policy``: exponential backoff + jitter);
+        * pool resurrection — on :class:`BrokenProcessPool` (a worker
+          died) the pool is rebuilt **once per call** and only the tasks
+          that actually failed are replayed; completed results are kept;
+        * a per-shard :class:`~repro.core.resilience.CircuitBreaker` —
+          after ``breaker_threshold`` consecutive failures the shard's
+          work runs via ``local_thunk`` (in-process serial execution)
+          until a timed half-open probe closes the breaker again;
+        * deadline-bounded waits — :class:`DeadlineExceeded` is raised as
+          soon as the deadline passes while results are outstanding.
+
+        Returns ``(results keyed by entry index, failed shard ids)``.
+        In ``"strict"`` mode a shard that fails even its in-process
+        fallback re-raises; in ``"partial"`` mode it is recorded in the
+        failed list and the caller answers from the healthy shards.
+        """
+        from repro.distributed.persistence import run_shard_task
+
+        directory = self._require_source_dir()
+        epoch = self._source_epoch or ""
+        policy = self.retry_policy
+        rng = random.Random()
+        results: dict[int, object] = {}
+        failed: list[int] = []
+        rebuilt = False
+
+        def submit(descriptor: tuple):
+            pool = self._processes()
+            return pool.submit(run_shard_task, directory, descriptor, epoch), pool
+
+        def run_local(index: int) -> bool:
+            """In-process fallback; False means the shard failed for good."""
+            shard_id, _descriptor, local_thunk = entries[index]
+            if deadline is not None:
+                deadline.check("shard fallback")
+            try:
+                results[index] = local_thunk()
+                return True
+            except _FATAL_ERRORS:
+                raise
+            except Exception:
+                if degraded == "partial":
+                    failed.append(shard_id)
+                    return False
+                raise
+
+        inflight: list[tuple[int, object, object]] = []
+        for index, (shard_id, descriptor, _local) in enumerate(entries):
+            if self._breaker(shard_id).allow():
+                future, pool = submit(descriptor)
+                inflight.append((index, future, pool))
+            else:
+                # Breaker open: don't even touch the pool for this shard.
+                run_local(index)
+
+        for index, future, pool in inflight:
+            shard_id, descriptor, _local = entries[index]
+            breaker = self._breaker(shard_id)
+            attempt = 1
+            while True:
+                try:
+                    results[index] = future.result(timeout=self._remaining(deadline))
+                    breaker.record_success()
+                    break
+                except FuturesTimeoutError:
+                    raise DeadlineExceeded(
+                        f"deadline exceeded awaiting shard {shard_id}"
+                    ) from None
+                except BrokenProcessPool:
+                    # A worker died and poisoned the whole pool.  Rebuild
+                    # it once per call and replay only the failed tasks —
+                    # futures that completed before the break keep their
+                    # results.  A pool another slot already replaced just
+                    # resubmits without consuming the rebuild budget.
+                    if pool is self._process_executor:
+                        self._discard_broken_pool(pool)
+                        if rebuilt:
+                            # The rebuilt pool broke too: stop trusting
+                            # process execution for this task.
+                            breaker.record_failure()
+                            run_local(index)
+                            break
+                        rebuilt = True
+                    future, pool = submit(descriptor)
+                except _FATAL_ERRORS:
+                    raise
+                except Exception:
+                    breaker.record_failure()
+                    if not self._retry_or_fallback(breaker, attempt, deadline, rng):
+                        run_local(index)
+                        break
+                    attempt += 1
+                    future, pool = submit(descriptor)
+        return results, sorted(set(failed))
+
+    def _retry_or_fallback(
+        self,
+        breaker: CircuitBreaker,
+        attempt: int,
+        deadline: Deadline | None,
+        rng: random.Random,
+    ) -> bool:
+        """True to retry on the pool (after backoff), False to go local."""
+        if attempt >= self.retry_policy.attempts or breaker.state == "open":
+            return False
+        delay = self.retry_policy.delay(attempt, rng)
+        if deadline is not None:
+            delay = min(delay, max(deadline.remaining(), 0.0))
+        if delay > 0:
+            time.sleep(delay)
+        return True
+
     # -- parallel scatter-gather (thread / process) ------------------------
 
     def _presync_columnar(self, verify: str, mode: str) -> None:
@@ -670,48 +858,93 @@ class ShardedLES3:
         mode: str,
         make_task,
         run_local,
-    ):
-        """Dispatch per-shard query batches; yield their partial results.
+        deadline: Deadline | None = None,
+        degraded: str = "strict",
+    ) -> tuple[list, list[int]]:
+        """Dispatch per-shard query batches; return ``(partials, failed_shards)``.
 
         ``shard_items[shard_id]`` lists the query positions the shard must
         answer.  Thread mode runs ``run_local(shard_id, items)`` over the
         in-memory TGMs; process mode ships ``make_task(shard_id, payloads)``
-        descriptors to workers rehydrated from :attr:`source_dir`.
+        descriptors to workers rehydrated from :attr:`source_dir`, under
+        the full supervision of :meth:`_run_supervised` (retry + backoff,
+        pool resurrection, per-shard circuit breaker with in-process
+        fallback).  Shard futures are awaited against ``deadline``; in
+        ``degraded="partial"`` mode a shard whose execution fails for good
+        lands in ``failed_shards`` instead of raising.
         """
-        futures = []
+        partials: list = []
+        failed: list[int] = []
         if mode == "thread":
             pool = self._threads()
+            submitted = []
             for shard_id, items in enumerate(shard_items):
                 if items:
                     batch = [(i, queries[i]) for i in items]
-                    futures.append(pool.submit(run_local, shard_id, batch))
-        else:
-            from repro.distributed.persistence import query_payload, run_shard_task
+                    submitted.append((shard_id, pool.submit(run_local, shard_id, batch)))
+            for shard_id, future in submitted:
+                try:
+                    partials.extend(future.result(timeout=self._remaining(deadline)))
+                except FuturesTimeoutError:
+                    raise DeadlineExceeded(
+                        f"deadline exceeded awaiting shard {shard_id}"
+                    ) from None
+                except _FATAL_ERRORS:
+                    raise
+                except Exception:
+                    if degraded != "partial":
+                        raise
+                    failed.append(shard_id)
+            return partials, failed
 
-            directory = self._require_source_dir()
-            pool = self._processes()
-            # A query surviving the bound in several shards is encoded once.
-            payload_cache: dict[int, tuple] = {}
+        from repro.distributed.persistence import query_payload
 
-            def payload_of(i: int) -> tuple:
-                if i not in payload_cache:
-                    payload_cache[i] = query_payload(self.dataset, queries[i])
-                return payload_cache[i]
+        # A query surviving the bound in several shards is encoded once.
+        payload_cache: dict[int, tuple] = {}
 
-            for shard_id, items in enumerate(shard_items):
-                if items:
-                    payloads = [(i, payload_of(i)) for i in items]
-                    futures.append(
-                        pool.submit(
-                            run_shard_task, directory,
-                            make_task(shard_id, payloads), self._source_epoch or "",
-                        )
-                    )
-        for future in futures:
-            yield from future.result()
+        def payload_of(i: int) -> tuple:
+            if i not in payload_cache:
+                payload_cache[i] = query_payload(self.dataset, queries[i])
+            return payload_cache[i]
+
+        entries = []
+        for shard_id, items in enumerate(shard_items):
+            if items:
+                payloads = [(i, payload_of(i)) for i in items]
+
+                def local(shard_id: int = shard_id, items: list[int] = items):
+                    return run_local(shard_id, [(i, queries[i]) for i in items])
+
+                entries.append((shard_id, make_task(shard_id, payloads), local))
+        results, failed = self._run_supervised(entries, deadline, degraded)
+        for index in sorted(results):
+            partials.extend(results[index])
+        return partials, failed
+
+    @staticmethod
+    def _note_failed_shards(
+        stats: list[QueryStats],
+        shard_items: list[list[int]],
+        failed_shards: list[int],
+    ) -> None:
+        """Record, per query, which dispatched shards failed (partial mode)."""
+        for shard_id in failed_shards:
+            for i in shard_items[shard_id]:
+                noted = stats[i].extra.setdefault("failed_shards", [])
+                if shard_id not in noted:
+                    noted.append(shard_id)
+        for query_stats in stats:
+            if "failed_shards" in query_stats.extra:
+                query_stats.extra["failed_shards"].sort()
 
     def _parallel_knn(
-        self, queries: Sequence[SetRecord], k: int, verify: str, mode: str
+        self,
+        queries: Sequence[SetRecord],
+        k: int,
+        verify: str,
+        mode: str,
+        deadline: Deadline | None = None,
+        degraded: str = "strict",
     ) -> list[SearchResult]:
         """kNN for a batch with per-shard partials merged canonically.
 
@@ -744,6 +977,7 @@ class ShardedLES3:
                 stats[i].groups_pruned += self._num_groups_of(shard_id)
 
         def run_local(shard_id: int, batch):
+            fault_point("shard.exec", f"knn:shard={shard_id}")
             return _shard_knn_batch(
                 self.dataset, self.tgms[shard_id], batch, k, self.measure, verify
             )
@@ -751,18 +985,26 @@ class ShardedLES3:
         def make_task(shard_id: int, payloads):
             return ("knn", shard_id, payloads, k, verify)
 
-        for query_id, matches, partial_stats in self._scatter_batches(
-            shard_items, queries, mode, make_task, run_local
-        ):
+        partials, failed_shards = self._scatter_batches(
+            shard_items, queries, mode, make_task, run_local, deadline, degraded
+        )
+        for query_id, matches, partial_stats in partials:
             merged[query_id].extend(matches)
             stats[query_id].merge(partial_stats)
+        self._note_failed_shards(stats, shard_items, failed_shards)
         return [
             finalize_result(sorted(merged[i], key=match_sort_key)[:k], stats[i])
             for i in range(len(queries))
         ]
 
     def _parallel_range(
-        self, queries: Sequence[SetRecord], threshold: float, verify: str, mode: str
+        self,
+        queries: Sequence[SetRecord],
+        threshold: float,
+        verify: str,
+        mode: str,
+        deadline: Deadline | None = None,
+        degraded: str = "strict",
     ) -> list[SearchResult]:
         """Range search for a batch with per-shard partials concatenated."""
         self._presync_columnar(verify, mode)
@@ -778,6 +1020,7 @@ class ShardedLES3:
                     stats[i].groups_pruned += self._num_groups_of(shard_id)
 
         def run_local(shard_id: int, batch):
+            fault_point("shard.exec", f"range:shard={shard_id}")
             return _shard_range_batch(
                 self.dataset, self.tgms[shard_id], batch, threshold, self.measure, verify
             )
@@ -785,11 +1028,13 @@ class ShardedLES3:
         def make_task(shard_id: int, payloads):
             return ("range", shard_id, payloads, threshold, verify)
 
-        for query_id, matches, partial_stats in self._scatter_batches(
-            shard_items, queries, mode, make_task, run_local
-        ):
+        partials, failed_shards = self._scatter_batches(
+            shard_items, queries, mode, make_task, run_local, deadline, degraded
+        )
+        for query_id, matches, partial_stats in partials:
             merged[query_id].extend(matches)
             stats[query_id].merge(partial_stats)
+        self._note_failed_shards(stats, shard_items, failed_shards)
         return [
             finalize_result(merged[i], stats[i]) for i in range(len(queries))
         ]
@@ -797,12 +1042,21 @@ class ShardedLES3:
     # -- kNN ---------------------------------------------------------------
 
     def _gather_knn(
-        self, query: SetRecord, k: int, bounds: np.ndarray, verify: str
+        self,
+        query: SetRecord,
+        k: int,
+        bounds: np.ndarray,
+        verify: str,
+        deadline: Deadline | None = None,
+        degraded: str = "strict",
     ) -> SearchResult:
         """Serial scatter-gather kNN given precomputed shard bounds (exact).
 
         The verification kernel (its per-query token scatter) is built
-        once and shared by every surviving shard's group visit.
+        once and shared by every surviving shard's group visit.  The
+        deadline is checked at every shard boundary; ``degraded="partial"``
+        skips a shard whose execution fails (recorded in
+        ``stats.extra["failed_shards"]``) instead of raising.
         """
         stats = QueryStats()
         order = sorted(range(self.num_shards), key=lambda s: (-bounds[s], s))
@@ -810,6 +1064,8 @@ class ShardedLES3:
         zero_candidates: list[list[int]] = []
         verifier = make_verifier(self.dataset, query, self.measure, verify)
         for position, shard_id in enumerate(order):
+            if deadline is not None:
+                deadline.check(f"scatter-gather at shard {shard_id}")
             bound = bounds[shard_id]
             if bound <= 0.0:
                 # Sorted order: this and all remaining shards share no
@@ -823,12 +1079,23 @@ class ShardedLES3:
                 for rest in order[position:]:
                     stats.groups_pruned += self._num_groups_of(rest)
                 break
-            tgm = self.tgms[shard_id]
-            group_bounds = query_group_bounds(tgm, query, stats)
-            knn_visit_groups(
-                self.dataset, tgm, query, k, group_bounds, heap, stats,
-                self.measure, zero_candidates, verifier,
-            )
+            try:
+                fault_point("shard.exec", f"knn:shard={shard_id}")
+                tgm = self.tgms[shard_id]
+                group_bounds = query_group_bounds(tgm, query, stats)
+                knn_visit_groups(
+                    self.dataset, tgm, query, k, group_bounds, heap, stats,
+                    self.measure, zero_candidates, verifier,
+                )
+            except _FATAL_ERRORS:
+                raise
+            except Exception:
+                if degraded != "partial":
+                    raise
+                stats.extra.setdefault("failed_shards", []).append(shard_id)
+        failed = stats.extra.get("failed_shards")
+        if failed:
+            failed.sort()
         pad_zero_matches(heap, k, zero_candidates)
         return finalize_result(knn_heap_matches(heap), stats)
 
@@ -838,16 +1105,24 @@ class ShardedLES3:
         k: int,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> SearchResult:
         """kNN search with a pre-interned query record."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         mode = self._resolve_parallel(parallel)
+        degraded_mode = self._resolve_degraded(degraded)
+        if deadline is not None:
+            deadline.check("before query execution")
         if mode == "serial":
             return self._gather_knn(
-                query, k, self.shard_bounds(query), self._verify_mode(verify)
+                query, k, self.shard_bounds(query), self._verify_mode(verify),
+                deadline, degraded_mode,
             )
-        return self._parallel_knn([query], k, self._verify_mode(verify), mode)[0]
+        return self._parallel_knn(
+            [query], k, self._verify_mode(verify), mode, deadline, degraded_mode
+        )[0]
 
     def knn(
         self,
@@ -855,10 +1130,13 @@ class ShardedLES3:
         k: int,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> SearchResult:
         """kNN search over external tokens."""
         return self.knn_record(
-            as_query_record(self.dataset, query_tokens), k, verify, parallel
+            as_query_record(self.dataset, query_tokens), k, verify, parallel,
+            deadline, degraded,
         )
 
     def batch_knn_record(
@@ -867,17 +1145,24 @@ class ShardedLES3:
         k: int,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> list[SearchResult]:
         """kNN for every query; shard scoring is one matrix product."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         mode = self._resolve_parallel(parallel)
+        degraded_mode = self._resolve_degraded(degraded)
+        if deadline is not None:
+            deadline.check("before query execution")
         if mode != "serial":
-            return self._parallel_knn(queries, k, self._verify_mode(verify), mode)
+            return self._parallel_knn(
+                queries, k, self._verify_mode(verify), mode, deadline, degraded_mode
+            )
         bound_rows = self._batch_shard_bound_rows(queries)
         verify = self._verify_mode(verify)
         return [
-            self._gather_knn(query, k, bound_rows[i], verify)
+            self._gather_knn(query, k, bound_rows[i], verify, deadline, degraded_mode)
             for i, query in enumerate(queries)
         ]
 
@@ -890,25 +1175,45 @@ class ShardedLES3:
         bounds: np.ndarray,
         verify: str,
         precomputed: dict[int, np.ndarray] | None = None,
+        deadline: Deadline | None = None,
+        degraded: str = "strict",
     ) -> SearchResult:
-        """Serial scatter-gather range search given precomputed shard bounds."""
+        """Serial scatter-gather range search given precomputed shard bounds.
+
+        The deadline is checked at every shard boundary;
+        ``degraded="partial"`` records a failing shard in
+        ``stats.extra["failed_shards"]`` instead of raising.
+        """
         stats = QueryStats()
         matches: list[tuple[int, float]] = []
         verifier = make_verifier(self.dataset, query, self.measure, verify)
         for shard_id in range(self.num_shards):
+            if deadline is not None:
+                deadline.check(f"scatter-gather at shard {shard_id}")
             if bounds[shard_id] < threshold:
                 stats.groups_pruned += self._num_groups_of(shard_id)
                 continue
-            tgm = self.tgms[shard_id]
-            if precomputed is not None and shard_id in precomputed:
-                group_bounds = precomputed[shard_id]
-                stats.groups_scored += tgm.num_groups
-            else:
-                group_bounds = query_group_bounds(tgm, query, stats)
-            range_collect_groups(
-                self.dataset, tgm, query, threshold, group_bounds,
-                matches, stats, self.measure, verifier,
-            )
+            try:
+                fault_point("shard.exec", f"range:shard={shard_id}")
+                tgm = self.tgms[shard_id]
+                if precomputed is not None and shard_id in precomputed:
+                    group_bounds = precomputed[shard_id]
+                    stats.groups_scored += tgm.num_groups
+                else:
+                    group_bounds = query_group_bounds(tgm, query, stats)
+                range_collect_groups(
+                    self.dataset, tgm, query, threshold, group_bounds,
+                    matches, stats, self.measure, verifier,
+                )
+            except _FATAL_ERRORS:
+                raise
+            except Exception:
+                if degraded != "partial":
+                    raise
+                stats.extra.setdefault("failed_shards", []).append(shard_id)
+        failed = stats.extra.get("failed_shards")
+        if failed:
+            failed.sort()
         return finalize_result(matches, stats)
 
     def range_record(
@@ -917,16 +1222,24 @@ class ShardedLES3:
         threshold: float,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> SearchResult:
         """Range search with a pre-interned query record."""
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
         mode = self._resolve_parallel(parallel)
+        degraded_mode = self._resolve_degraded(degraded)
+        if deadline is not None:
+            deadline.check("before query execution")
         if mode == "serial":
             return self._gather_range(
-                query, threshold, self.shard_bounds(query), self._verify_mode(verify)
+                query, threshold, self.shard_bounds(query), self._verify_mode(verify),
+                None, deadline, degraded_mode,
             )
-        return self._parallel_range([query], threshold, self._verify_mode(verify), mode)[0]
+        return self._parallel_range(
+            [query], threshold, self._verify_mode(verify), mode, deadline, degraded_mode
+        )[0]
 
     def range(
         self,
@@ -934,10 +1247,13 @@ class ShardedLES3:
         threshold: float,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> SearchResult:
         """Range search over external tokens."""
         return self.range_record(
-            as_query_record(self.dataset, query_tokens), threshold, verify, parallel
+            as_query_record(self.dataset, query_tokens), threshold, verify, parallel,
+            deadline, degraded,
         )
 
     def batch_range_record(
@@ -946,6 +1262,8 @@ class ShardedLES3:
         threshold: float,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> list[SearchResult]:
         """Range search for every query.
 
@@ -959,8 +1277,14 @@ class ShardedLES3:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
         mode = self._resolve_parallel(parallel)
+        degraded_mode = self._resolve_degraded(degraded)
+        if deadline is not None:
+            deadline.check("before query execution")
         if mode != "serial":
-            return self._parallel_range(queries, threshold, self._verify_mode(verify), mode)
+            return self._parallel_range(
+                queries, threshold, self._verify_mode(verify), mode, deadline,
+                degraded_mode,
+            )
         bound_rows = self._batch_shard_bound_rows(queries)
         # Per shard: batch-score the surviving sub-batch of queries.
         per_query_bounds: list[dict[int, np.ndarray]] = [{} for _ in queries]
@@ -979,7 +1303,8 @@ class ShardedLES3:
         verify = self._verify_mode(verify)
         return [
             self._gather_range(
-                query, threshold, bound_rows[i], verify, per_query_bounds[i]
+                query, threshold, bound_rows[i], verify, per_query_bounds[i],
+                deadline, degraded_mode,
             )
             for i, query in enumerate(queries)
         ]
@@ -991,6 +1316,8 @@ class ShardedLES3:
         threshold: float,
         verify: str | None = None,
         parallel: str | None = None,
+        deadline: Deadline | None = None,
+        degraded: str | None = None,
     ) -> JoinResult:
         """Exact similarity self-join over all shards (scatter-gather).
 
@@ -1012,6 +1339,9 @@ class ShardedLES3:
         """
         mode = self._verify_mode(verify)
         execution = self._resolve_parallel(parallel)
+        degraded_mode = self._resolve_degraded(degraded)
+        if deadline is not None:
+            deadline.check("before query execution")
         stats = QueryStats()
         pairs: list[tuple[int, int, float]] = []
         # One group profile per shard, shared by the within-shard joins and
@@ -1054,65 +1384,89 @@ class ShardedLES3:
                     stats.groups_pruned += covered
                     continue
                 pair_tasks.append((s, t))
-        results: list[JoinResult]
+        def run_self(s: int) -> JoinResult:
+            fault_point("shard.exec", f"join_self:shard={s}")
+            return similarity_self_join(
+                self.dataset, self.tgms[s], threshold, verify=mode,
+                profiles=profiles[s],
+            )
+
+        def run_between(s: int, t: int) -> JoinResult:
+            fault_point("shard.exec", f"join_between:shard={s}")
+            return similarity_join_between(
+                self.dataset, self.tgms[s], self.tgms[t], threshold, verify=mode,
+                profiles_a=profiles[s], profiles_b=profiles[t],
+            )
+
+        runners = [
+            (lambda s=s: run_self(s)) for s in self_tasks
+        ] + [
+            (lambda s=s, t=t: run_between(s, t)) for s, t in pair_tasks
+        ]
+        # A failed within-shard task loses pairs of one shard; a failed
+        # cross-shard task loses pairs touching both of its shards.
+        task_shards = [{s} for s in self_tasks] + [{s, t} for s, t in pair_tasks]
+        failed_shards: set[int] = set()
+        results: list[JoinResult] = []
         if execution == "serial":
-            results = [
-                similarity_self_join(
-                    self.dataset, self.tgms[s], threshold, verify=mode,
-                    profiles=profiles[s],
-                )
-                for s in self_tasks
-            ] + [
-                similarity_join_between(
-                    self.dataset, self.tgms[s], self.tgms[t], threshold, verify=mode,
-                    profiles_a=profiles[s], profiles_b=profiles[t],
-                )
-                for s, t in pair_tasks
-            ]
+            for index, runner in enumerate(runners):
+                if deadline is not None:
+                    deadline.check("join task")
+                try:
+                    results.append(runner())
+                except _FATAL_ERRORS:
+                    raise
+                except Exception:
+                    if degraded_mode != "partial":
+                        raise
+                    failed_shards.update(task_shards[index])
         elif execution == "thread":
             self._presync_columnar(mode, execution)
             pool = self._threads()
-            futures = [
-                pool.submit(
-                    similarity_self_join,
-                    self.dataset, self.tgms[s], threshold, verify=mode,
-                    profiles=profiles[s],
-                )
-                for s in self_tasks
-            ] + [
-                pool.submit(
-                    similarity_join_between,
-                    self.dataset, self.tgms[s], self.tgms[t], threshold, verify=mode,
-                    profiles_a=profiles[s], profiles_b=profiles[t],
-                )
-                for s, t in pair_tasks
-            ]
-            results = [future.result() for future in futures]
+            futures = [pool.submit(runner) for runner in runners]
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=self._remaining(deadline)))
+                except FuturesTimeoutError:
+                    raise DeadlineExceeded(
+                        "deadline exceeded awaiting join task"
+                    ) from None
+                except _FATAL_ERRORS:
+                    raise
+                except Exception:
+                    if degraded_mode != "partial":
+                        raise
+                    failed_shards.update(task_shards[index])
         else:
-            from repro.distributed.persistence import run_shard_task
-
-            directory = self._require_source_dir()
-            pool = self._processes()
-            epoch = self._source_epoch or ""
-            futures = [
-                pool.submit(
-                    run_shard_task, directory, ("join_self", s, threshold, mode), epoch
-                )
-                for s in self_tasks
+            descriptors = [
+                ("join_self", s, threshold, mode) for s in self_tasks
             ] + [
-                pool.submit(
-                    run_shard_task, directory,
-                    ("join_between", s, t, threshold, mode), epoch,
-                )
-                for s, t in pair_tasks
+                ("join_between", s, t, threshold, mode) for s, t in pair_tasks
             ]
-            results = [
-                JoinResult(task_pairs, task_stats)
-                for task_pairs, task_stats in (future.result() for future in futures)
+
+            def as_worker(runner):
+                # The in-process fallback must return the worker's shape.
+                def thunk():
+                    result = runner()
+                    return result.pairs, result.stats
+
+                return thunk
+
+            entries = [
+                (descriptor[1], descriptor, as_worker(runner))
+                for descriptor, runner in zip(descriptors, runners)
             ]
+            supervised, _ = self._run_supervised(entries, deadline, degraded_mode)
+            for index in sorted(supervised):
+                task_pairs, task_stats = supervised[index]
+                results.append(JoinResult(task_pairs, task_stats))
+            for index in set(range(len(entries))) - set(supervised):
+                failed_shards.update(task_shards[index])
         for result in results:
             pairs.extend(result.pairs)
             stats.merge(result.stats)
+        if failed_shards:
+            stats.extra["failed_shards"] = sorted(failed_shards)
         pairs.sort()
         stats.result_size = len(pairs)
         return JoinResult(pairs, stats)

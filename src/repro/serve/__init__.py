@@ -31,6 +31,12 @@ generator that produces ``BENCH_serve.json``.
 """
 
 from repro.serve.http import ReproServer, request_json, serve, wait_ready
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
 from repro.serve.service import QueryService, ServiceOverloaded, ServiceStats
 
 __all__ = [
@@ -41,4 +47,8 @@ __all__ = [
     "serve",
     "request_json",
     "wait_ready",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
 ]

@@ -17,10 +17,14 @@ GET      /stats     uptime, shards, served counts, batch histogram,
 
 Query bodies may also carry ``verify`` / ``parallel`` overrides — the
 same canonical kwargs the Python API takes (:class:`repro.api.QueryRequest`
-validates both identically).  Responses are JSON; errors are JSON too
+validates both identically) — plus the robustness knobs ``timeout_ms``
+(per-request deadline, anchored at admission) and ``degraded``
+(``"strict"`` / ``"partial"``).  Responses are JSON; errors are JSON too
 (``{"error": ...}``) with conventional status codes: 400 malformed
 request, 404 unknown path, 405 wrong method, 413 oversized body, 503
-not-ready or overloaded (with ``Retry-After``).
+not-ready or overloaded (with ``Retry-After``), 504 deadline exceeded.
+See ``docs/operations.md`` for deadlines, degraded mode, and the
+graceful SIGTERM drain.
 
 The server binds *before* the index is loaded: ``/healthz`` answers
 ``503 {"status": "loading"}`` until the engine is up, so orchestrators
@@ -32,11 +36,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import time
 from typing import Callable
 
 from repro import __version__
 from repro.api import Engine, QueryRequest, load
+from repro.core.resilience import DeadlineExceeded
 from repro.serve.service import QueryService, ServiceOverloaded
 
 __all__ = ["ReproServer", "serve", "MAX_BODY_BYTES"]
@@ -70,6 +76,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -114,6 +121,12 @@ class ReproServer:
         max_queue: int = 256,
         concurrency: int = 1,
         shard_workers: int | None = None,
+        default_timeout_ms: int | None = None,
+        max_timeout_ms: int | None = None,
+        drain_seconds: float = 5.0,
+        retry_attempts: int | None = None,
+        breaker_threshold: int | None = None,
+        breaker_reset_seconds: float | None = None,
         engine: Engine | None = None,
     ) -> None:
         self.directory = directory
@@ -122,12 +135,20 @@ class ReproServer:
         self.mode = mode
         self.parallel = parallel
         self.verify = verify
+        self.drain_seconds = drain_seconds
         self._service_options = {
             "batch_window_ms": batch_window_ms,
             "max_batch": max_batch,
             "max_queue": max_queue,
             "concurrency": concurrency,
             "shard_workers": shard_workers,
+            "default_timeout_ms": default_timeout_ms,
+            "max_timeout_ms": max_timeout_ms,
+        }
+        self._resilience_options = {
+            "retry_attempts": retry_attempts,
+            "breaker_threshold": breaker_threshold,
+            "breaker_reset_seconds": breaker_reset_seconds,
         }
         self._preloaded = engine
         self.engine: Engine | None = engine
@@ -150,6 +171,20 @@ class ReproServer:
         self._load_task = asyncio.get_running_loop().create_task(self._bring_up())
         return self
 
+    def _apply_resilience(self, engine: Engine) -> None:
+        """Apply supervision knobs to a sharded engine (no-ops otherwise)."""
+        attempts = self._resilience_options["retry_attempts"]
+        if attempts is not None and hasattr(engine, "retry_policy"):
+            from dataclasses import replace
+
+            engine.retry_policy = replace(engine.retry_policy, attempts=attempts)
+        threshold = self._resilience_options["breaker_threshold"]
+        if threshold is not None and hasattr(engine, "breaker_threshold"):
+            engine.breaker_threshold = threshold
+        reset = self._resilience_options["breaker_reset_seconds"]
+        if reset is not None and hasattr(engine, "breaker_reset_seconds"):
+            engine.breaker_reset_seconds = reset
+
     async def _bring_up(self) -> None:
         try:
             if self._preloaded is not None:
@@ -164,6 +199,7 @@ class ReproServer:
                         verify=self.verify,
                     ),
                 )
+            self._apply_resilience(engine)
             service = QueryService(engine, **self._service_options)
             await service.start()
             self.engine = engine
@@ -184,6 +220,29 @@ class ReproServer:
         assert self._server is not None
         async with self._server:
             await self._server.serve_forever()
+
+    async def drain(self, drain_seconds: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, then stop.
+
+        The listening socket closes first, so new connections are
+        refused; requests already admitted get up to ``drain_seconds``
+        (default: the server's ``drain_seconds``) to finish before
+        :meth:`stop` fails whatever is left.  ``repro serve`` calls this
+        on SIGTERM/SIGINT and exits 0.
+        """
+        budget = self.drain_seconds if drain_seconds is None else drain_seconds
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        service = self.service
+        if service is not None:
+            deadline = time.monotonic() + max(budget, 0.0)
+            while time.monotonic() < deadline:
+                if service.queue_depth == 0 and not service._batch_tasks:
+                    break
+                await asyncio.sleep(0.01)
+        await self.stop()
 
     async def stop(self) -> None:
         if self._load_task is not None and not self._load_task.done():
@@ -313,6 +372,8 @@ class ReproServer:
             result = await service.submit(request)
         except ServiceOverloaded as error:
             return 503, {"error": str(error)}, {"Retry-After": str(error.retry_after)}
+        except DeadlineExceeded as error:
+            return 504, {"error": str(error)}, {}
         except ConnectionError as error:
             return 503, {"error": str(error)}, {}
         except Exception as error:  # noqa: BLE001 - engine bug, not a client error
@@ -344,6 +405,8 @@ class ReproServer:
             service_stats["batch_window_ms"] = self.service.batch_window * 1000.0
             service_stats["max_batch"] = self.service.max_batch
             service_stats["max_queue"] = self.service.max_queue
+            service_stats["default_timeout_ms"] = self.service.default_timeout_ms
+            service_stats["max_timeout_ms"] = self.service.max_timeout_ms
             base["service"] = service_stats
         return 200, base, {}
 
@@ -405,9 +468,26 @@ def serve(
     ``options`` are :class:`ReproServer` keyword arguments.  ``announce``
     (when given) receives one human-readable line once the socket is
     bound — the CLI prints it.
+
+    SIGTERM and SIGINT trigger a graceful drain (stop accepting, finish
+    in-flight requests within the server's ``drain_seconds``) and a
+    clean return — the process exits 0, so orchestrators see an ordinary
+    shutdown, not a crash.
     """
 
     async def run() -> None:
+        # Signal handlers go in *before* the socket is announced: an
+        # orchestrator that reacts to the announcement by sending SIGTERM
+        # must hit the drain path, never the default (killing) disposition.
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        handled: list[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                continue  # platforms without loop signal handlers
+            handled.append(signum)
         server = ReproServer(directory, **options)
         await server.start()
         if announce is not None:
@@ -415,10 +495,17 @@ def serve(
                 f"repro serve: listening on http://{server.host}:{server.port} "
                 f"(index {directory}, mode {server.mode}, loading in background)"
             )
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopper = asyncio.ensure_future(shutdown.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait({forever, stopper}, return_when=asyncio.FIRST_COMPLETED)
         finally:
-            await server.stop()
+            forever.cancel()
+            stopper.cancel()
+            await asyncio.gather(forever, stopper, return_exceptions=True)
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+            await server.drain()
 
     try:
         asyncio.run(run())

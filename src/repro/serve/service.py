@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.api import Engine, QueryRequest, QueryResult, execute_batch
+from repro.core.resilience import Deadline, DeadlineExceeded
 
 __all__ = ["QueryService", "ServiceOverloaded", "ServiceStats"]
 
@@ -66,14 +67,22 @@ class ServiceStats:
     ``batch_sizes`` maps dispatched batch size → number of batches of
     that size; ``latencies`` holds the most recent per-request wall
     latencies in seconds (admission to answer, execution included).
+    The reservoir records **served requests only** — rejected (503) and
+    timed-out (504) requests never enter it, so p50/p99 describe answers
+    clients actually received.  ``late_results`` counts answers the
+    engine finished computing after the request had already timed out
+    (wasted work, a sizing signal for ``timeout_ms`` vs batch cost).
     """
 
     started_at: float = field(default_factory=time.time)
     queries_served: int = 0
     queries_rejected: int = 0
     queries_failed: int = 0
+    queries_timed_out: int = 0
+    late_results: int = 0
     batches_dispatched: int = 0
     served_by_kind: dict = field(default_factory=dict)
+    timed_out_by_kind: dict = field(default_factory=dict)
     batch_sizes: dict = field(default_factory=dict)
     latencies: list = field(default_factory=list)
 
@@ -87,6 +96,10 @@ class ServiceStats:
         self.latencies.append(latency)
         if len(self.latencies) > _LATENCY_RESERVOIR:
             del self.latencies[: -_LATENCY_RESERVOIR]
+
+    def record_timeout(self, kind: str) -> None:
+        self.queries_timed_out += 1
+        self.timed_out_by_kind[kind] = self.timed_out_by_kind.get(kind, 0) + 1
 
     def latency_quantiles(self) -> dict:
         """p50/p99 (seconds) over the reservoir; zeros before any traffic."""
@@ -107,7 +120,10 @@ class ServiceStats:
             "queries_served": self.queries_served,
             "queries_rejected": self.queries_rejected,
             "queries_failed": self.queries_failed,
+            "queries_timed_out": self.queries_timed_out,
+            "late_results": self.late_results,
             "served_by_kind": dict(self.served_by_kind),
+            "timed_out_by_kind": dict(self.timed_out_by_kind),
             "batches_dispatched": self.batches_dispatched,
             "batch_size_histogram": {
                 str(size): count for size, count in sorted(self.batch_sizes.items())
@@ -127,12 +143,19 @@ class ServiceStats:
 class _Pending:
     """One admitted request awaiting its answer."""
 
-    __slots__ = ("request", "future", "admitted_at")
+    __slots__ = ("request", "future", "admitted_at", "deadline", "timer")
 
-    def __init__(self, request: QueryRequest, future: asyncio.Future) -> None:
+    def __init__(
+        self,
+        request: QueryRequest,
+        future: asyncio.Future,
+        deadline: Deadline | None = None,
+    ) -> None:
         self.request = request
         self.future = future
         self.admitted_at = time.perf_counter()
+        self.deadline = deadline
+        self.timer: asyncio.TimerHandle | None = None
 
 
 class QueryService:
@@ -159,6 +182,18 @@ class QueryService:
         Per-shard fan-out cap for the engine's own thread/process pools
         (``engine.query_workers``); None keeps the engine default
         (``min(num_shards, cpu_count)``).
+    default_timeout_ms : int, optional
+        Deadline applied to requests that do not carry their own
+        ``timeout_ms``.  None (the default) means no implicit deadline.
+    max_timeout_ms : int, optional
+        Server-side cap: a request asking for a longer budget is clamped
+        to this.  None means clients may ask for any budget.
+
+    Deadlines are anchored at **admission**, so time spent waiting in
+    the micro-batch queue counts against the budget.  An expired request
+    fails with :class:`~repro.core.resilience.DeadlineExceeded` (the
+    HTTP layer answers 504) and is counted in ``queries_timed_out`` —
+    never in the latency reservoir.
 
     Use as an async context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -171,6 +206,8 @@ class QueryService:
         max_queue: int = 256,
         concurrency: int = 1,
         shard_workers: int | None = None,
+        default_timeout_ms: int | None = None,
+        max_timeout_ms: int | None = None,
     ) -> None:
         if batch_window_ms < 0:
             raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
@@ -180,11 +217,19 @@ class QueryService:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
         if concurrency < 1:
             raise ValueError(f"concurrency must be positive, got {concurrency}")
+        for name, value in (
+            ("default_timeout_ms", default_timeout_ms),
+            ("max_timeout_ms", max_timeout_ms),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
         self.engine = engine
         self.batch_window = batch_window_ms / 1000.0
         self.max_batch = max_batch
         self.max_queue = max_queue
         self.concurrency = concurrency
+        self.default_timeout_ms = default_timeout_ms
+        self.max_timeout_ms = max_timeout_ms
         if shard_workers is not None:
             engine.query_workers = shard_workers
         self.stats = ServiceStats()
@@ -239,6 +284,27 @@ class QueryService:
 
     # -- admission ---------------------------------------------------------
 
+    def _effective_timeout_ms(self, request: QueryRequest) -> int | None:
+        """The request's deadline budget after the server's policy."""
+        timeout_ms = request.timeout_ms
+        if timeout_ms is None:
+            timeout_ms = self.default_timeout_ms
+        if timeout_ms is not None and self.max_timeout_ms is not None:
+            timeout_ms = min(timeout_ms, self.max_timeout_ms)
+        return timeout_ms
+
+    def _expire(self, pending: _Pending, timeout_ms: int) -> None:
+        """Timer callback: the request ran out of budget before answering."""
+        if pending.future.done():
+            return
+        self.stats.record_timeout(pending.request.kind)
+        pending.future.set_exception(
+            DeadlineExceeded(
+                f"{pending.request.kind} request exceeded its {timeout_ms}ms "
+                "budget (queueing + execution)"
+            )
+        )
+
     async def submit(self, request: QueryRequest) -> QueryResult:
         """Admit one request, await its (possibly batched) answer.
 
@@ -247,6 +313,10 @@ class QueryService:
         ServiceOverloaded
             When the admission bound is hit; the request was *not*
             enqueued.
+        DeadlineExceeded
+            When the request's deadline (its ``timeout_ms``, the
+            service default, or the server cap — whichever is tightest)
+            expired before an answer was ready.
         """
         if self._closed or self._dispatcher is None:
             raise ConnectionError("query service is not running")
@@ -254,11 +324,21 @@ class QueryService:
             self.stats.queries_rejected += 1
             raise ServiceOverloaded(self._in_flight, self.max_queue)
         self._in_flight += 1
-        pending = _Pending(request, asyncio.get_running_loop().create_future())
+        loop = asyncio.get_running_loop()
+        timeout_ms = self._effective_timeout_ms(request)
+        pending = _Pending(
+            request, loop.create_future(), Deadline.from_timeout_ms(timeout_ms)
+        )
+        if timeout_ms is not None:
+            pending.timer = loop.call_later(
+                timeout_ms / 1000.0, self._expire, pending, timeout_ms
+            )
         self._queue.put_nowait(pending)
         try:
             return await pending.future
         finally:
+            if pending.timer is not None:
+                pending.timer.cancel()
             self._in_flight -= 1
 
     # -- batching ----------------------------------------------------------
@@ -297,26 +377,51 @@ class QueryService:
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
 
+    @staticmethod
+    def _batch_deadline(batch: list[_Pending]) -> Deadline | None:
+        """The engine-side deadline for a batch: its most patient member.
+
+        A single deadline bounds the whole engine call, so the batch
+        must be allowed to run as long as its longest-budget request;
+        shorter-budget members are failed individually by their timers.
+        One member without a deadline means the batch runs unbounded.
+        """
+        deadlines = [pending.deadline for pending in batch]
+        if any(deadline is None for deadline in deadlines):
+            return None
+        return max(deadlines, key=lambda deadline: deadline.expires_at)
+
     async def _run_batch(self, batch: list[_Pending]) -> None:
         try:
             self.stats.record_batch(len(batch))
             requests = [pending.request for pending in batch]
+            deadline = self._batch_deadline(batch)
             try:
                 results = await asyncio.get_running_loop().run_in_executor(
-                    None, execute_batch, self.engine, requests
+                    None, execute_batch, self.engine, requests, deadline
                 )
             except Exception as error:  # noqa: BLE001 - forwarded per request
-                self.stats.queries_failed += len(batch)
+                timed_out = isinstance(error, DeadlineExceeded)
                 for pending in batch:
-                    if not pending.future.done():
-                        pending.future.set_exception(error)
+                    if pending.future.done():
+                        continue
+                    if timed_out:
+                        self.stats.record_timeout(pending.request.kind)
+                    else:
+                        self.stats.queries_failed += 1
+                    pending.future.set_exception(error)
                 return
             finished = time.perf_counter()
             for pending, result in zip(batch, results):
+                if pending.future.done():
+                    # Timed out (or shed) while we were computing: the
+                    # answer is wasted work, not a served request — keep
+                    # it out of the latency reservoir.
+                    self.stats.late_results += 1
+                    continue
                 self.stats.record_served(
                     pending.request.kind, finished - pending.admitted_at
                 )
-                if not pending.future.done():
-                    pending.future.set_result(result)
+                pending.future.set_result(result)
         finally:
             self._batch_slots.release()

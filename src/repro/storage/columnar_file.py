@@ -54,6 +54,7 @@ from repro.core.dataset import Dataset
 from repro.core.persistence import PersistenceError
 from repro.core.sets import SetRecord
 from repro.core.tokens import TokenUniverse
+from repro.testing.faults import fault_point
 
 __all__ = [
     "COLUMNAR_MAGIC",
@@ -250,6 +251,7 @@ class ColumnarFileReader:
         self.path = Path(path)
         self.mode = mode
         self._segments: dict[str, np.ndarray] = {}
+        fault_point("storage.open", str(self.path))
         file_size = self.path.stat().st_size
         with open(self.path, "rb") as handle:
             magic = handle.read(len(COLUMNAR_MAGIC))
@@ -393,6 +395,7 @@ class ColumnarFileReader:
         if name not in self._entries:
             raise KeyError(f"unknown segment {name!r}")
         if name not in self._segments:
+            fault_point("storage.segment", f"{self.path}:{name}")
             entry = self._entries[name]
             dtype = np.dtype(entry["dtype"])
             offset = self._data_start + entry["offset"]

@@ -1,0 +1,154 @@
+"""The fault-injection harness itself: rules, arming, tokens, recording."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    arm,
+    armed,
+    disarm,
+    fault_point,
+    recording,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no plan armed."""
+    disarm()
+    yield
+    disarm()
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule("p", action="explode")
+        with pytest.raises(ValueError, match="skip"):
+            FaultRule("p", skip=-1)
+        with pytest.raises(ValueError, match="delay_seconds"):
+            FaultRule("p", delay_seconds=-0.1)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultRule("save.swap"),
+                FaultRule("shard.task", action="kill", skip=3, token="/tmp/t"),
+                FaultRule("storage.open", action="delay", delay_seconds=0.5,
+                          match="shard=1", times=-1),
+            ]
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert [r.to_payload() for r in restored.rules] == [
+            r.to_payload() for r in plan.rules
+        ]
+        # Runtime counters are not serialized.
+        assert "hits" not in json.loads(plan.to_json())["rules"][0]
+
+
+class TestFirePolicies:
+    def test_noop_when_disarmed(self):
+        assert active_plan() is None
+        fault_point("anything", "detail")  # must not raise
+
+    def test_fail_action(self):
+        with armed(FaultPlan([FaultRule("boom")])):
+            with pytest.raises(InjectedFault, match="boom"):
+                fault_point("boom", "ctx")
+
+    def test_point_and_match_filtering(self):
+        rule = FaultRule("shard.exec", match="shard=1", times=-1)
+        with armed(FaultPlan([rule])):
+            fault_point("other.point", "shard=1")  # wrong point
+            fault_point("shard.exec", "knn:shard=0")  # wrong detail
+            with pytest.raises(InjectedFault):
+                fault_point("shard.exec", "knn:shard=1")
+
+    def test_skip_then_times(self):
+        rule = FaultRule("p", skip=2, times=2)
+        with armed(FaultPlan([rule])):
+            fault_point("p")  # skipped
+            fault_point("p")  # skipped
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    fault_point("p")
+            fault_point("p")  # budget exhausted: no longer fires
+        assert rule.hits == 5 and rule.fired == 2
+
+    def test_times_forever(self):
+        with armed(FaultPlan([FaultRule("p", times=-1)])):
+            for _ in range(5):
+                with pytest.raises(InjectedFault):
+                    fault_point("p")
+
+    def test_delay_action(self):
+        plan = FaultPlan([FaultRule("slow", action="delay", delay_seconds=0.05)])
+        with armed(plan):
+            start = time.perf_counter()
+            fault_point("slow")
+            assert time.perf_counter() - start >= 0.05
+
+    def test_token_fires_exactly_once(self, tmp_path):
+        token = tmp_path / "once.tok"
+        plan = FaultPlan([FaultRule("p", times=-1, token=str(token))])
+        with armed(plan):
+            with pytest.raises(InjectedFault):
+                fault_point("p")
+            fault_point("p")  # the token is claimed: never again
+        assert token.exists()
+
+    def test_armed_restores_previous_plan(self):
+        outer = FaultPlan([])
+        arm(outer)
+        with armed(FaultPlan([FaultRule("p")])):
+            assert active_plan() is not outer
+        assert active_plan() is outer
+
+
+class TestRecording:
+    def test_recording_captures_without_firing(self):
+        with armed(FaultPlan([FaultRule("p", times=-1)])):
+            with recording() as trace:
+                with pytest.raises(InjectedFault):
+                    fault_point("p", "d1")
+            fault_point("other", "d2")  # after the block: not captured
+        assert trace == [("p", "d1")]
+
+    def test_recording_is_noop_armed_free(self):
+        with recording() as trace:
+            fault_point("a", "1")
+            fault_point("b", "2")
+        assert trace == [("a", "1"), ("b", "2")]
+
+
+class TestEnvArming:
+    def test_env_var_arms_subprocess(self, tmp_path):
+        plan = FaultPlan([FaultRule("env.point")])
+        code = (
+            "from repro.testing.faults import fault_point, InjectedFault\n"
+            "try:\n"
+            "    fault_point('env.point')\n"
+            "except InjectedFault:\n"
+            "    print('FIRED')\n"
+        )
+        env = dict(os.environ, REPRO_FAULTS=plan.to_json())
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH", "")])
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, cwd=os.getcwd(),
+            check=True,
+        )
+        assert out.stdout.strip() == "FIRED"

@@ -319,3 +319,121 @@ def test_cli_has_a_serve_command():
     assert args.command == "serve"
     assert args.port == 0 and args.mode == "lazy" and args.max_batch == 8
     assert args.batch_window_ms == 2.0 and args.max_queue == 256
+
+
+# -- deadlines, drain, and shutdown ------------------------------------------
+
+
+def test_timeout_answers_504(single_dir, dataset):
+    async def main():
+        # Budget far below the batch window: the request expires queued.
+        server = await _ready_server(single_dir, batch_window_ms=200.0)
+        try:
+            status, body = await request_json(
+                server.host, server.port, "POST", "/knn",
+                {"tokens": _query(dataset, 0), "k": 3, "timeout_ms": 10},
+            )
+            assert status == 504
+            assert "budget" in body["error"]
+            status, stats = await request_json(
+                server.host, server.port, "GET", "/stats"
+            )
+            assert stats["service"]["queries_timed_out"] == 1
+            assert stats["service"]["timed_out_by_kind"] == {"knn": 1}
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_server_default_timeout_applies(single_dir, dataset):
+    async def main():
+        server = await _ready_server(
+            single_dir, batch_window_ms=200.0, default_timeout_ms=10
+        )
+        try:
+            status, body = await request_json(
+                server.host, server.port, "POST", "/knn",
+                {"tokens": _query(dataset, 0), "k": 3},
+            )
+            assert status == 504
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_stats_reports_timeout_knobs(single_dir):
+    async def main():
+        server = await _ready_server(
+            single_dir, default_timeout_ms=5000, max_timeout_ms=30_000
+        )
+        try:
+            status, stats = await request_json(
+                server.host, server.port, "GET", "/stats"
+            )
+            service = stats["service"]
+            assert service["default_timeout_ms"] == 5000
+            assert service["max_timeout_ms"] == 30_000
+            for key in ("queries_timed_out", "late_results", "timed_out_by_kind"):
+                assert key in service
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_drain_finishes_in_flight_then_stops(single_dir, dataset):
+    async def main():
+        server = await _ready_server(single_dir, batch_window_ms=200.0)
+        task = asyncio.ensure_future(
+            request_json(
+                server.host, server.port, "POST", "/knn",
+                {"tokens": _query(dataset, 0), "k": 3},
+            )
+        )
+        await asyncio.sleep(0.05)  # parked in the batcher
+        await server.drain()
+        status, body = await task
+        assert status == 200 and body["count"] == 3  # in-flight work finished
+        with pytest.raises(OSError):
+            await request_json(server.host, server.port, "GET", "/healthz")
+
+    asyncio.run(main())
+
+
+def test_sigterm_drains_and_exits_zero(single_dir):
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+    import time as time_mod
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", single_dir,
+         "--port", "0", "--drain-seconds", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        seen = []
+        while True:
+            line = proc.stdout.readline()
+            if not line:
+                pytest.fail(f"server exited before announcing: {seen!r}")
+            seen.append(line)
+            if re.search(r"listening on http://", line):
+                break
+        proc.send_signal(signal.SIGTERM)
+        deadline = time_mod.monotonic() + 20.0
+        while proc.poll() is None and time_mod.monotonic() < deadline:
+            time_mod.sleep(0.05)
+        assert proc.poll() == 0, (proc.poll(), proc.stdout.read())
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()

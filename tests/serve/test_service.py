@@ -167,3 +167,103 @@ def test_empty_stats_are_json_safe():
     snapshot = ServiceStats().snapshot()
     assert snapshot["latency_ms"] == {"p50": 0.0, "p99": 0.0}
     assert snapshot["mean_batch_size"] == 0.0
+
+
+# -- deadlines ----------------------------------------------------------------
+
+
+def test_timeout_expires_queued_request(engine):
+    from repro.serve import DeadlineExceeded
+
+    async def main():
+        # A long batch window so the 10ms budget expires while the
+        # request is still queued — deterministic, no slow engine needed.
+        async with QueryService(engine, batch_window_ms=150.0) as service:
+            request = QueryRequest.knn(_query(engine, 0), k=3, timeout_ms=10)
+            with pytest.raises(DeadlineExceeded, match="budget"):
+                await service.submit(request)
+            assert service.stats.queries_timed_out == 1
+            assert service.stats.timed_out_by_kind == {"knn": 1}
+            # The whole batch expired before dispatch, so the engine never
+            # ran it: no served answers, and the reservoir stays clean.
+            await asyncio.sleep(0.3)
+            assert service.stats.queries_served == 0
+            assert service.stats.latencies == []
+
+    asyncio.run(main())
+
+
+def test_late_result_is_counted_and_kept_out_of_reservoir(engine):
+    from repro.serve import DeadlineExceeded
+
+    async def main():
+        # Two requests with the same 100ms budget, admitted 150ms apart
+        # inside one 200ms batch window: the batch runs on the *most
+        # patient* member's deadline, so the early request expires (504)
+        # while the late one is served — and the early one's wasted
+        # answer lands in ``late_results``, not the latency reservoir.
+        async with QueryService(engine, batch_window_ms=200.0) as service:
+            early = QueryRequest.knn(_query(engine, 0), k=3, timeout_ms=100)
+            late = QueryRequest.knn(_query(engine, 1), k=3, timeout_ms=100)
+            first = asyncio.ensure_future(service.submit(early))
+            await asyncio.sleep(0.15)
+            second = asyncio.ensure_future(service.submit(late))
+            with pytest.raises(DeadlineExceeded):
+                await first
+            result = await second
+            assert result.matches == execute(engine, late).matches
+            assert service.stats.queries_timed_out == 1
+            assert service.stats.late_results == 1
+            assert service.stats.queries_served == 1
+            assert len(service.stats.latencies) == 1
+
+    asyncio.run(main())
+
+
+def test_default_timeout_applies_to_bare_requests(engine):
+    from repro.serve import DeadlineExceeded
+
+    async def main():
+        async with QueryService(
+            engine, batch_window_ms=150.0, default_timeout_ms=10
+        ) as service:
+            with pytest.raises(DeadlineExceeded):
+                await service.submit(QueryRequest.knn(_query(engine, 0), k=3))
+
+    asyncio.run(main())
+
+
+def test_max_timeout_caps_client_budgets(engine):
+    from repro.serve import DeadlineExceeded
+
+    async def main():
+        async with QueryService(
+            engine, batch_window_ms=150.0, max_timeout_ms=10
+        ) as service:
+            request = QueryRequest.knn(_query(engine, 0), k=3, timeout_ms=60_000)
+            with pytest.raises(DeadlineExceeded):
+                await service.submit(request)
+
+    asyncio.run(main())
+
+
+def test_generous_timeout_serves_normally(engine):
+    async def main():
+        async with QueryService(engine, default_timeout_ms=60_000) as service:
+            request = QueryRequest.knn(_query(engine, 0), k=3, timeout_ms=30_000)
+            result = await service.submit(request)
+            assert result.matches == execute(engine, request).matches
+            assert service.stats.queries_timed_out == 0
+            assert service.stats.late_results == 0
+            snapshot = service.stats.snapshot()
+            for key in ("queries_timed_out", "late_results", "timed_out_by_kind"):
+                assert key in snapshot
+
+    asyncio.run(main())
+
+
+def test_timeout_knob_validation(engine):
+    with pytest.raises(ValueError, match="default_timeout_ms"):
+        QueryService(engine, default_timeout_ms=0)
+    with pytest.raises(ValueError, match="max_timeout_ms"):
+        QueryService(engine, max_timeout_ms=-5)
