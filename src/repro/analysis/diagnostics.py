@@ -1,0 +1,71 @@
+"""Diagnostics: what a lint rule reports and how it is rendered.
+
+A :class:`Diagnostic` is one finding — file, position, rule code, and a
+message describing the violated invariant.  Rendering is deliberately
+minimal: the ``text`` form mirrors the classic ``path:line:col: CODE
+message`` compiler format (clickable in editors and CI logs), and the
+``json`` form is a stable machine interface for pre-commit hooks and CI
+annotations (``repro lint --format json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+__all__ = ["Diagnostic", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Ordering is ``(path, line, col, code)`` so reports are stable across
+    runs and machines regardless of rule execution order.
+
+    >>> Diagnostic("src/x.py", 3, 0, "RL303", "bare 'except:' hides every failure").code
+    'RL303'
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """The human report: one line per finding plus a summary line.
+
+    >>> print(render_text([], files_checked=3))
+    3 files checked, no diagnostics
+    """
+    lines = [diagnostic.format() for diagnostic in sorted(diagnostics)]
+    if diagnostics:
+        noun = "diagnostic" if len(diagnostics) == 1 else "diagnostics"
+        lines.append(f"{files_checked} files checked, {len(diagnostics)} {noun}")
+    else:
+        lines.append(f"{files_checked} files checked, no diagnostics")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """The machine report: a JSON object with a stable schema.
+
+    >>> import json
+    >>> payload = json.loads(render_json([], files_checked=2))
+    >>> payload["files_checked"], payload["diagnostics"]
+    (2, [])
+    """
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "diagnostics": [asdict(diagnostic) for diagnostic in sorted(diagnostics)],
+        },
+        indent=2,
+    )

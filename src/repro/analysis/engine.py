@@ -1,0 +1,176 @@
+"""The analysis engine: parse once, run every applicable rule, report.
+
+The unit of work is one Python source file.  :func:`analyze_source`
+parses it, builds a :class:`FileContext` (AST, parent links, suppression
+directives), runs every selected rule whose scope matches the file's
+*module path*, and filters findings through the inline suppressions.
+:func:`analyze_paths` is the CLI/CI entry point: it walks directories,
+skips caches, and returns the sorted diagnostics plus the file count.
+
+Module paths are matched in posix form, so rule scopes like
+``repro/core/`` work no matter where the checkout lives or which
+separator the OS uses.  Tests exercise rules against in-memory snippets
+by passing a *virtual* ``module_path`` (e.g.
+``src/repro/core/example.py``) without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, iter_rules_for, known_codes, resolve_codes
+from repro.analysis.suppressions import Suppression, parse_suppressions
+
+__all__ = ["FileContext", "analyze_source", "analyze_file", "analyze_paths"]
+
+#: Emitted when a file cannot be parsed at all (syntax error, bad
+#: encoding) — every other rule needs an AST, so this is its own code.
+UNPARSABLE = "RL003"
+
+_SKIP_DIRECTORIES = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about one parsed file."""
+
+    path: str
+    module_path: str
+    source: str
+    tree: ast.Module
+    suppressions: list[Suppression]
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def segment(self, node: ast.AST) -> str:
+        """The source text of ``node`` (empty when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+def _normalize(path: str | Path) -> str:
+    return str(PurePosixPath(Path(path).as_posix()))
+
+
+def _effective_codes(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> frozenset[str]:
+    codes = resolve_codes(select) if select else known_codes()
+    if ignore:
+        codes -= resolve_codes(ignore)
+    return codes
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module_path: str | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Diagnostic]:
+    """Analyze one source string; the core primitive everything wraps.
+
+    >>> analyze_source("try:\\n    pass\\nexcept:\\n    pass\\n")[0].code
+    'RL303'
+    >>> analyze_source("try:\\n    pass\\nexcept ValueError:\\n    pass\\n")
+    []
+    """
+    resolved_module = _normalize(module_path if module_path is not None else path)
+    codes = _effective_codes(select, ignore)
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as error:
+        if UNPARSABLE not in codes:
+            return []
+        line = getattr(error, "lineno", None) or 1
+        return [
+            Diagnostic(
+                path=path,
+                line=line,
+                col=(getattr(error, "offset", None) or 1) - 1,
+                code=UNPARSABLE,
+                message=f"file cannot be parsed, so no invariant can be checked: {error}",
+            )
+        ]
+    context = FileContext(
+        path=path,
+        module_path=resolved_module,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    diagnostics: list[Diagnostic] = []
+    for registered in iter_rules_for(resolved_module, codes):
+        diagnostics.extend(_run_rule(registered, context))
+    return sorted(
+        diagnostic
+        for diagnostic in diagnostics
+        if not _suppressed(diagnostic, context.suppressions)
+    )
+
+
+def _run_rule(registered: Rule, context: FileContext) -> Iterator[Diagnostic]:
+    for line, col, message in registered.check(context):
+        yield Diagnostic(
+            path=context.path, line=line, col=col, code=registered.code, message=message
+        )
+
+
+def _suppressed(diagnostic: Diagnostic, suppressions: list[Suppression]) -> bool:
+    return any(
+        suppression.silences(diagnostic.code, diagnostic.line)
+        for suppression in suppressions
+    )
+
+
+def analyze_file(
+    path: str | Path,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Diagnostic]:
+    """Analyze one file on disk (:class:`OSError` propagates to the caller)."""
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    return analyze_source(text, path=str(path), select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the sorted ``*.py`` files beneath them."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for found in sorted(entry.rglob("*.py")):
+                if not _SKIP_DIRECTORIES.intersection(found.parts):
+                    yield found
+        else:
+            yield entry
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> tuple[list[Diagnostic], int]:
+    """Analyze files and directories; returns ``(diagnostics, files_checked)``."""
+    diagnostics: list[Diagnostic] = []
+    files_checked = 0
+    for found in iter_python_files(paths):
+        files_checked += 1
+        diagnostics.extend(analyze_file(found, select=select, ignore=ignore))
+    return sorted(diagnostics), files_checked

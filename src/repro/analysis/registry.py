@@ -1,0 +1,152 @@
+"""The rule registry: codes, scopes, and select/ignore resolution.
+
+Every rule is a function registered under an ``RL###`` code with the
+:func:`rule` decorator.  Registration carries the metadata the engine
+and the docs need:
+
+``scope``
+    Module-path fragments the rule applies to (``None`` = every file).
+    The engine matches fragments against the *posix form* of the file
+    path, so ``"repro/core/"`` selects the core package wherever the
+    repository checkout lives, and ``tests/`` files never match a
+    ``src``-scoped rule.
+``exempt``
+    Fragments that opt specific modules back out — e.g. the atomic-swap
+    implementation inside ``repro/core/persistence.py`` is exempt from
+    the rename-bypass rule it exists to enforce on everyone else.
+
+Codes group by family: ``RL0xx`` meta (suppression hygiene), ``RL1xx``
+bit-identity, ``RL2xx`` concurrency, ``RL3xx`` resilience, ``RL4xx``
+resource hygiene and typing discipline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import FileContext
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "resolve_codes", "RuleError"]
+
+#: A rule yields ``(line, col, message)`` findings for one parsed file.
+Finding = tuple[int, int, str]
+CheckFunction = Callable[["FileContext"], Iterable[Finding]]
+
+_CODE_PATTERN = re.compile(r"^RL\d{3}$")
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class RuleError(ValueError):
+    """A rule code or selection expression is malformed or unknown."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check.
+
+    ``summary`` is the one-line description shown by ``--list-rules``;
+    ``invariant`` names the engine contract the rule protects (the docs
+    table is generated from both).
+    """
+
+    code: str
+    name: str
+    summary: str
+    invariant: str
+    check: CheckFunction
+    scope: tuple[str, ...] | None = None
+    exempt: tuple[str, ...] = field(default_factory=tuple)
+
+    def applies_to(self, module_path: str) -> bool:
+        """Does this rule run over the file at ``module_path`` (posix form)?"""
+        if any(fragment in module_path for fragment in self.exempt):
+            return False
+        if self.scope is None:
+            return True
+        return any(fragment in module_path for fragment in self.scope)
+
+
+def rule(
+    code: str,
+    name: str,
+    summary: str,
+    invariant: str,
+    scope: Sequence[str] | None = None,
+    exempt: Sequence[str] = (),
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register ``check`` under ``code``; the function itself is returned."""
+
+    def decorator(check: CheckFunction) -> CheckFunction:
+        if not _CODE_PATTERN.match(code):
+            raise RuleError(f"rule code {code!r} must match RL###")
+        if code in _REGISTRY:
+            raise RuleError(f"rule code {code} registered twice")
+        _REGISTRY[code] = Rule(
+            code=code,
+            name=name,
+            summary=summary,
+            invariant=invariant,
+            check=check,
+            scope=tuple(scope) if scope is not None else None,
+            exempt=tuple(exempt),
+        )
+        return check
+
+    return decorator
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by code."""
+    _load_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise RuleError(f"unknown rule code {code!r}") from None
+
+
+def known_codes() -> frozenset[str]:
+    _load_builtin_rules()
+    return frozenset(_REGISTRY)
+
+
+def resolve_codes(expressions: Iterable[str]) -> frozenset[str]:
+    """Expand ``--select`` / ``--ignore`` expressions to concrete codes.
+
+    Accepts exact codes (``RL303``) and prefixes (``RL3`` selects the
+    whole resilience family, ``RL`` selects everything); unknown
+    expressions raise :class:`RuleError` so typos fail loudly instead of
+    silently checking nothing.
+    """
+    _load_builtin_rules()
+    resolved: set[str] = set()
+    for expression in expressions:
+        matched = {code for code in _REGISTRY if code.startswith(expression)}
+        if not matched:
+            raise RuleError(
+                f"{expression!r} matches no registered rule code "
+                f"(known: {', '.join(sorted(_REGISTRY))})"
+            )
+        resolved |= matched
+    return frozenset(resolved)
+
+
+def iter_rules_for(module_path: str, codes: frozenset[str]) -> Iterator[Rule]:
+    """The rules in ``codes`` that apply to ``module_path``."""
+    for code in sorted(codes):
+        registered = _REGISTRY[code]
+        if registered.applies_to(module_path):
+            yield registered
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules exactly once (registration is import-time)."""
+    import repro.analysis.rules  # noqa: F401  (import registers the rules)

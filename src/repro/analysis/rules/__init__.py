@@ -1,0 +1,17 @@
+"""Rule modules — importing this package registers every built-in rule.
+
+Adding a rule is three steps (see ``docs/static-analysis.md``):
+
+1. write a check function in the matching family module (or a new one)
+   and decorate it with :func:`repro.analysis.registry.rule`;
+2. import the module here so registration happens;
+3. add the firing/near-miss fixture pair in ``tests/analysis/``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
+    bit_identity,
+    concurrency,
+    hygiene,
+    meta,
+    resilience,
+)

@@ -1,0 +1,104 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+
+__all__ = [
+    "dotted_name",
+    "keyword_value",
+    "location",
+    "function_defs",
+    "enclosing_function",
+    "is_with_context_expr",
+    "ORDER_PRESERVING_WRAPPERS",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Builtins that re-wrap an iterable without imposing an order — looking
+#: through them keeps ``list(some_set)`` as suspicious as ``some_set``.
+ORDER_PRESERVING_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains; empty string otherwise.
+
+    Calls and subscripts inside the chain dissolve to their base, so
+    ``self._processes().submit`` yields ``submit`` only via its final
+    attribute — callers match on suffixes when that is what they mean.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif parts:
+        # Chain rooted in a call/subscript/constant: keep the attributes only.
+        pass
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+def keyword_value(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def location(node: ast.AST) -> tuple[int, int]:
+    return node.lineno, node.col_offset
+
+
+def function_defs(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function/method definition, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def enclosing_function(context: FileContext, node: ast.AST) -> FunctionNode | None:
+    """The nearest function definition ``node`` sits inside, if any."""
+    for ancestor in context.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def enclosing_class(context: FileContext, node: ast.AST) -> ast.ClassDef | None:
+    for ancestor in context.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def is_with_context_expr(context: FileContext, node: ast.AST) -> bool:
+    """Is ``node`` (part of) the context expression of a ``with`` item?
+
+    Accepts both the direct form (``with open(p) as f``) and wrapped
+    forms (``with closing(connect(p)) as c``): any ancestor chain that
+    reaches a ``withitem`` without first crossing the with *body* counts.
+    """
+    current: ast.AST | None = node
+    while current is not None:
+        parent = context.parent(current)
+        if isinstance(parent, ast.withitem) and parent.context_expr is current:
+            return True
+        if isinstance(parent, (ast.stmt, ast.Module)) and not isinstance(
+            parent, (ast.With, ast.AsyncWith)
+        ):
+            # Crossed a statement boundary without hitting a withitem.
+            return False
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            # Reached the with statement not through one of its items:
+            # we were in the body, not the header.
+            return False
+        current = parent
+    return False

@@ -1,0 +1,167 @@
+"""Resource-hygiene and typing-discipline rules (RL4xx).
+
+``RL401``
+    ``open()`` / ``os.open()`` / ``np.memmap()`` whose handle has no
+    owner: not a ``with`` block, not closed in the function, not
+    returned, and not stored on an object that manages its lifetime.
+    The out-of-core engine maps files for the lifetime of a reader —
+    that is ownership; a handle that merely leaks is not.
+``RL402``
+    A function without complete type annotations in a strict-typed
+    module (``core/``, ``api.py``, ``storage/``, ``distributed/``,
+    ``serve/``).  These are the modules ``mypy`` runs strict over in CI;
+    this rule enforces the same annotation coverage locally, without
+    needing mypy installed, so the hot-path contracts stay machine-read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import Finding, rule
+from repro.analysis.rules.common import (
+    dotted_name,
+    enclosing_function,
+    is_with_context_expr,
+    location,
+)
+
+_RESOURCE_CALLS = frozenset({"open", "os.open", "np.memmap", "numpy.memmap"})
+
+_STRICT_MODULES = (
+    "repro/core/",
+    "repro/api.py",
+    "repro/storage/",
+    "repro/distributed/",
+    "repro/serve/",
+)
+
+
+def _assigned_name(context: FileContext, node: ast.Call) -> str | None:
+    parent = context.parent(node)
+    if (
+        isinstance(parent, ast.Assign)
+        and len(parent.targets) == 1
+        and isinstance(parent.targets[0], ast.Name)
+    ):
+        return parent.targets[0].id
+    return None
+
+
+def _stored_on_object(context: FileContext, node: ast.Call) -> bool:
+    """Directly assigned to ``self.x`` / ``obj.cache[key]`` — owned."""
+    parent = context.parent(node)
+    if isinstance(parent, ast.Assign):
+        return any(
+            isinstance(target, (ast.Attribute, ast.Subscript))
+            for target in parent.targets
+        )
+    return False
+
+
+def _name_is_owned(function: ast.AST, name: str) -> bool:
+    """Is the handle bound to ``name`` closed, returned, yielded, or stored?"""
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            called = dotted_name(node.func)
+            if called == f"{name}.close":
+                return True
+            if called in {"os.close", "contextlib.closing", "closing"} and any(
+                isinstance(arg, ast.Name) and arg.id == name for arg in node.args
+            ):
+                return True
+        if isinstance(node, (ast.Return, ast.Yield)) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id == name:
+                return True
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+            if node.value.id == name and any(
+                isinstance(target, (ast.Attribute, ast.Subscript))
+                for target in node.targets
+            ):
+                return True
+    return False
+
+
+@rule(
+    code="RL401",
+    name="unowned-file-handle",
+    summary="open()/os.open()/np.memmap() result has no owner",
+    invariant="every handle/mapping has a context manager or a lifecycle owner",
+    scope=("repro/",),
+)
+def check_unowned_file_handle(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name not in _RESOURCE_CALLS:
+            continue
+        if is_with_context_expr(context, node):
+            continue
+        parent = context.parent(node)
+        if isinstance(parent, ast.Return):
+            continue  # ownership moves to the caller
+        if _stored_on_object(context, node):
+            continue
+        bound = _assigned_name(context, node)
+        if bound is not None:
+            function = enclosing_function(context, node) or context.tree
+            if _name_is_owned(function, bound):
+                continue
+        line, col = location(node)
+        yield (
+            line,
+            col,
+            f"{name}(...) has no owner: use a `with` block, close it in "
+            "this function, return it, or store it on the object that "
+            "manages its lifetime",
+        )
+
+
+def _missing_annotations(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    missing: list[str] = []
+    positional = function.args.posonlyargs + function.args.args
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in {"self", "cls"}:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in function.args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in (function.args.vararg, function.args.kwarg):
+        if arg is not None and arg.annotation is None:
+            missing.append(f"*{arg.arg}" if arg is function.args.vararg else f"**{arg.arg}")
+    if function.returns is None:
+        missing.append("return")
+    return missing
+
+
+@rule(
+    code="RL402",
+    name="untyped-def-in-strict-module",
+    summary="function without complete annotations in a strict-typed module",
+    invariant="hot-path modules pass mypy strict (annotation coverage)",
+    scope=_STRICT_MODULES,
+)
+def check_untyped_def_in_strict_module(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing = _missing_annotations(node)
+        if not missing:
+            continue
+        line, col = location(node)
+        yield (
+            line,
+            col,
+            f"def {node.name} is missing annotations ({', '.join(missing)}) "
+            "in a strict-typed module — mypy strict runs over core/, "
+            "api.py, storage/, distributed/ and serve/ in CI",
+        )

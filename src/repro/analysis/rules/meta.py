@@ -1,0 +1,70 @@
+"""Meta rules (RL0xx): the linter keeping its own suppressions honest.
+
+``RL001``
+    A ``# repro-lint: disable=...`` without a ``-- reason`` trailer.
+    Suppressions are reviewed exceptions; the review lives in the
+    reason, so an unexplained one fails the build.
+``RL002``
+    A suppression naming a code that does not exist — almost always a
+    typo that would otherwise silently suppress nothing.
+``RL003``
+    The file could not be parsed (reported by the engine itself: no
+    AST, no invariants checked).  Registered here so it shows up in
+    ``--list-rules`` and participates in ``--select`` / ``--ignore``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import Finding, rule
+
+
+@rule(
+    code="RL001",
+    name="unexplained-suppression",
+    summary="suppression without a `-- reason` trailer",
+    invariant="zero unexplained suppressions in the repository",
+)
+def check_unexplained_suppression(context: FileContext) -> Iterator[Finding]:
+    for suppression in context.suppressions:
+        if suppression.reason is None:
+            yield (
+                suppression.line,
+                suppression.col,
+                "suppression has no reason: write "
+                "`# repro-lint: disable=CODE -- why this is safe`",
+            )
+
+
+@rule(
+    code="RL002",
+    name="unknown-suppressed-code",
+    summary="suppression names a rule code that does not exist",
+    invariant="suppressions silence real rules, not typos",
+)
+def check_unknown_suppressed_code(context: FileContext) -> Iterator[Finding]:
+    from repro.analysis.registry import known_codes
+
+    registered = known_codes()
+    for suppression in context.suppressions:
+        for code in sorted(suppression.codes - registered):
+            yield (
+                suppression.line,
+                suppression.col,
+                f"suppression names unknown rule code {code!r} "
+                "(see `repro lint --list-rules`)",
+            )
+
+
+@rule(
+    code="RL003",
+    name="unparsable-file",
+    summary="file cannot be parsed (engine-reported)",
+    invariant="every checked file has an AST",
+)
+def check_unparsable_file(context: FileContext) -> Iterator[Finding]:
+    # The engine emits RL003 before any rule runs; a parsed file is
+    # never unparsable, so this check body is intentionally empty.
+    return iter(())

@@ -1,0 +1,143 @@
+"""Resilience rules (RL3xx).
+
+PR 7's fault-tolerance machinery rests on two hard lines: saves go
+through :func:`repro.core.persistence.atomic_directory` (so a crash can
+never leave a half-written generation), and supervision never retries
+:class:`PersistenceError` or :class:`DeadlineExceeded` (an integrity
+refusal or an expired budget is not a shard fault).  These rules keep
+both lines, plus the classic bare-``except`` failure sink:
+
+``RL301``
+    ``os.rename`` / ``os.replace`` / ``shutil.move`` / ``shutil.copytree``
+    in engine code outside ``repro/core/persistence.py``.  Directory
+    swaps belong inside ``atomic_directory``; ad-hoc renames reintroduce
+    torn saves.
+``RL302``
+    Catching ``PersistenceError`` / ``DeadlineExceeded`` inside a loop
+    without re-raising (or leaving the loop) — i.e. retrying a fatal
+    error.  These exceptions mean *stop*, not *try again*.
+``RL303``
+    Bare ``except:`` — swallows ``KeyboardInterrupt`` and ``SystemExit``
+    and hides every programming error behind it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import Finding, rule
+from repro.analysis.rules.common import dotted_name, enclosing_function, location
+
+_RENAME_CALLS = frozenset(
+    {"os.rename", "os.replace", "os.renames", "shutil.move", "shutil.copytree"}
+)
+
+#: Exception names whose capture-and-continue is forbidden; the alias
+#: ``_FATAL_ERRORS`` is the repo's canonical tuple of exactly these.
+_FATAL_NAMES = frozenset({"PersistenceError", "DeadlineExceeded", "_FATAL_ERRORS"})
+
+
+@rule(
+    code="RL301",
+    name="save-bypasses-atomic-directory",
+    summary="directory rename/move outside atomic_directory",
+    invariant="crash-safe saves: every generation swap is staged + fsynced",
+    scope=("repro/",),
+    exempt=("repro/core/persistence.py", "repro/testing/"),
+)
+def check_save_bypasses_atomic_directory(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name not in _RENAME_CALLS:
+            continue
+        line, col = location(node)
+        yield (
+            line,
+            col,
+            f"{name} bypasses atomic_directory: renames into a save "
+            "directory must go through the staged fsync+swap in "
+            "repro.core.persistence so a crash never leaves a torn save",
+        )
+
+
+def _fatal_exception_names(handler_type: ast.expr | None) -> list[str]:
+    if handler_type is None:
+        return []
+    nodes = handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    caught: list[str] = []
+    for node in nodes:
+        name = dotted_name(node)
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _FATAL_NAMES:
+            caught.append(tail)
+    return caught
+
+
+def _leaves_the_loop(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise or exit the surrounding loop?"""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.Break, ast.Return)):
+                return True
+    return False
+
+
+def _inside_loop(context: FileContext, node: ast.AST) -> bool:
+    function = enclosing_function(context, node)
+    for ancestor in context.ancestors(node):
+        if ancestor is function:
+            break
+        if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+            return True
+    return False
+
+
+@rule(
+    code="RL302",
+    name="retried-fatal-error",
+    summary="PersistenceError/DeadlineExceeded caught in a loop without re-raise",
+    invariant="fatal errors are never retried, degraded, or fallen back on",
+    scope=("repro/",),
+)
+def check_retried_fatal_error(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _fatal_exception_names(node.type)
+        if not caught:
+            continue
+        if not _inside_loop(context, node):
+            continue  # translating at a boundary (e.g. HTTP 504) is fine
+        if _leaves_the_loop(node):
+            continue
+        line, col = location(node)
+        yield (
+            line,
+            col,
+            f"catching {' / '.join(sorted(set(caught)))} inside a loop "
+            "without re-raising retries a fatal error: an integrity "
+            "refusal or expired deadline must stop the operation",
+        )
+
+
+@rule(
+    code="RL303",
+    name="bare-except",
+    summary="bare `except:` clause",
+    invariant="failures surface; nothing swallows KeyboardInterrupt/SystemExit",
+)
+def check_bare_except(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            line, col = location(node)
+            yield (
+                line,
+                col,
+                "bare 'except:' catches KeyboardInterrupt/SystemExit and "
+                "hides every failure — name the exceptions (or use "
+                "'except Exception' with a reviewed justification)",
+            )

@@ -1,0 +1,75 @@
+"""Inline suppressions: ``# repro-lint: disable=RL### -- reason``.
+
+A suppression silences the named rule codes **on its own line only** —
+place it on the line the diagnostic points at.  The ``-- reason`` trailer
+is mandatory in spirit and enforced in practice: a suppression without
+one is itself a diagnostic (``RL001``), and one naming a code that does
+not exist is another (``RL002``).  That is what keeps the repository's
+acceptance bar — *zero unexplained suppressions* — mechanical instead of
+a matter of review vigilance.
+
+Suppression comments are read with :mod:`tokenize`, not string search,
+so a ``repro-lint:`` inside a string literal never arms anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive: which codes it silences, where, and why."""
+
+    line: int
+    col: int
+    codes: frozenset[str]
+    reason: str | None
+
+    def silences(self, code: str, line: int) -> bool:
+        return line == self.line and code in self.codes
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Every ``repro-lint: disable=`` directive in ``source``.
+
+    >>> [s.codes == frozenset({"RL303"}) for s in parse_suppressions(
+    ...     "try:\\n    pass\\nexcept: pass  # repro-lint: disable=RL303 -- boot probe\\n")]
+    [True]
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        # The engine reports unparsable files separately; no directives here.
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        matched = _DIRECTIVE.search(token.string)
+        if matched is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in matched.group("codes").split(",") if code.strip()
+        )
+        if not codes:
+            continue
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                col=token.start[1],
+                codes=codes,
+                reason=matched.group("reason"),
+            )
+        )
+    return suppressions

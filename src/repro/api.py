@@ -62,7 +62,7 @@ QUERY_KINDS = ("knn", "range", "join")
 
 
 def load(
-    directory,
+    directory: str | Path,
     mode: str = "memory",
     parallel: str | None = None,
     verify: str | None = None,
@@ -339,7 +339,7 @@ class QueryRequest:
         return cls.range(tokens, _payload_threshold(payload), **modes)
 
 
-def _checked_threshold(threshold, low: float, low_open: bool = False) -> float:
+def _checked_threshold(threshold: object, low: float, low_open: bool = False) -> float:
     if isinstance(threshold, bool) or not isinstance(threshold, (int, float)):
         raise ValueError(f"threshold must be a number, got {threshold!r}")
     threshold = float(threshold)
@@ -349,7 +349,7 @@ def _checked_threshold(threshold, low: float, low_open: bool = False) -> float:
     return threshold
 
 
-def _payload_threshold(payload: dict):
+def _payload_threshold(payload: dict) -> object:
     if "threshold" not in payload:
         raise ValueError("request needs a 'threshold'")
     return payload["threshold"]
@@ -451,7 +451,7 @@ def execute(
     raise ValueError(f"unknown query kind {request.kind!r}; expected one of {QUERY_KINDS}")
 
 
-def _coalesce_key(request: QueryRequest):
+def _coalesce_key(request: QueryRequest) -> tuple[object, ...]:
     """Requests sharing this key can ride one batched kernel call."""
     if request.kind == "knn":
         return (

@@ -236,6 +236,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = commands.add_parser("validate", help="check index integrity (either kind)")
     validate.add_argument("index", help="index directory (single-engine or sharded)")
+
+    lint = commands.add_parser(
+        "lint",
+        help="AST-based invariant checks over the engine's own source",
+        description=(
+            "Run the repro static-analysis rules (bit-identity, concurrency, "
+            "resilience, hygiene) over Python files; see docs/static-analysis.md."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files/directories to check (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (json is the stable machine interface)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="only run these comma-separated codes/prefixes (e.g. RL3,RL101)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="skip these comma-separated codes/prefixes (applied after --select)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (code, scope, summary) and exit",
+    )
     return parser
 
 
@@ -753,6 +794,39 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _split_codes(expressions: list[str] | None) -> list[str] | None:
+    if expressions is None:
+        return None
+    return [code.strip() for entry in expressions for code in entry.split(",") if code.strip()]
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import RuleError, all_rules, analyze_paths, render_json, render_text
+
+    if args.list_rules:
+        for registered in all_rules():
+            scope = ", ".join(registered.scope) if registered.scope else "all files"
+            print(f"{registered.code}  {registered.name}  [{scope}]")
+            print(f"       {registered.summary}")
+            print(f"       protects: {registered.invariant}")
+        return 0
+    try:
+        diagnostics, files_checked = analyze_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except RuleError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(diagnostics, files_checked))
+    return 1 if diagnostics else 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "save": _cmd_save,
@@ -764,6 +838,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
 }
 
 

@@ -12,10 +12,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Sequence
 
 from repro.core.sets import SetRecord
 from repro.core.tokens import TokenUniverse
+
+if TYPE_CHECKING:
+    from repro.core.columnar import ColumnarView
+    from repro.storage.columnar_file import ColumnarFileReader
 
 __all__ = ["Dataset", "DatasetStats"]
 
@@ -119,7 +123,7 @@ class Dataset:
         return cls(records, universe)
 
     @classmethod
-    def from_columnar_file(cls, source) -> "Dataset":
+    def from_columnar_file(cls, source: str | Path | ColumnarFileReader) -> "Dataset":
         """Build a dataset over a binary columnar file, without records.
 
         ``source`` is a path to a ``dataset.bin`` (opened with
@@ -185,7 +189,7 @@ class Dataset:
         self.records.append(record)
         return len(self.records) - 1
 
-    def columnar(self):
+    def columnar(self) -> ColumnarView:
         """The cached CSR view of this dataset (built on first use).
 
         The view is shared by every index over this dataset (single

@@ -16,7 +16,7 @@ learning stack).
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.core.dataset import Dataset
 from repro.core.join import JoinResult, similarity_self_join
@@ -26,6 +26,9 @@ from repro.core.sets import SetRecord
 from repro.core.similarity import Similarity
 from repro.core.tgm import TokenGroupMatrix
 from repro.core.updates import insert_set, remove_set
+
+if TYPE_CHECKING:
+    from repro.partitioning.base import Partitioner
 
 __all__ = [
     "LES3",
@@ -136,7 +139,7 @@ class LES3:
         cls,
         dataset: Dataset,
         num_groups: int | None = None,
-        partitioner=None,
+        partitioner: Partitioner | None = None,
         measure: str | Similarity = "jaccard",
         backend: str = "dense",
         seed: int = 0,

@@ -13,7 +13,7 @@ Cost accounting matches the paper's two Figure 14 metrics: *columns visited*
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from repro.core.search import SearchResult, prepare_query
 from repro.core.sets import SetRecord
 from repro.core.similarity import Similarity, get_measure
 from repro.core.tgm import TokenGroupMatrix
+
+if TYPE_CHECKING:
+    from repro.learn.cascade import L2PPartitioner
 
 __all__ = ["HierarchicalTGM"]
 
@@ -86,7 +89,7 @@ class HierarchicalTGM:
     def from_cascade(
         cls,
         dataset: Dataset,
-        partitioner,
+        partitioner: L2PPartitioner,
         level_group_counts: Sequence[int],
         measure: str | Similarity = "jaccard",
         backend: str = "dense",

@@ -34,6 +34,8 @@ over one shared dataset — the cross-shard building block of
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.core.columnar import DEFAULT_TILE_CELLS, VERIFY_MODES, ColumnarView
@@ -63,7 +65,7 @@ class JoinResult:
     def __len__(self) -> int:
         return len(self.pairs)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[int, int, float]]:
         return iter(self.pairs)
 
 

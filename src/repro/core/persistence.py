@@ -47,7 +47,7 @@ import shutil
 import warnings
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.core.columnar import VERIFY_MODES
 from repro.core.dataset import Dataset
@@ -303,7 +303,7 @@ def open_mapped_dataset(directory: Path, manifest: dict) -> Dataset:
     return Dataset.from_columnar_file(reader)
 
 
-def read_index_json(path: str | Path, description: str):
+def read_index_json(path: str | Path, description: str) -> Any:
     """Parse one JSON file of an index directory.
 
     A missing file propagates :class:`FileNotFoundError` (the caller

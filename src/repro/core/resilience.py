@@ -28,6 +28,7 @@ import random
 import time
 from dataclasses import dataclass
 from threading import Lock
+from typing import Callable
 
 
 class DeadlineExceeded(TimeoutError):
@@ -45,7 +46,9 @@ class Deadline:
 
     __slots__ = ("expires_at",)
 
-    def __init__(self, seconds: float, *, clock=time.monotonic) -> None:
+    def __init__(
+        self, seconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         self.expires_at = clock() + float(seconds)
 
     @classmethod
@@ -118,7 +121,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_seconds: float = 30.0,
         *,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")

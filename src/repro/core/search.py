@@ -27,6 +27,7 @@ hatch and test oracle.
 from __future__ import annotations
 
 import heapq
+from typing import Iterator
 
 import numpy as np
 
@@ -67,7 +68,7 @@ class SearchResult:
     def __len__(self) -> int:
         return len(self.matches)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[int, float]]:
         return iter(self.matches)
 
 

@@ -21,6 +21,7 @@ import math
 from abc import ABC, abstractmethod
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.core.sets import SetRecord, overlap
 
@@ -84,7 +85,9 @@ class Similarity(ABC):
     def from_overlap(self, shared: int, size_a: int, size_b: int) -> float:
         """Similarity of two sets given their overlap and sizes."""
 
-    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlaps(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         """Vectorized :meth:`from_overlap`; arguments broadcast like numpy.
 
         The verification kernel (:mod:`repro.core.columnar`) calls this
@@ -104,7 +107,9 @@ class Similarity(ABC):
             dtype=np.float64,
         ).reshape(shared.shape)
 
-    def from_overlap_matrix(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlap_matrix(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         """Pairwise similarity matrix from an overlap matrix and two size vectors.
 
         ``shared`` is the ``(len(sizes_a), len(sizes_b))`` integer overlap
@@ -133,7 +138,9 @@ class Similarity(ABC):
             ``|Q|``.
         """
 
-    def bounds_from_counts(self, counts, query_size: int):
+    def bounds_from_counts(
+        self, counts: ArrayLike, query_size: int
+    ) -> NDArray[np.float64]:
         """Vector of group upper bounds from a vector of covered counts.
 
         ``counts[g] = |Q ∩ GS_g|`` (multiplicity-weighted); the result is
@@ -157,13 +164,16 @@ class Similarity(ABC):
         return f"{type(self).__name__}()"
 
 
-def _broadcast_int64(shared, sizes_a, sizes_b):
+def _broadcast_int64(
+    shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+) -> tuple[NDArray[np.int64], NDArray[np.int64], NDArray[np.int64]]:
     """Broadcast the three ``from_overlaps`` arguments to common-shape int64."""
-    return np.broadcast_arrays(
+    arrays = np.broadcast_arrays(
         np.asarray(shared, dtype=np.int64),
         np.asarray(sizes_a, dtype=np.int64),
         np.asarray(sizes_b, dtype=np.int64),
     )
+    return arrays[0], arrays[1], arrays[2]
 
 
 class JaccardSimilarity(Similarity):
@@ -177,7 +187,9 @@ class JaccardSimilarity(Similarity):
             return 0.0
         return shared / union
 
-    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlaps(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
         union = sizes_a + sizes_b - shared
         result = np.zeros(shared.shape, dtype=np.float64)
@@ -190,7 +202,9 @@ class JaccardSimilarity(Similarity):
         # Best possible S is R itself: Jaccard(Q, R) = |R| / |Q| for R ⊆ Q.
         return covered / query_size
 
-    def bounds_from_counts(self, counts, query_size: int):
+    def bounds_from_counts(
+        self, counts: ArrayLike, query_size: int
+    ) -> NDArray[np.float64]:
         if query_size <= 0:
             return np.zeros(len(counts), dtype=np.float64)
         return np.asarray(counts, dtype=np.float64) / query_size
@@ -207,7 +221,9 @@ class DiceSimilarity(Similarity):
             return 0.0
         return 2.0 * shared / total
 
-    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlaps(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
         total = sizes_a + sizes_b
         result = np.zeros(shared.shape, dtype=np.float64)
@@ -220,7 +236,9 @@ class DiceSimilarity(Similarity):
         # Dice(Q, R) = 2|R| / (|Q| + |R|) for R ⊆ Q, increasing in |R|.
         return 2.0 * covered / (query_size + covered)
 
-    def bounds_from_counts(self, counts, query_size: int):
+    def bounds_from_counts(
+        self, counts: ArrayLike, query_size: int
+    ) -> NDArray[np.float64]:
         counts = np.asarray(counts, dtype=np.float64)
         if query_size <= 0:
             return np.zeros(len(counts), dtype=np.float64)
@@ -242,7 +260,9 @@ class CosineSimilarity(Similarity):
             return 0.0
         return shared / math.sqrt(size_a * size_b)
 
-    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlaps(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
         result = np.zeros(shared.shape, dtype=np.float64)
         np.divide(
@@ -259,7 +279,9 @@ class CosineSimilarity(Similarity):
         # Cosine(Q, R) = |R| / sqrt(|Q||R|) = sqrt(|R| / |Q|) for R ⊆ Q.
         return math.sqrt(covered / query_size)
 
-    def bounds_from_counts(self, counts, query_size: int):
+    def bounds_from_counts(
+        self, counts: ArrayLike, query_size: int
+    ) -> NDArray[np.float64]:
         counts = np.asarray(counts, dtype=np.float64)
         if query_size <= 0:
             return np.zeros(len(counts), dtype=np.float64)
@@ -284,7 +306,9 @@ class OverlapCoefficient(Similarity):
             return 0.0
         return shared / smallest
 
-    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlaps(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
         smallest = np.minimum(sizes_a, sizes_b)
         result = np.zeros(shared.shape, dtype=np.float64)
@@ -296,7 +320,9 @@ class OverlapCoefficient(Similarity):
             return 0.0
         return 1.0
 
-    def bounds_from_counts(self, counts, query_size: int):
+    def bounds_from_counts(
+        self, counts: ArrayLike, query_size: int
+    ) -> NDArray[np.float64]:
         counts = np.asarray(counts, dtype=np.float64)
         if query_size <= 0:
             return np.zeros(len(counts), dtype=np.float64)
@@ -319,7 +345,9 @@ class ContainmentSimilarity(Similarity):
             return 0.0
         return shared / size_a
 
-    def from_overlaps(self, shared, sizes_a, sizes_b) -> np.ndarray:
+    def from_overlaps(
+        self, shared: ArrayLike, sizes_a: ArrayLike, sizes_b: ArrayLike
+    ) -> NDArray[np.float64]:
         shared, sizes_a, sizes_b = _broadcast_int64(shared, sizes_a, sizes_b)
         result = np.zeros(shared.shape, dtype=np.float64)
         np.divide(shared, sizes_a, out=result, where=sizes_a > 0)
@@ -330,7 +358,9 @@ class ContainmentSimilarity(Similarity):
             return 0.0
         return covered / query_size
 
-    def bounds_from_counts(self, counts, query_size: int):
+    def bounds_from_counts(
+        self, counts: ArrayLike, query_size: int
+    ) -> NDArray[np.float64]:
         if query_size <= 0:
             return np.zeros(len(counts), dtype=np.float64)
         return np.asarray(counts, dtype=np.float64) / query_size

@@ -50,12 +50,15 @@ def insert_set(
     """
     if not tokens:
         raise ValueError("cannot insert an empty set")
-    previously_seen = [
+    # Sorted so the candidate-id order never inherits set hash order:
+    # downstream consumers are order-insensitive today, but bit-identity
+    # across processes must not depend on that staying true.
+    previously_seen = sorted(
         token_id
         for token in set(tokens)
         if (token_id := dataset.universe.get_id(token)) is not None
         and token_id < tgm.universe_size
-    ]
+    )
     group_id = choose_group(tgm, previously_seen, len(tokens))
 
     if intern:

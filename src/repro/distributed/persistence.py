@@ -43,6 +43,7 @@ import hashlib
 import json
 import warnings
 from pathlib import Path
+from typing import Callable
 
 from repro.core.cache import LRUCache
 from repro.core.columnar import VERIFY_MODES
@@ -446,7 +447,9 @@ def _load_sharded(
         "the union of the shard groups",
     )
 
-    def shard_builder(groups: list[list[int]], backend: str):
+    def shard_builder(
+        groups: list[list[int]], backend: str
+    ) -> Callable[[], TokenGroupMatrix]:
         def build() -> TokenGroupMatrix:
             return TokenGroupMatrix(dataset, groups, measure, backend)
 

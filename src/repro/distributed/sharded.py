@@ -52,10 +52,11 @@ import os
 import random
 import time
 from collections.abc import Sequence as SequenceABC
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Hashable, Sequence
+from types import TracebackType
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -103,6 +104,9 @@ from repro.core.updates import insert_set
 from repro.distributed.sharding import assign_shards, lpt_balance
 from repro.testing.faults import fault_point
 
+if TYPE_CHECKING:
+    from repro.partitioning.base import Partitioner
+
 # PARALLEL_MODES is re-exported here (its canonical home is
 # repro.core.engine, shared by both engine classes) for back-compat.
 __all__ = ["ShardedLES3", "LazyShardTGMs", "PARALLEL_MODES"]
@@ -112,7 +116,9 @@ __all__ = ["ShardedLES3", "LazyShardTGMs", "PARALLEL_MODES"]
 _FATAL_ERRORS = (PersistenceError, DeadlineExceeded)
 
 
-def _build_concurrently(builders, workers: int | None):
+def _build_concurrently(
+    builders: Sequence[Callable[[], TokenGroupMatrix]], workers: int | None
+) -> list[TokenGroupMatrix]:
     """Run shard-build thunks, in a thread pool when it can help."""
     if workers is None:
         workers = min(len(builders), os.cpu_count() or 1)
@@ -389,7 +395,7 @@ class ShardedLES3:
         dataset: Dataset,
         num_shards: int,
         num_groups: int | None = None,
-        partitioner_factory=None,
+        partitioner_factory: Callable[[int], Partitioner] | None = None,
         measure: str | Similarity = "jaccard",
         backend: str = "dense",
         strategy: str = "hash",
@@ -442,12 +448,14 @@ class ShardedLES3:
         if partitioner_factory is None:
             from repro.learn.cascade import L2PPartitioner
 
-            def partitioner_factory(shard_id: int):
+            def partitioner_factory(shard_id: int) -> Partitioner:
                 return L2PPartitioner(measure=measure, seed=seed + shard_id)
 
         total = len(dataset)
 
-        def shard_builder(shard_id: int, indices: list[int]):
+        def shard_builder(
+            shard_id: int, indices: list[int]
+        ) -> Callable[[], TokenGroupMatrix]:
             def build() -> TokenGroupMatrix:
                 if num_groups is None:
                     target = suggest_num_groups(len(indices))
@@ -495,7 +503,7 @@ class ShardedLES3:
         bins = lpt_balance([len(group) for group in groups], num_shards)
         shard_groups = [[groups[group_id] for group_id in bin_] for bin_ in bins]
 
-        def shard_builder(assigned: list[list[int]]):
+        def shard_builder(assigned: list[list[int]]) -> Callable[[], TokenGroupMatrix]:
             def build() -> TokenGroupMatrix:
                 return TokenGroupMatrix(
                     engine.dataset, assigned, engine.measure, engine.tgm.backend
@@ -575,7 +583,12 @@ class ShardedLES3:
     def __enter__(self) -> "ShardedLES3":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.close()
         return False
 
@@ -752,7 +765,8 @@ class ShardedLES3:
         failed: list[int] = []
         rebuilt = False
 
-        def submit(descriptor: tuple):
+        def submit(descriptor: tuple) -> tuple[Future, ProcessPoolExecutor]:
+            fault_point("shard.submit", f"{descriptor[0]}:shard={descriptor[1]}")
             pool = self._processes()
             return pool.submit(run_shard_task, directory, descriptor, epoch), pool
 
@@ -856,8 +870,8 @@ class ShardedLES3:
         shard_items: list[list[int]],
         queries: Sequence[SetRecord],
         mode: str,
-        make_task,
-        run_local,
+        make_task: Callable[[int, list[tuple[int, object]]], tuple[object, ...]],
+        run_local: Callable[[int, list[tuple[int, SetRecord]]], object],
         deadline: Deadline | None = None,
         degraded: str = "strict",
     ) -> tuple[list, list[int]]:
@@ -881,6 +895,7 @@ class ShardedLES3:
             for shard_id, items in enumerate(shard_items):
                 if items:
                     batch = [(i, queries[i]) for i in items]
+                    fault_point("shard.submit", f"batch:shard={shard_id}")
                     submitted.append((shard_id, pool.submit(run_local, shard_id, batch)))
             for shard_id, future in submitted:
                 try:
@@ -912,7 +927,7 @@ class ShardedLES3:
             if items:
                 payloads = [(i, payload_of(i)) for i in items]
 
-                def local(shard_id: int = shard_id, items: list[int] = items):
+                def local(shard_id: int = shard_id, items: list[int] = items) -> object:
                     return run_local(shard_id, [(i, queries[i]) for i in items])
 
                 entries.append((shard_id, make_task(shard_id, payloads), local))
@@ -976,13 +991,17 @@ class ShardedLES3:
                 merged[i].extend(zero_pads[shard_id])
                 stats[i].groups_pruned += self._num_groups_of(shard_id)
 
-        def run_local(shard_id: int, batch):
+        def run_local(
+            shard_id: int, batch: list[tuple[int, SetRecord]]
+        ) -> list[tuple[int, list[tuple[int, float]], QueryStats]]:
             fault_point("shard.exec", f"knn:shard={shard_id}")
             return _shard_knn_batch(
                 self.dataset, self.tgms[shard_id], batch, k, self.measure, verify
             )
 
-        def make_task(shard_id: int, payloads):
+        def make_task(
+            shard_id: int, payloads: list[tuple[int, object]]
+        ) -> tuple[object, ...]:
             return ("knn", shard_id, payloads, k, verify)
 
         partials, failed_shards = self._scatter_batches(
@@ -1019,13 +1038,17 @@ class ShardedLES3:
                 else:
                     stats[i].groups_pruned += self._num_groups_of(shard_id)
 
-        def run_local(shard_id: int, batch):
+        def run_local(
+            shard_id: int, batch: list[tuple[int, SetRecord]]
+        ) -> list[tuple[int, list[tuple[int, float]], QueryStats]]:
             fault_point("shard.exec", f"range:shard={shard_id}")
             return _shard_range_batch(
                 self.dataset, self.tgms[shard_id], batch, threshold, self.measure, verify
             )
 
-        def make_task(shard_id: int, payloads):
+        def make_task(
+            shard_id: int, payloads: list[tuple[int, object]]
+        ) -> tuple[object, ...]:
             return ("range", shard_id, payloads, threshold, verify)
 
         partials, failed_shards = self._scatter_batches(
@@ -1444,9 +1467,11 @@ class ShardedLES3:
                 ("join_between", s, t, threshold, mode) for s, t in pair_tasks
             ]
 
-            def as_worker(runner):
+            def as_worker(
+                runner: Callable[[], JoinResult],
+            ) -> Callable[[], tuple[list[tuple[int, int, float]], QueryStats]]:
                 # The in-process fallback must return the worker's shape.
-                def thunk():
+                def thunk() -> tuple[list[tuple[int, int, float]], QueryStats]:
                     result = runner()
                     return result.pairs, result.stats
 
@@ -1460,7 +1485,7 @@ class ShardedLES3:
             for index in sorted(supervised):
                 task_pairs, task_stats = supervised[index]
                 results.append(JoinResult(task_pairs, task_stats))
-            for index in set(range(len(entries))) - set(supervised):
+            for index in sorted(set(range(len(entries))) - set(supervised)):
                 failed_shards.update(task_shards[index])
         for result in results:
             pairs.extend(result.pairs)

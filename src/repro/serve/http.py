@@ -38,6 +38,7 @@ import asyncio
 import json
 import signal
 import time
+from types import TracebackType
 from typing import Callable
 
 from repro import __version__
@@ -268,7 +269,12 @@ class ReproServer:
     async def __aenter__(self) -> "ReproServer":
         return await self.start()
 
-    async def __aexit__(self, exc_type, exc, tb) -> bool:
+    async def __aexit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         await self.stop()
         return False
 
@@ -461,7 +467,7 @@ def headers_say_close(headers: dict) -> bool:
 def serve(
     directory: str,
     announce: Callable[[str], None] | None = None,
-    **options,
+    **options: object,
 ) -> None:
     """Run a server until interrupted (the ``repro serve`` entry point).
 

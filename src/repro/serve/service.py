@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
 
 from repro.api import Engine, QueryRequest, QueryResult, execute_batch
 from repro.core.resilience import Deadline, DeadlineExceeded
@@ -273,7 +274,12 @@ class QueryService:
     async def __aenter__(self) -> "QueryService":
         return await self.start()
 
-    async def __aexit__(self, exc_type, exc, tb) -> bool:
+    async def __aexit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         await self.stop()
         return False
 

@@ -561,7 +561,7 @@ class LazyRecords(SequenceABC):
     @overload
     def __getitem__(self, index: slice) -> list[SetRecord]: ...
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> SetRecord | list[SetRecord]:
         if isinstance(index, slice):
             return [self[i] for i in range(*index.indices(len(self)))]
         if index < 0:

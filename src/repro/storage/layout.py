@@ -58,7 +58,7 @@ class DiskLES3:
             for members in tgm.group_members
         ]
 
-    def _charge_groups(self, group_ids) -> None:
+    def _charge_groups(self, group_ids: np.ndarray) -> None:
         for group_id in group_ids:
             pages = self.disk.pages_for(self._group_bytes[int(group_id)])
             self.disk.random_read(pages)

@@ -1,0 +1,113 @@
+"""Engine behavior: suppressions, meta rules, selection, file walking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import RuleError, analyze_paths, analyze_source, resolve_codes
+from repro.analysis.suppressions import parse_suppressions
+
+BARE = "try:\n    f()\nexcept:\n    pass\n"
+
+
+class TestSuppressionParsing:
+    def test_directive_with_reason(self):
+        (found,) = parse_suppressions(
+            "x = 1  # repro-lint: disable=RL303 -- reviewed in PR 8\n"
+        )
+        assert found.codes == frozenset({"RL303"})
+        assert found.reason == "reviewed in PR 8"
+        assert found.line == 1
+
+    def test_directive_without_reason(self):
+        (found,) = parse_suppressions("x = 1  # repro-lint: disable=RL303\n")
+        assert found.reason is None
+
+    def test_multiple_codes(self):
+        (found,) = parse_suppressions(
+            "x = 1  # repro-lint: disable=RL101, RL303 -- test fixture\n"
+        )
+        assert found.codes == frozenset({"RL101", "RL303"})
+
+    def test_ordinary_comments_are_not_directives(self):
+        assert parse_suppressions("x = 1  # just a comment\n") == []
+
+
+class TestSuppressionFiltering:
+    def test_suppression_silences_its_line(self):
+        source = "try:\n    f()\nexcept:  # repro-lint: disable=RL303 -- fixture\n    pass\n"
+        assert [d.code for d in analyze_source(source)] == []
+
+    def test_suppression_is_code_specific(self):
+        source = "try:\n    f()\nexcept:  # repro-lint: disable=RL301 -- wrong code\n    pass\n"
+        assert [d.code for d in analyze_source(source)] == ["RL303"]
+
+    def test_suppression_is_line_specific(self):
+        source = (
+            "x = 1  # repro-lint: disable=RL303 -- elsewhere\n"
+            "try:\n    f()\nexcept:\n    pass\n"
+        )
+        assert [d.code for d in analyze_source(source)] == ["RL303"]
+
+
+class TestMetaRules:
+    def test_rl001_unexplained_suppression_fires(self):
+        source = "x = 1  # repro-lint: disable=RL303\n"
+        assert [d.code for d in analyze_source(source)] == ["RL001"]
+
+    def test_rl001_explained_suppression_is_silent(self):
+        source = "x = 1  # repro-lint: disable=RL303 -- reviewed\n"
+        assert analyze_source(source) == []
+
+    def test_rl002_unknown_code_fires(self):
+        source = "x = 1  # repro-lint: disable=RL999 -- typo\n"
+        assert [d.code for d in analyze_source(source)] == ["RL002"]
+
+    def test_rl002_known_code_is_silent(self):
+        source = "x = 1  # repro-lint: disable=RL303 -- reviewed\n"
+        assert analyze_source(source) == []
+
+    def test_rl003_unparsable_file_fires(self):
+        diagnostics = analyze_source("def broken(:\n")
+        assert [d.code for d in diagnostics] == ["RL003"]
+        assert "cannot be parsed" in diagnostics[0].message
+
+    def test_rl003_parsable_file_is_silent(self):
+        assert analyze_source("x = 1\n") == []
+
+
+class TestSelection:
+    def test_select_restricts_to_named_codes(self):
+        assert [d.code for d in analyze_source(BARE, select=["RL303"])] == ["RL303"]
+        assert analyze_source(BARE, select=["RL301"]) == []
+
+    def test_select_prefix_expands_to_family(self):
+        assert [d.code for d in analyze_source(BARE, select=["RL3"])] == ["RL303"]
+
+    def test_ignore_removes_codes(self):
+        assert analyze_source(BARE, ignore=["RL303"]) == []
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(RuleError):
+            analyze_source(BARE, select=["RL999"])
+        with pytest.raises(RuleError):
+            resolve_codes(["bogus"])
+
+
+class TestAnalyzePaths:
+    def test_walks_directories_and_skips_caches(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(BARE)
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text(BARE)
+        diagnostics, files_checked = analyze_paths([tmp_path])
+        assert files_checked == 2
+        assert [d.code for d in diagnostics] == ["RL303"]
+        assert diagnostics[0].path.endswith("bad.py")
+
+    def test_diagnostics_are_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text(BARE)
+        (tmp_path / "a.py").write_text("x = 1\n" + BARE)
+        diagnostics, _ = analyze_paths([tmp_path])
+        assert [d.path.split("/")[-1] for d in diagnostics] == ["a.py", "b.py"]

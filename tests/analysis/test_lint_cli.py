@@ -1,0 +1,83 @@
+"""`repro lint` end to end: formats, selection flags, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BARE = "try:\n    f()\nexcept:\n    pass\n"
+
+
+@pytest.fixture()
+def dirty(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(BARE)
+    return path
+
+
+@pytest.fixture()
+def clean(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1\n")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean, capsys):
+        assert main(["lint", str(clean)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty, capsys):
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "RL303" in out
+        assert "dirty.py:3" in out
+
+    def test_bad_code_exits_two(self, clean, capsys):
+        assert main(["lint", str(clean), "--select", "RL999"]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_format(self, dirty, capsys):
+        assert main(["lint", str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        (finding,) = payload["diagnostics"]
+        assert finding["code"] == "RL303"
+        assert finding["line"] == 3
+        assert finding["path"].endswith("dirty.py")
+
+    def test_json_clean(self, clean, capsys):
+        assert main(["lint", str(clean), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"files_checked": 1, "diagnostics": []}
+
+
+class TestSelection:
+    def test_select_flag(self, dirty, capsys):
+        assert main(["lint", str(dirty), "--select", "RL1"]) == 0
+        assert main(["lint", str(dirty), "--select", "RL303"]) == 1
+
+    def test_ignore_flag(self, dirty):
+        assert main(["lint", str(dirty), "--ignore", "RL303"]) == 0
+
+    def test_comma_separated_codes(self, dirty):
+        assert main(["lint", str(dirty), "--ignore", "RL101,RL303"]) == 0
+
+
+class TestListRules:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in (
+            "RL001", "RL002", "RL003",
+            "RL101", "RL102", "RL103",
+            "RL201", "RL202", "RL203",
+            "RL301", "RL302", "RL303",
+            "RL401", "RL402",
+        ):
+            assert code in out

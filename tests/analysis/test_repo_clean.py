@@ -1,0 +1,22 @@
+"""The repository passes its own linter — the CI gate, run as a test.
+
+This is the acceptance bar for the PR that introduced the linter and for
+every PR after it: ``repro lint src tests benchmarks`` stays at zero
+diagnostics, and every suppression in the tree carries a reason.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_lint_clean():
+    targets = [REPO_ROOT / name for name in ("src", "tests", "benchmarks")]
+    diagnostics, files_checked = analyze_paths([t for t in targets if t.exists()])
+    assert files_checked > 100, "expected to walk the whole repository"
+    formatted = "\n".join(d.format() for d in diagnostics)
+    assert diagnostics == [], f"repro lint found violations:\n{formatted}"
