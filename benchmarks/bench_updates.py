@@ -1,0 +1,183 @@
+"""The write path, measured: insert/remove throughput, delta drag, compaction.
+
+A saved generation is loaded and mutated through the write-ahead
+``delta.log``; the benchmark reports
+
+* **write throughput** — fsync-bound appends per second, for inserts
+  and for tombstones (each op is one open/write/fsync/close cycle, so
+  this is a durability price, not a CPU one);
+* **query drag vs delta size** — serial knn throughput with an empty
+  delta, a half-full one, and a full one (the delta lives in the same
+  in-memory structures as the base, so the expected drag is only the
+  growth of the database itself);
+* **compaction** — wall-clock cost of ``compact_index`` folding the
+  delta into a fresh base generation, plus the reload speed afterward.
+
+Exactness is asserted before any number is reported: the mutated
+base+delta engine, a reloaded copy (which replays the log), and the
+compacted generation must answer bit-identically.  Each run appends one
+entry to the ``BENCH_updates.json`` trajectory (repo root by default)::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py          # full size
+    PYTHONPATH=src python benchmarks/bench_updates.py --smoke  # CI-tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.bench import append_trajectory
+from repro.core import LES3
+from repro.core.persistence import save_engine
+from repro.datasets import zipf_dataset
+from repro.maintenance import compact_index
+from repro.partitioning import MinTokenPartitioner
+from repro.workloads import sample_queries
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_updates.json"
+K = 10
+
+
+def token_lists(dataset):
+    return [
+        [str(dataset.universe.token_of(t)) for t in record.tokens]
+        for record in dataset.records
+    ]
+
+
+def knn_qps(engine, queries, repeats):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            engine.knn(query, K)
+    elapsed = time.perf_counter() - start
+    return repeats * len(queries) / elapsed if elapsed > 0 else float("inf")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-tiny sizes")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        num_sets, num_tokens, num_writes, num_queries, repeats = 300, 400, 60, 20, 2
+    else:
+        num_sets, num_tokens, num_writes, num_queries, repeats = 8_000, 6_000, 2_000, 100, 5
+
+    rng = random.Random(args.seed)
+    dataset = zipf_dataset(num_sets, num_tokens, (2, 10), seed=args.seed)
+    lists = token_lists(dataset)
+    queries = [
+        [str(dataset.universe.token_of(t)) for t in record.tokens]
+        for record in sample_queries(dataset, num_queries, seed=args.seed)
+    ]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-updates-"))
+    generation = workdir / "gen"
+    built = LES3.build(
+        repro.Dataset.from_token_lists(lists), num_groups=16,
+        partitioner=MinTokenPartitioner(),
+    )
+    save_engine(built, generation)
+    engine = repro.load(generation)
+
+    qps_empty = knn_qps(engine, queries, repeats)
+
+    # -- write throughput (every op is an fsynced append) -------------------
+    inserts = [
+        rng.sample(sorted({t for record in lists for t in record}), rng.randint(2, 8))
+        for _ in range(num_writes)
+    ]
+    start = time.perf_counter()
+    inserted = [engine.insert(tokens)[0] for tokens in inserts]
+    insert_seconds = time.perf_counter() - start
+    qps_half = knn_qps(engine, queries, repeats)
+
+    victims = rng.sample(range(num_sets), num_writes // 2)
+    start = time.perf_counter()
+    for victim in victims:
+        engine.remove(victim)
+    remove_seconds = time.perf_counter() - start
+    qps_full = knn_qps(engine, queries, repeats)
+
+    # -- exactness gate: live base+delta == replayed log == compacted -------
+    probes = queries[: max(4, num_queries // 5)] + [inserts[0], inserts[-1]]
+    live = [engine.knn(q, K).matches for q in probes]
+    replayed = repro.load(generation, mode="mmap")
+    if [replayed.knn(q, K).matches for q in probes] != live:
+        print("FAIL: replayed delta log disagrees with the live engine")
+        return 1
+
+    start = time.perf_counter()
+    stats = compact_index(generation)
+    compact_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    compacted = repro.load(generation)
+    reload_seconds = time.perf_counter() - start
+    if [compacted.knn(q, K).matches for q in probes] != live:
+        print("FAIL: compacted generation disagrees with the live engine")
+        return 1
+    if stats["ops_folded"] != num_writes + num_writes // 2:
+        print(f"FAIL: compaction folded {stats['ops_folded']} ops, "
+              f"expected {num_writes + num_writes // 2}")
+        return 1
+    assert all(index not in compacted.removed for index in inserted)
+
+    insert_ops = num_writes / insert_seconds if insert_seconds > 0 else float("inf")
+    remove_ops = (
+        (num_writes // 2) / remove_seconds if remove_seconds > 0 else float("inf")
+    )
+    print(
+        f"writes: {insert_ops:,.0f} inserts/s, {remove_ops:,.0f} removes/s "
+        f"(fsync-per-op durability)"
+    )
+    print(
+        f"knn drag: {qps_empty:,.0f} q/s empty delta -> {qps_half:,.0f} q/s "
+        f"after {num_writes} inserts -> {qps_full:,.0f} q/s with "
+        f"{num_writes + num_writes // 2} pending ops"
+    )
+    print(
+        f"compaction: folded {stats['ops_folded']} ops in "
+        f"{compact_seconds * 1000:.0f} ms; clean reload {reload_seconds * 1000:.0f} ms"
+    )
+
+    append_trajectory(
+        args.out,
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "smoke": args.smoke,
+            "config": {
+                "sets": num_sets,
+                "tokens": num_tokens,
+                "writes": num_writes,
+                "queries": num_queries,
+                "repeats": repeats,
+                "seed": args.seed,
+                "k": K,
+                "cpus": os.cpu_count(),
+            },
+            "insert_ops_per_second": insert_ops,
+            "remove_ops_per_second": remove_ops,
+            "knn_qps_empty_delta": qps_empty,
+            "knn_qps_half_delta": qps_half,
+            "knn_qps_full_delta": qps_full,
+            "compact_seconds": compact_seconds,
+            "reload_seconds": reload_seconds,
+            "ops_folded": stats["ops_folded"],
+            "num_tombstones": stats["num_tombstones"],
+        },
+    )
+    print(f"# appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,14 @@ both lines, plus the classic bare-``except`` failure sink:
 ``RL303``
     Bare ``except:`` — swallows ``KeyboardInterrupt`` and ``SystemExit``
     and hides every programming error behind it.
+``RL304``
+    Writing ``dataset.bin`` (constructing ``ColumnarFileWriter``, or
+    opening/overwriting a path that names the binary dataset) outside
+    the save/compaction path.  A saved generation is immutable: the
+    write path appends to ``delta.log``, and only a save or
+    ``repro compact`` may produce a new ``dataset.bin`` — an ad-hoc
+    rewrite desynchronizes the file from its manifest digest and from
+    every epoch-keyed cache.
 """
 
 from __future__ import annotations
@@ -121,6 +129,92 @@ def check_retried_fatal_error(context: FileContext) -> Iterator[Finding]:
             f"catching {' / '.join(sorted(set(caught)))} inside a loop "
             "without re-raising retries a fatal error: an integrity "
             "refusal or expired deadline must stop the operation",
+        )
+
+
+_DATASET_BIN_WRITERS = frozenset({"write_bytes", "write_text", "open"})
+# open() modes that can mutate an existing file
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _mentions_dataset_bin(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+            and "dataset.bin" in sub.value
+        ):
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "DATASET_BIN":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "DATASET_BIN":
+            return True
+    return False
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The literal mode of an ``open``-style call, if statically known."""
+    mode: ast.expr | None = None
+    if isinstance(node.func, ast.Attribute):
+        if node.args:
+            mode = node.args[0]  # path.open("wb")
+    elif len(node.args) >= 2:
+        mode = node.args[1]  # open(path, "wb")
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"  # both built-in open and Path.open default to read
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: assume the worst
+
+
+@rule(
+    code="RL304",
+    name="dataset-bin-mutated-outside-compaction",
+    summary="dataset.bin written outside the save/compaction path",
+    invariant="generations are immutable: mutations go to delta.log, "
+    "new dataset.bin files come only from save/compact",
+    scope=("repro/",),
+    exempt=(
+        "repro/core/persistence.py",
+        "repro/storage/columnar_file.py",
+        "repro/testing/",
+    ),
+)
+def check_dataset_bin_mutated(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "ColumnarFileWriter":
+            line, col = location(node)
+            yield (
+                line,
+                col,
+                "ColumnarFileWriter outside the save/compaction path "
+                "rewrites a generation's binary dataset in place — "
+                "mutations belong in delta.log; only save_engine/"
+                "save_sharded/compact_index may emit a dataset.bin",
+            )
+            continue
+        if tail not in _DATASET_BIN_WRITERS:
+            continue
+        if not _mentions_dataset_bin(node):
+            continue
+        if tail == "open":
+            mode = _open_mode(node)
+            if mode is not None and not (set(mode) & _WRITE_MODE_CHARS):
+                continue  # read-only open: mmap loads and digest checks
+        line, col = location(node)
+        yield (
+            line,
+            col,
+            "writing dataset.bin directly desynchronizes it from the "
+            "manifest digest and every epoch-keyed cache — append to "
+            "delta.log and let save/compact produce the next generation",
         )
 
 

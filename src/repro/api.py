@@ -49,9 +49,13 @@ __all__ = [
     "Engine",
     "QueryRequest",
     "QueryResult",
+    "WriteRequest",
+    "WriteResult",
     "execute",
     "execute_batch",
+    "apply_write",
     "QUERY_KINDS",
+    "WRITE_KINDS",
 ]
 
 Engine = Union[LES3, ShardedLES3]
@@ -59,6 +63,10 @@ Engine = Union[LES3, ShardedLES3]
 #: The query kinds a :class:`QueryRequest` can describe — exactly the
 #: three exact query operations both engine classes implement.
 QUERY_KINDS = ("knn", "range", "join")
+
+#: The write kinds a :class:`WriteRequest` can describe — the two
+#: mutations both engine classes implement (and their delta logs absorb).
+WRITE_KINDS = ("insert", "remove")
 
 
 def load(
@@ -393,6 +401,153 @@ class QueryResult:
         return payload
 
 
+@dataclass(frozen=True)
+class WriteRequest:
+    """An engine-independent description of one mutation.
+
+    The write-path counterpart of :class:`QueryRequest`: a kind
+    (``"insert"`` or ``"remove"``), the new set's tokens for inserts,
+    the record index for removes.  On an engine attached to a saved
+    generation the mutation lands in the generation's write-ahead
+    ``delta.log``, so it survives a reload (see ``docs/persistence.md``).
+
+    Use the constructors — like query requests they validate eagerly::
+
+        >>> WriteRequest.insert(["a", "b"]).tokens
+        ('a', 'b')
+        >>> WriteRequest.remove(3).index
+        3
+        >>> WriteRequest.insert([])
+        Traceback (most recent call last):
+            ...
+        ValueError: an insert needs at least one token
+    """
+
+    kind: str
+    tokens: tuple | None = None
+    index: int | None = None
+
+    @classmethod
+    def insert(cls, tokens: Sequence[Hashable]) -> "WriteRequest":
+        """Insert a new set (open universe — unseen tokens are fine)."""
+        if not tokens:
+            raise ValueError("an insert needs at least one token")
+        return cls(kind="insert", tokens=tuple(tokens))
+
+    @classmethod
+    def remove(cls, index: int) -> "WriteRequest":
+        """Logically delete the record at ``index`` (a tombstone)."""
+        if isinstance(index, bool) or not isinstance(index, int) or index < 0:
+            raise ValueError(
+                f"index must be a non-negative integer, got {index!r}"
+            )
+        return cls(kind="remove", index=index)
+
+    @classmethod
+    def from_payload(cls, kind: str, payload: dict) -> "WriteRequest":
+        """Build a validated write from a JSON-shaped dict (the HTTP body).
+
+        Unknown keys are rejected, exactly like
+        :meth:`QueryRequest.from_payload`.
+        """
+        if kind not in WRITE_KINDS:
+            raise ValueError(
+                f"unknown write kind {kind!r}; expected one of {WRITE_KINDS}"
+            )
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        allowed = {"insert": {"tokens"}, "remove": {"index"}}[kind]
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {sorted(unknown)} for a {kind} request; "
+                f"allowed: {sorted(allowed)}"
+            )
+        if kind == "insert":
+            tokens = payload.get("tokens")
+            if not isinstance(tokens, list) or not all(
+                isinstance(token, str) for token in tokens
+            ):
+                raise ValueError(
+                    "an insert request needs 'tokens': a list of strings"
+                )
+            return cls.insert(tokens)
+        if "index" not in payload:
+            raise ValueError("a remove request needs an 'index'")
+        return cls.remove(payload["index"])
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """One mutation's outcome in engine-independent form.
+
+    ``index`` is the record the write touched (the new record for
+    inserts, the tombstoned one for removes), ``group`` the group it
+    joined or left, ``shard`` the shard involved (``None`` on a
+    single-engine index).
+    """
+
+    kind: str
+    index: int
+    group: int
+    shard: int | None = None
+
+    def to_payload(self) -> dict:
+        """A JSON-safe dict: the service's response body."""
+        payload = {"kind": self.kind, "index": self.index, "group": self.group}
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        return payload
+
+
+def apply_write(engine: Engine, request: WriteRequest) -> WriteResult:
+    """Apply one mutation to either engine kind.
+
+    Inserts route exactly as the engine's own ``insert`` (the sharded
+    engine picks the lightest shard); removes tombstone the record.  A
+    remove of an unknown or already-removed record raises
+    :class:`ValueError`; so does any write against a lazily loaded
+    (read-only) engine.
+
+    Examples
+    --------
+    >>> from repro import Dataset, LES3
+    >>> from repro.api import WriteRequest, apply_write
+    >>> dataset = Dataset.from_token_lists([["a", "b"], ["x", "y"]])
+    >>> engine = LES3.build(dataset, num_groups=2)
+    >>> apply_write(engine, WriteRequest.insert(["p", "q"])).index
+    2
+    >>> apply_write(engine, WriteRequest.remove(0)).kind
+    'remove'
+    >>> engine.removed
+    {0}
+    """
+    if request.kind == "insert":
+        placed = engine.insert(request.tokens)
+        if len(placed) == 3:
+            record_index, shard_id, group_id = placed
+            return WriteResult("insert", record_index, group_id, shard_id)
+        record_index, group_id = placed
+        return WriteResult("insert", record_index, group_id)
+    if request.kind == "remove":
+        try:
+            left = engine.remove(request.index)
+        except KeyError as error:
+            # Both engines signal an unknown/already-removed record with
+            # KeyError; the service maps ValueError to HTTP 400.
+            raise ValueError(
+                f"cannot remove record {request.index}: "
+                f"{error.args[0] if error.args else error}"
+            ) from error
+        if isinstance(left, tuple):
+            shard_id, group_id = left
+            return WriteResult("remove", request.index, group_id, shard_id)
+        return WriteResult("remove", request.index, left)
+    raise ValueError(
+        f"unknown write kind {request.kind!r}; expected one of {WRITE_KINDS}"
+    )
+
+
 def _request_deadline(
     request: QueryRequest, deadline: Deadline | None
 ) -> Deadline | None:
@@ -468,9 +623,9 @@ def _coalesce_key(request: QueryRequest) -> tuple[object, ...]:
 
 def execute_batch(
     engine: Engine,
-    requests: Sequence[QueryRequest],
+    requests: Sequence[QueryRequest | WriteRequest],
     deadline: Deadline | None = None,
-) -> list[QueryResult]:
+) -> list[QueryResult | WriteResult]:
     """Run many requests, coalescing compatible ones into the batch kernels.
 
     kNN requests sharing ``(k, verify, parallel, timeout_ms, degraded)``
@@ -484,10 +639,22 @@ def execute_batch(
     explicit ``deadline`` (the service's, anchored at admission) bounds
     every sub-batch; otherwise each sub-batch gets a deadline from its
     shared ``timeout_ms``.
+
+    The batch may also carry :class:`WriteRequest` entries.  All writes
+    are applied first, in request order, so every query in the batch
+    observes every write in the batch; a write that raises aborts the
+    remaining requests (the query service isolates write failures per
+    request instead — see :mod:`repro.serve.service`).
     """
-    results: list[QueryResult | None] = [None] * len(requests)
+    results: list[QueryResult | WriteResult | None] = [None] * len(requests)
+    # Writes first: queries in a batch must see the batch's mutations.
+    for position, request in enumerate(requests):
+        if isinstance(request, WriteRequest):
+            results[position] = apply_write(engine, request)
     coalesced: dict[tuple, list[int]] = {}
     for position, request in enumerate(requests):
+        if isinstance(request, WriteRequest):
+            continue
         key = _coalesce_key(request)
         if key is None:
             results[position] = execute(engine, request, deadline)

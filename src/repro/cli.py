@@ -231,6 +231,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an open breaker waits before its half-open probe (default 30)",
     )
 
+    compact = commands.add_parser(
+        "compact",
+        help="fold the delta log into a fresh base generation (crash-safe)",
+    )
+    compact.add_argument("index", help="index directory (single-engine or sharded)")
+    compact.add_argument(
+        "--workers", type=int, default=None, help="shard build threads (sharded saves)"
+    )
+
+    rebalance = commands.add_parser(
+        "rebalance",
+        help="re-shard a saved index from its columnar file (no re-partitioning)",
+    )
+    rebalance.add_argument("index", help="index directory (single-engine or sharded)")
+    rebalance.add_argument("--shards", type=int, required=True, help="target shard count")
+    rebalance.add_argument(
+        "--workers", type=int, default=None, help="shard build threads"
+    )
+
     stats = commands.add_parser("stats", help="Table 2-style statistics of a dataset file")
     stats.add_argument("data", help="dataset file")
 
@@ -737,6 +756,43 @@ def _cmd_validate(args) -> int:
     return 0 if report.ok else 2
 
 
+def _cmd_compact(args) -> int:
+    from repro.maintenance import compact_index
+
+    try:
+        stats = compact_index(args.index, workers=args.workers)
+    except (_CliError, *_LOAD_ERRORS) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    kind = f"sharded ({stats['num_shards']} shard(s))" if stats["sharded"] else "single-engine"
+    print(
+        f"compacted {kind} index at {args.index}: folded {stats['ops_folded']} "
+        f"delta op(s) into a new generation of {stats['num_records']} sets, "
+        f"{stats['num_tombstones']} tombstone(s)"
+    )
+    return 0
+
+
+def _cmd_rebalance(args) -> int:
+    from repro.maintenance import rebalance_index
+
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 1
+    try:
+        stats = rebalance_index(args.index, args.shards, workers=args.workers)
+    except (_CliError, *_LOAD_ERRORS) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    sizes = " ".join(str(size) for size in stats["shard_sizes"])
+    print(
+        f"rebalanced index at {args.index}: {stats['num_records']} sets, "
+        f"{stats['num_groups']} groups over {stats['num_shards']} shard(s) "
+        f"[{sizes}], folded {stats['ops_folded']} delta op(s)"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     if args.port < 0 or args.port > 65535:
         print("error: --port must be in [0, 65535]", file=sys.stderr)
@@ -836,6 +892,8 @@ _COMMANDS = {
     "join": _cmd_join,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "compact": _cmd_compact,
+    "rebalance": _cmd_rebalance,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
     "lint": _cmd_lint,

@@ -160,6 +160,19 @@ class ColumnarView:
         """Full multiset size ``|S|`` of one record."""
         return int(self._sizes[record_index])
 
+    def flat_tokens(self) -> np.ndarray:
+        """The used portion of the flat token array (all records, CSR order).
+
+        Writers serialize this instead of reaching into ``_tokens``
+        directly: a mapped view with an in-RAM tail overrides it to
+        present base + tail as one logically contiguous array.
+        """
+        return self._tokens[: self._nnz]
+
+    def flat_counts(self) -> np.ndarray:
+        """The used portion of the flat multiplicity array (see :meth:`flat_tokens`)."""
+        return self._counts[: self._nnz]
+
     def byte_size(self) -> int:
         """Bytes held by the CSR arrays (capacity, not just used cells)."""
         return sum(a.nbytes for a in (self._tokens, self._counts, self._offsets, self._sizes))

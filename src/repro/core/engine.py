@@ -133,6 +133,11 @@ class LES3:
         # so this only grows; persistence writes it to the manifest and
         # validation treats these as intentional orphans.
         self.removed: set[int] = set()
+        # The write-ahead delta segment of the generation this engine was
+        # saved to / loaded from (None for in-memory builds).  When set,
+        # insert/remove append their routing outcome to the generation's
+        # delta.log so a reload replays to exactly this state.
+        self._delta = None
 
     @classmethod
     def build(
@@ -354,14 +359,45 @@ class LES3:
         )
 
     def insert(self, tokens: Sequence[Hashable]) -> tuple[int, int]:
-        """Insert a new set (open universe); returns (record index, group id)."""
-        return insert_set(self.dataset, self.tgm, tokens)
+        """Insert a new set (open universe); returns (record index, group id).
+
+        On an engine attached to a saved generation (anything that went
+        through ``save``/``load``) the insert is also appended to the
+        generation's write-ahead ``delta.log`` — the save stays in sync
+        and a reload replays to exactly this state.
+        """
+        record_index, group_id = insert_set(self.dataset, self.tgm, tokens)
+        if self._delta is not None:
+            try:
+                self._delta.log_insert(tokens, record_index, group_id)
+            except FileNotFoundError:
+                self._detach_delta()
+        return record_index, group_id
 
     def remove(self, record_index: int) -> int:
-        """Logically delete a set; searches no longer return it."""
+        """Logically delete a set; searches no longer return it.
+
+        Durable like :meth:`insert`: an attached generation logs the
+        tombstone to ``delta.log``.
+        """
         group_id = remove_set(self.tgm, record_index)
         self.removed.add(record_index)
+        if self._delta is not None:
+            try:
+                self._delta.log_remove(record_index, group_id)
+            except FileNotFoundError:
+                self._detach_delta()
         return group_id
+
+    def _detach_delta(self) -> None:
+        """The backing generation vanished (its directory was deleted).
+
+        Durability for a deleted save is meaningless, so the engine
+        degrades to what a never-saved one is: fully usable in memory,
+        with nothing armed on disk.  The mutation that detected the loss
+        is already applied and stays applied.
+        """
+        self._delta = None
 
     def tokens_of(self, record_index: int) -> list[Hashable]:
         """External tokens of a stored record (for presenting results)."""

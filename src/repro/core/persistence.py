@@ -6,11 +6,15 @@ directory of small files — no pickling:
 
     <dir>/
       manifest.json    # measure, backend, universe size, format version,
-                       # verify mode, logically deleted record indices
+                       # verify mode, logically deleted record indices,
+                       # generation epoch (v4)
       dataset.txt      # one set per line (external tokens) — interchange form
       dataset.bin      # binary columnar dataset (CSR arrays + universe),
                        # the np.memmap target of mode="mmap" loads
       groups.json      # record-index lists per group
+      delta.log        # write-ahead log of post-save mutations (absent on
+                       # a freshly saved/compacted generation) — see
+                       # repro.core.delta
 
 The TGM is rebuilt from the groups at load time (cheaper than
 serialising bitmaps, and immune to backend format drift).
@@ -59,6 +63,8 @@ from repro.testing.faults import fault_point
 __all__ = [
     "PersistenceError",
     "atomic_directory",
+    "recover_interrupted_swap",
+    "manifest_epoch",
     "save_engine",
     "load_engine",
     "engine_manifest",
@@ -75,8 +81,8 @@ __all__ = [
     "LOAD_MODES",
 ]
 
-_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+_FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: File name of the binary columnar dataset written next to ``dataset.txt``
 #: by every v3 save (single-engine and sharded alike).
@@ -174,8 +180,9 @@ def atomic_directory(target: str | Path) -> Iterator[Path]:
     complete old save, absent (mid-swap, with the old generation parked
     at the ``.old-<pid>`` sibling), or the complete new save — never a
     half-written directory.  Stale ``.tmp-*`` / ``.old-*`` siblings from
-    crashed saves are cleared on the next save of the same target, and
-    loaders never look at them.
+    crashed saves are cleared on the next save of the same target;
+    loaders heal the absent-mid-swap case by restoring the parked old
+    generation (:func:`recover_interrupted_swap`) before reading.
 
     >>> import tempfile, os
     >>> parent = tempfile.mkdtemp()
@@ -216,7 +223,50 @@ def atomic_directory(target: str | Path) -> Iterator[Path]:
         raise
 
 
+def recover_interrupted_swap(target: str | Path) -> bool:
+    """Heal a hard crash that struck between the two swap renames.
+
+    A SIGKILL after the old generation was parked at ``.old-<pid>`` but
+    before the staged one was renamed in leaves ``target`` absent — with
+    the complete old generation (its ``delta.log`` included) sitting in
+    the parked sibling.  Exceptions roll this back inline; a hard kill
+    cannot, so every loader calls this first: when ``target`` is absent
+    and exactly one parked sibling exists, it is renamed back into place
+    (and the orphaned staging directory discarded — whether it was fully
+    fsynced is unknowable after a kill, the old generation never is).
+    Returns True when a recovery happened.
+    """
+    target = Path(target)
+    if target.exists():
+        return False
+    parked = sorted(target.parent.glob(f"{target.name}.old-*"))
+    if len(parked) != 1:
+        return False
+    os.rename(parked[0], target)
+    _fsync_path(target.parent)
+    for stale in target.parent.glob(f"{target.name}.tmp-*"):
+        shutil.rmtree(stale, ignore_errors=True)
+    return True
+
+
 # -- shared low-level pieces (also used by the sharded lifecycle) ----------
+
+
+def manifest_epoch(manifest: dict) -> str:
+    """The deterministic generation epoch of a v4 manifest.
+
+    A ``sha256:`` digest over the manifest's canonical JSON (the
+    ``epoch`` field itself excluded, so the value is well defined).  The
+    epoch names a *generation*: process-pool workers and mmap readers
+    key their caches on it, so a compaction — which produces a new
+    manifest and therefore a new epoch — evicts every stale rehydration.
+    Mutations logged to the delta segment extend the epoch with a
+    ``+<ops>`` suffix instead of changing it (see
+    :class:`repro.core.delta.DeltaSegment`).
+    """
+    body = {key: value for key, value in manifest.items() if key != "epoch"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def engine_manifest(
@@ -227,7 +277,7 @@ def engine_manifest(
     verify: str,
     deleted: list[int],
 ) -> dict:
-    """The single-engine (and per-shard) v2 manifest dictionary."""
+    """The single-engine (and per-shard) manifest dictionary (format v4)."""
     return {
         "format_version": _FORMAT_VERSION,
         "measure": measure,
@@ -242,13 +292,17 @@ def engine_manifest(
 def write_index_files(directory: str | Path, groups: list[list[int]], manifest: dict) -> None:
     """Write ``groups.json`` + ``manifest.json`` into ``directory``.
 
-    Creates the directory if missing.  This is the v2 writer shared by
+    Creates the directory if missing.  This is the writer shared by
     :func:`save_engine` (which adds ``dataset.txt``) and the per-shard
     subdirectories of :func:`repro.distributed.persistence.save_sharded`
-    (which store the dataset once at the top level instead).
+    (which store the dataset once at the top level instead).  A v4
+    manifest that doesn't carry its ``epoch`` key yet gets it stamped
+    here, once every content field is final.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    if manifest.get("format_version", 0) >= 4 and "epoch" not in manifest:
+        manifest["epoch"] = manifest_epoch(manifest)
     with open(directory / "groups.json", "w") as handle:
         json.dump(groups, handle)
     with open(directory / "manifest.json", "w") as handle:
@@ -445,6 +499,8 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
     # (partitioner bug, hand-built TGM), and writing it as a tombstone
     # would silently legitimize it — the load-time coverage check must
     # keep catching that mismatch.
+    from repro.core.delta import DeltaSegment
+
     manifest = engine_manifest(
         measure=engine.measure.name,
         backend=engine.tgm.backend,
@@ -455,7 +511,10 @@ def save_engine(engine: LES3, directory: str | Path) -> None:
     )
     with atomic_directory(directory) as staging:
         manifest.update(write_dataset_files(engine.dataset, staging))
+        # The staged generation carries no delta.log: a save folds every
+        # pending delta op into the new base, which is what compaction is.
         write_index_files(staging, engine.tgm.group_members, manifest)
+    engine._delta = DeltaSegment(directory, base_epoch=manifest["epoch"])
 
 
 def load_engine(directory: str | Path, mode: str = "memory") -> LES3:
@@ -514,9 +573,17 @@ def _load_engine(directory: str | Path, mode: str = "memory") -> LES3:
     FileNotFoundError
         If the directory or one of its files does not exist.
     """
+    from repro.core.delta import (
+        DeltaSegment,
+        apply_group_ops,
+        apply_insert_op,
+        read_delta_ops,
+    )
+
     if mode not in LOAD_MODES:
         raise ValueError(f"unknown load mode {mode!r}; expected one of {LOAD_MODES}")
     directory = Path(directory)
+    recover_interrupted_swap(directory)
     manifest = read_index_manifest(directory)
     if mode == "mmap":
         dataset = open_mapped_dataset(directory, manifest)
@@ -531,9 +598,26 @@ def _load_engine(directory: str | Path, mode: str = "memory") -> LES3:
     deleted, verify = parse_manifest_state(manifest, len(dataset))
     groups = read_groups(directory)
     check_exact_cover(groups, deleted, len(dataset), "groups.json")
+    # Replay the write-ahead delta log over the immutable base: inserts
+    # re-append their records (index-checked against the log), removes
+    # become tombstones, and the group lists absorb both before the TGM
+    # is built — so base + delta answers bit-identically to an engine
+    # rebuilt from the folded state.
+    ops = read_delta_ops(directory)
+    removed = set(deleted)
+    for op in ops:
+        if op["op"] == "insert":
+            apply_insert_op(dataset, op)
+        else:
+            removed.add(op["index"])
+    if ops:
+        apply_group_ops(groups, ops)
     tgm = TokenGroupMatrix(
         dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
     )
     engine = LES3(dataset, tgm, verify=verify)
-    engine.removed = set(deleted)
+    engine.removed = removed
+    engine._delta = DeltaSegment(
+        directory, base_epoch=manifest.get("epoch", ""), num_ops=len(ops)
+    )
     return engine

@@ -48,6 +48,12 @@ from typing import Callable
 from repro.core.cache import LRUCache
 from repro.core.columnar import VERIFY_MODES
 from repro.core.dataset import Dataset
+from repro.core.delta import (
+    DeltaSegment,
+    apply_group_ops,
+    apply_insert_op,
+    read_delta_ops,
+)
 from repro.core.persistence import (
     DATASET_BIN,
     SHARDED_MANIFEST_KEY,
@@ -56,10 +62,12 @@ from repro.core.persistence import (
     check_dataset_digest,
     check_exact_cover,
     engine_manifest,
+    manifest_epoch,
     open_mapped_dataset,
     parse_manifest_state,
     read_groups,
     read_index_json,
+    recover_interrupted_swap,
     write_dataset_files,
     write_index_files,
 )
@@ -211,10 +219,15 @@ def save_sharded(engine: ShardedLES3, directory: str | Path) -> None:
             **dataset_digests,
             "shards": entries,
         }
+        top["epoch"] = manifest_epoch(top)
         payload = json.dumps(top, indent=2) + "\n"
         (staging / "manifest.json").write_text(payload)
+        # The staged generation carries no delta.log: saving folds every
+        # pending delta op into the new base (this is what `repro
+        # compact` relies on).
     engine._source_dir = str(directory)
-    engine._source_epoch = hashlib.sha256(payload.encode()).hexdigest()
+    engine._source_epoch = top["epoch"]
+    engine._delta = DeltaSegment(directory, base_epoch=top["epoch"])
 
 
 # -- load ------------------------------------------------------------------
@@ -282,10 +295,10 @@ def _read_shard(
     manifest = read_index_json(shard_dir / "manifest.json", "shard manifest")
     if not isinstance(manifest, dict):
         raise PersistenceError(f"shard manifest in {shard_dir} must be a JSON object")
-    if manifest.get("format_version") not in (2, 3):
+    if manifest.get("format_version") not in (2, 3, 4):
         raise PersistenceError(
             f"shard manifest in {shard_dir} has unsupported format version "
-            f"{manifest.get('format_version')!r} (sharded saves write v2/v3)"
+            f"{manifest.get('format_version')!r} (sharded saves write v2/v3/v4)"
         )
     if manifest.get("measure") != measure_name:
         raise PersistenceError(
@@ -401,6 +414,7 @@ def _load_sharded(
             f"unknown load mode {mode!r}; expected one of {SHARDED_LOAD_MODES}"
         )
     directory = Path(directory)
+    recover_interrupted_swap(directory)
     top = _read_sharded_manifest(directory)
     shard_dirs = _shard_entries(top, directory)
     if mode == "memory":
@@ -446,6 +460,25 @@ def _load_sharded(
         len(dataset),
         "the union of the shard groups",
     )
+    # Replay the generation's write-ahead delta log over the immutable
+    # base: inserts re-append their records (index-checked), removes
+    # become tombstones, and every shard's group lists absorb its ops
+    # before any TGM is built — eager and lazy builds alike, so an
+    # evicted lazy shard rebuilds to the same folded state.
+    ops = read_delta_ops(directory)
+    for op in ops:
+        shard_id = op.get("shard")
+        if shard_id is None or shard_id >= len(all_groups):
+            raise PersistenceError(
+                f"delta log op references shard {shard_id!r} outside the saved "
+                f"{len(all_groups)} shard(s) — log and base generation mismatch"
+            )
+        if op["op"] == "insert":
+            apply_insert_op(dataset, op)
+        else:
+            removed[op["index"]] = shard_id
+    for shard_id, groups in enumerate(all_groups):
+        apply_group_ops(groups, ops, shard=shard_id)
 
     def shard_builder(
         groups: list[list[int]], backend: str
@@ -479,9 +512,12 @@ def _load_sharded(
     engine.removed = removed
     engine.placement = top.get("placement", "custom")
     engine._source_dir = str(directory)
-    engine._source_epoch = hashlib.sha256(
-        (directory / "manifest.json").read_bytes()
-    ).hexdigest()
+    base_epoch = top.get("epoch") or (
+        "sha256:"
+        + hashlib.sha256((directory / "manifest.json").read_bytes()).hexdigest()
+    )
+    engine._delta = DeltaSegment(directory, base_epoch=base_epoch, num_ops=len(ops))
+    engine._source_epoch = engine._delta.epoch()
     return engine
 
 
@@ -545,15 +581,23 @@ def payload_record(dataset: Dataset, payload: tuple) -> SetRecord:
 # resident indexes, not all of them.
 
 _worker_datasets: dict[tuple[str, str], Dataset] = {}
+_worker_delta_ops: dict[tuple[str, str], list[dict]] = {}
 _worker_tgms = LRUCache(_WORKER_CACHE_CAPACITY)
 _worker_profiles = LRUCache(_WORKER_CACHE_CAPACITY)
 
 
+def _epoch_delta_count(epoch: str) -> int:
+    """How many delta ops an epoch string advertises (its ``+N`` suffix)."""
+    _base, sep, suffix = epoch.rpartition("+")
+    if sep and suffix.isdigit():
+        return int(suffix)
+    return 0
+
+
 def _evict_stale(directory: str, epoch: str) -> None:
-    for key in [
-        k for k in _worker_datasets if k[0] == directory and k[1] != epoch
-    ]:
-        del _worker_datasets[key]
+    for table in (_worker_datasets, _worker_delta_ops):
+        for key in [k for k in table if k[0] == directory and k[1] != epoch]:
+            del table[key]
     for cache in (_worker_tgms, _worker_profiles):
         cache.drop_matching(lambda k: k[0] == directory and k[1] != epoch)
 
@@ -569,12 +613,30 @@ def _worker_dataset(directory: str, epoch: str) -> Dataset:
             # mixed-save dataset.bin fails here too instead of letting a
             # worker answer from different records than the parent.
             manifest = read_index_json(path / "manifest.json", "index manifest")
-            _worker_datasets[key] = open_mapped_dataset(
+            dataset = open_mapped_dataset(
                 path, manifest if isinstance(manifest, dict) else {}
             )
         else:
             # Pre-v3 save: fall back to the full text rehydration.
-            _worker_datasets[key] = Dataset.load(path / "dataset.txt")
+            dataset = Dataset.load(path / "dataset.txt")
+        # An epoch with a ``+N`` suffix means the parent committed N delta
+        # ops on top of this generation: replay exactly those, in order,
+        # so the worker answers from the same records as the parent.
+        count = _epoch_delta_count(epoch)
+        ops: list[dict] = []
+        if count:
+            ops = read_delta_ops(path)
+            if len(ops) < count:
+                raise PersistenceError(
+                    f"epoch {epoch!r} advertises {count} delta op(s) but "
+                    f"{path} holds {len(ops)} — delta log out of sync"
+                )
+            ops = ops[:count]
+            for op in ops:
+                if op["op"] == "insert":
+                    apply_insert_op(dataset, op)
+        _worker_delta_ops[key] = ops
+        _worker_datasets[key] = dataset
     return _worker_datasets[key]
 
 
@@ -584,6 +646,7 @@ def _worker_tgm(directory: str, epoch: str, shard_id: int) -> TokenGroupMatrix:
         shard_dir = Path(directory) / shard_dir_name(shard_id)
         manifest = read_index_json(shard_dir / "manifest.json", "shard manifest")
         groups = read_groups(shard_dir)
+        apply_group_ops(groups, _worker_delta_ops[(directory, epoch)], shard=shard_id)
         return TokenGroupMatrix(
             dataset, groups, get_measure(manifest["measure"]), manifest["backend"]
         )

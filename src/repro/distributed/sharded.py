@@ -343,6 +343,9 @@ class ShardedLES3:
         self._breakers: dict[int, CircuitBreaker] = {}
         self._source_dir: str | None = None
         self._source_epoch: str | None = None
+        # Write-ahead delta segment of the saved generation (attached by
+        # save_sharded/load_sharded); None for in-memory builds.
+        self._delta = None
         self._thread_executor: ThreadPoolExecutor | None = None
         self._process_executor: ProcessPoolExecutor | None = None
         self._shard_of: dict[int, int] = {}
@@ -527,9 +530,12 @@ class ShardedLES3:
         """Directory this engine is persisted in and in sync with, if any.
 
         Set by :func:`~repro.distributed.persistence.save_sharded` and
-        :func:`~repro.distributed.persistence.load_sharded`; cleared by
-        any in-memory mutation (:meth:`insert` / :meth:`remove`), because
-        the on-disk shards would no longer reproduce this engine.  The
+        :func:`~repro.distributed.persistence.load_sharded`.  Mutations
+        of a saved/loaded engine are appended to the generation's
+        write-ahead ``delta.log``, so the directory *stays* in sync (the
+        epoch gains a ``+<ops>`` suffix that tells process workers how
+        many delta ops to replay).  Only mutating an engine that was
+        never saved — no delta log to append to — clears this.  The
         ``"process"`` execution mode rehydrates its workers from here.
         """
         return self._source_dir
@@ -543,7 +549,9 @@ class ShardedLES3:
         only safe behavior.
         """
         if self.is_lazy:
-            raise ValueError(
+            from repro.core.persistence import PersistenceError
+
+            raise PersistenceError(
                 f"cannot {operation} on a lazily loaded engine (mode='lazy'): "
                 "shard indexes are rebuilt from disk on demand, so in-memory "
                 "mutations would be lost on eviction — reload with "
@@ -1503,9 +1511,13 @@ class ShardedLES3:
 
         Returns ``(record_index, shard_id, group_id)``.  Within the target
         shard the group is chosen exactly like the single engine's
-        insertion (highest bound, ties to the smallest group).  Mutating
-        the engine invalidates :attr:`source_dir` (the on-disk shards no
-        longer reproduce this state) until the next ``save_sharded``.
+        insertion (highest bound, ties to the smallest group).  On an
+        engine attached to a saved generation the routing outcome is also
+        appended to the generation's write-ahead ``delta.log`` —
+        :attr:`source_dir` stays armed (process workers replay the log)
+        and a reload reproduces exactly this state.  An engine that was
+        never saved has no log to append to, so mutating it invalidates
+        nothing (its source fields are already unset).
         """
         self._require_mutable("insert")
         loads = self._shard_loads
@@ -1520,8 +1532,9 @@ class ShardedLES3:
             extra = np.zeros((self.num_shards, width - self._vocab.shape[1]), dtype=bool)
             self._vocab = np.concatenate([self._vocab, extra], axis=1)
         self._vocab[shard_id, list(record.distinct)] = True
-        self._source_dir = None
-        self._source_epoch = None
+        self._log_mutation(
+            "insert", tokens=tokens, index=record_index, group=group_id, shard=shard_id
+        )
         return record_index, shard_id, group_id
 
     def remove(self, record_index: int) -> tuple[int, int]:
@@ -1529,8 +1542,9 @@ class ShardedLES3:
 
         Like the single engine, vocabulary bits linger until a rebuild —
         sound (bounds only loosen), and a shard rebuild restores tightness.
-        The tombstone is logged in :attr:`removed` so the next
-        ``save_sharded`` persists it; :attr:`source_dir` is invalidated.
+        The tombstone is logged in :attr:`removed`; on an engine attached
+        to a saved generation it is also appended to ``delta.log``, so
+        the save stays in sync (see :meth:`insert`).
         """
         self._require_mutable("remove")
         shard_id = self._shard_of.get(record_index)
@@ -1540,9 +1554,46 @@ class ShardedLES3:
         del self._shard_of[record_index]
         self._shard_loads[shard_id] -= 1
         self.removed[record_index] = shard_id
-        self._source_dir = None
-        self._source_epoch = None
+        self._log_mutation("remove", index=record_index, group=group_id, shard=shard_id)
         return shard_id, group_id
+
+    def _log_mutation(
+        self,
+        op: str,
+        index: int,
+        group: int,
+        shard: int,
+        tokens: Sequence[Hashable] | None = None,
+    ) -> None:
+        """Append a committed mutation to the generation's delta log.
+
+        With a delta segment attached (the engine went through
+        ``save_sharded``/``load_sharded``) the op is made durable and the
+        source epoch advances to ``<base>+<ops>`` — process workers
+        replay exactly that many ops, and their per-epoch caches evict
+        the stale rehydrations.  Without one (an in-memory build) the
+        source fields are cleared, preserving the old contract that an
+        unsaved mutation disarms process mode.
+        """
+        if self._delta is not None:
+            try:
+                if op == "insert":
+                    assert tokens is not None
+                    self._delta.log_insert(tokens, index, group, shard=shard)
+                else:
+                    self._delta.log_remove(index, group, shard=shard)
+            except FileNotFoundError:
+                # The backing generation was deleted out from under us:
+                # durability is moot, so degrade to a never-saved engine
+                # (the mutation itself is applied and stays applied).
+                self._delta = None
+                self._source_dir = None
+                self._source_epoch = None
+                return
+            self._source_epoch = self._delta.epoch()
+        else:
+            self._source_dir = None
+            self._source_epoch = None
 
     def __repr__(self) -> str:
         return (

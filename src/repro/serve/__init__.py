@@ -11,7 +11,9 @@ and micro-batched into the engine's batched BLAS kernels:
   and the stats the ``/stats`` endpoint reports.
 * :class:`ReproServer` (:mod:`repro.serve.http`) — the dependency-free
   asyncio HTTP/1.1 front: ``POST /knn``, ``POST /range``, ``POST /join``,
-  ``GET /healthz``, ``GET /stats``.
+  ``POST /insert``, ``POST /remove``, ``GET /healthz``, ``GET /stats``.
+  Writes ride the same micro-batch queue as queries (applied first
+  within their batch) and persist via the generation's ``delta.log``.
 
 Answers are bit-identical to direct engine calls — batching changes when
 a request runs, never what it computes.  Start one from the command

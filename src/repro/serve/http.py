@@ -10,10 +10,18 @@ method   path       body / answer
 POST     /knn       ``{"tokens": [...], "k": 10}`` → matches + stats
 POST     /range     ``{"tokens": [...], "threshold": 0.7}`` → matches
 POST     /join      ``{"threshold": 0.8}`` → pairs + stats
+POST     /insert    ``{"tokens": [...]}`` → index/group/shard placed
+POST     /remove    ``{"index": 17}`` → the tombstoned record
 GET      /healthz   liveness/readiness (``200 ok`` / ``503 loading``)
 GET      /stats     uptime, shards, served counts, batch histogram,
                     p50/p99 latency
 =======  =========  ====================================================
+
+Writes are admitted while serving: they ride the same micro-batch queue
+as queries (applied first within their batch, engine held exclusively)
+and land in the loaded generation's write-ahead ``delta.log`` when the
+index came from a save — so they survive a restart.  A write against a
+lazily loaded (read-only) index answers 400.
 
 Query bodies may also carry ``verify`` / ``parallel`` overrides — the
 same canonical kwargs the Python API takes (:class:`repro.api.QueryRequest`
@@ -42,7 +50,7 @@ from types import TracebackType
 from typing import Callable
 
 from repro import __version__
-from repro.api import Engine, QueryRequest, load
+from repro.api import Engine, QueryRequest, WriteRequest, load
 from repro.core.resilience import DeadlineExceeded
 from repro.serve.service import QueryService, ServiceOverloaded
 
@@ -58,6 +66,7 @@ _MAX_HEAD_BYTES = 16 * 1024
 _KEEPALIVE_TIMEOUT = 75.0
 
 _QUERY_ROUTES = {"/knn": "knn", "/range": "range", "/join": "join"}
+_WRITE_ROUTES = {"/insert": "insert", "/remove": "remove"}
 
 
 class _HttpError(Exception):
@@ -350,6 +359,10 @@ class ReproServer:
             if method != "POST":
                 return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
             return await self._handle_query(_QUERY_ROUTES[path], body)
+        if path in _WRITE_ROUTES:
+            if method != "POST":
+                return 405, {"error": f"{path} takes POST"}, {"Allow": "POST"}
+            return await self._handle_write(_WRITE_ROUTES[path], body)
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "/healthz takes GET"}, {"Allow": "GET"}
@@ -384,6 +397,36 @@ class ReproServer:
             return 503, {"error": str(error)}, {}
         except Exception as error:  # noqa: BLE001 - engine bug, not a client error
             return 500, {"error": f"query failed: {error}"}, {}
+        return 200, result.to_payload(), {}
+
+    async def _handle_write(self, kind: str, body: bytes) -> tuple[int, dict, dict]:
+        service = self.service
+        if service is None:
+            if self._load_error is not None:
+                return 503, {"error": f"index failed to load: {self._load_error}"}, {}
+            return 503, {"error": "index is still loading"}, {"Retry-After": "1"}
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}, {}
+        try:
+            request = WriteRequest.from_payload(kind, payload)
+        except ValueError as error:
+            return 400, {"error": str(error)}, {}
+        try:
+            result = await service.submit(request)
+        except ServiceOverloaded as error:
+            return 503, {"error": str(error)}, {"Retry-After": str(error.retry_after)}
+        except DeadlineExceeded as error:
+            return 504, {"error": str(error)}, {}
+        except ConnectionError as error:
+            return 503, {"error": str(error)}, {}
+        except ValueError as error:
+            # A semantically bad write (unknown record, read-only lazy
+            # index): the client's fault, not the server's.
+            return 400, {"error": str(error)}, {}
+        except Exception as error:  # noqa: BLE001 - engine bug, not a client error
+            return 500, {"error": f"{kind} failed: {error}"}, {}
         return 200, result.to_payload(), {}
 
     def _handle_healthz(self) -> tuple[int, dict, dict]:

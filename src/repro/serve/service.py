@@ -32,11 +32,22 @@ server integration tests assert this request-for-request).
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import threading
 import time
 from dataclasses import dataclass, field
 from types import TracebackType
+from typing import Iterator
 
-from repro.api import Engine, QueryRequest, QueryResult, execute_batch
+from repro.api import (
+    Engine,
+    QueryRequest,
+    QueryResult,
+    WriteRequest,
+    WriteResult,
+    apply_write,
+    execute_batch,
+)
 from repro.core.resilience import Deadline, DeadlineExceeded
 
 __all__ = ["QueryService", "ServiceOverloaded", "ServiceStats"]
@@ -141,6 +152,54 @@ class ServiceStats:
         }
 
 
+class _EngineGate:
+    """A reader-writer gate over one engine for ``concurrency > 1``.
+
+    Query batches hold the gate *shared* (they only read engine state, so
+    any number may run at once); write batches hold it *exclusive* (an
+    insert grows the dataset and a group's membership mid-scan would be a
+    torn read).  Writers are preferred: once one is waiting, new readers
+    queue behind it, so a write cannot starve under a steady query load.
+    With the default ``concurrency=1`` the dispatcher never overlaps
+    batches and the gate is uncontended.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def shared(self) -> Iterator[None]:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator[None]:
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
 class _Pending:
     """One admitted request awaiting its answer."""
 
@@ -234,6 +293,7 @@ class QueryService:
         if shard_workers is not None:
             engine.query_workers = shard_workers
         self.stats = ServiceStats()
+        self._gate = _EngineGate()
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
         self._in_flight = 0
         self._dispatcher: asyncio.Task | None = None
@@ -290,9 +350,13 @@ class QueryService:
 
     # -- admission ---------------------------------------------------------
 
-    def _effective_timeout_ms(self, request: QueryRequest) -> int | None:
+    def _effective_timeout_ms(
+        self, request: QueryRequest | WriteRequest
+    ) -> int | None:
         """The request's deadline budget after the server's policy."""
-        timeout_ms = request.timeout_ms
+        # Writes carry no per-request budget; the service default (and
+        # cap) still applies, bounding their time in the queue.
+        timeout_ms = getattr(request, "timeout_ms", None)
         if timeout_ms is None:
             timeout_ms = self.default_timeout_ms
         if timeout_ms is not None and self.max_timeout_ms is not None:
@@ -311,8 +375,15 @@ class QueryService:
             )
         )
 
-    async def submit(self, request: QueryRequest) -> QueryResult:
+    async def submit(
+        self, request: QueryRequest | WriteRequest
+    ) -> QueryResult | WriteResult:
         """Admit one request, await its (possibly batched) answer.
+
+        Writes (:class:`~repro.api.WriteRequest`) share the admission
+        queue and the micro-batches with queries; within a batch all
+        writes are applied first (engine held exclusively), in admission
+        order, so queries batched behind a write observe it.
 
         Raises
         ------
@@ -397,18 +468,67 @@ class QueryService:
             return None
         return max(deadlines, key=lambda deadline: deadline.expires_at)
 
+    def _apply_writes(self, requests: list[WriteRequest]) -> list:
+        """Apply admitted writes in arrival order, engine held exclusively.
+
+        Failures are captured per write (a bad remove must not fail the
+        insert admitted after it), so the returned list holds a
+        :class:`~repro.api.WriteResult` or the exception, positionally.
+        """
+        outcomes: list[WriteResult | Exception] = []
+        with self._gate.exclusive():
+            for request in requests:
+                try:
+                    outcomes.append(apply_write(self.engine, request))
+                except Exception as error:  # noqa: BLE001 - forwarded per request
+                    outcomes.append(error)
+        return outcomes
+
+    def _execute_queries(
+        self, requests: list[QueryRequest], deadline: Deadline | None
+    ) -> list[QueryResult]:
+        with self._gate.shared():
+            return execute_batch(self.engine, requests, deadline)
+
     async def _run_batch(self, batch: list[_Pending]) -> None:
         try:
             self.stats.record_batch(len(batch))
-            requests = [pending.request for pending in batch]
-            deadline = self._batch_deadline(batch)
+            loop = asyncio.get_running_loop()
+            # Writes first, in admission order: queries admitted into the
+            # same batch observe every write that was admitted before them.
+            writes = [p for p in batch if isinstance(p.request, WriteRequest)]
+            reads = [p for p in batch if not isinstance(p.request, WriteRequest)]
+            if writes:
+                outcomes = await loop.run_in_executor(
+                    None, self._apply_writes, [p.request for p in writes]
+                )
+                finished = time.perf_counter()
+                for pending, outcome in zip(writes, outcomes):
+                    if pending.future.done():
+                        # The client's deadline expired while the write
+                        # waited its turn — but the op *was* applied (a 504
+                        # on a write means unconfirmed, not undone).
+                        self.stats.late_results += 1
+                        continue
+                    if isinstance(outcome, Exception):
+                        self.stats.queries_failed += 1
+                        pending.future.set_exception(outcome)
+                    else:
+                        self.stats.record_served(
+                            pending.request.kind, finished - pending.admitted_at
+                        )
+                        pending.future.set_result(outcome)
+            if not reads:
+                return
+            requests = [pending.request for pending in reads]
+            deadline = self._batch_deadline(reads)
             try:
-                results = await asyncio.get_running_loop().run_in_executor(
-                    None, execute_batch, self.engine, requests, deadline
+                results = await loop.run_in_executor(
+                    None, self._execute_queries, requests, deadline
                 )
             except Exception as error:  # noqa: BLE001 - forwarded per request
                 timed_out = isinstance(error, DeadlineExceeded)
-                for pending in batch:
+                for pending in reads:
                     if pending.future.done():
                         continue
                     if timed_out:
@@ -418,7 +538,7 @@ class QueryService:
                     pending.future.set_exception(error)
                 return
             finished = time.perf_counter()
-            for pending, result in zip(batch, results):
+            for pending, result in zip(reads, results):
                 if pending.future.done():
                     # Timed out (or shed) while we were computing: the
                     # answer is wasted work, not a served request — keep

@@ -49,7 +49,7 @@ from typing import Iterator, overload
 import numpy as np
 
 from repro.core.cache import LRUCache
-from repro.core.columnar import ColumnarView
+from repro.core.columnar import ColumnarView, _grow as _csr_grow
 from repro.core.dataset import Dataset
 from repro.core.persistence import PersistenceError
 from repro.core.sets import SetRecord
@@ -160,8 +160,8 @@ class ColumnarFileWriter:
         if encoded:
             np.cumsum([len(part) for part in encoded], out=universe_offsets[1:])
         segments = {
-            "tokens": np.ascontiguousarray(view._tokens[:nnz], dtype="<i8"),
-            "counts": np.ascontiguousarray(view._counts[:nnz], dtype="<i8"),
+            "tokens": np.ascontiguousarray(view.flat_tokens(), dtype="<i8"),
+            "counts": np.ascontiguousarray(view.flat_counts(), dtype="<i8"),
             "offsets": np.ascontiguousarray(view._offsets[: num_records + 1], dtype="<i8"),
             "sizes": np.ascontiguousarray(view._sizes[:num_records], dtype="<i8"),
             "universe_blob": np.frombuffer(blob, dtype="|u1"),
@@ -482,10 +482,15 @@ class MappedColumnarView(ColumnarView):
     per-query :class:`~repro.core.columnar.GroupVerifier`) works
     unchanged and bit-identically: they only ever *read* the arrays.
 
-    Records appended after mapping (open-universe inserts) are handled by
-    the inherited :meth:`~repro.core.columnar.ColumnarView.sync`, which
-    copies the mapped arrays into RAM on first growth — correct, but it
-    materializes the file, so treat a mapped engine as read-mostly.
+    Records appended after mapping (open-universe inserts, delta-log
+    replay) land in an in-RAM CSR **tail**: the mapped token payload is
+    never copied.  The first growth copies only the small ``offsets`` /
+    ``sizes`` arrays into RAM (16 bytes per record) so they can extend;
+    new token entries go to separate tail arrays whose logical offsets
+    continue from the base ``nnz``, so one offsets array steers every
+    kernel and a gather splits transparently between the mapping and the
+    tail.  Base records stay page-faulted on demand however many records
+    are appended.
 
     Examples
     --------
@@ -502,7 +507,7 @@ class MappedColumnarView(ColumnarView):
     [1, 2]
     """
 
-    __slots__ = ()
+    __slots__ = ("_base_nnz", "_tail_tokens", "_tail_counts")
 
     def __init__(self, reader: ColumnarFileReader) -> None:
         # Deliberately does NOT call ColumnarView.__init__ (which builds
@@ -519,6 +524,120 @@ class MappedColumnarView(ColumnarView):
         self._sizes = np.asarray(reader.segment("sizes"))
         self._num_records = reader.num_records
         self._nnz = reader.nnz
+        # The CSR tail: entries at logical positions >= _base_nnz live in
+        # the RAM tail arrays, everything below stays in the mapping.
+        self._base_nnz = reader.nnz
+        self._tail_tokens: np.ndarray | None = None
+        self._tail_counts: np.ndarray | None = None
+
+    def _ensure_tail(self) -> None:
+        """Make the view growable without materializing the mapped payload."""
+        if self._tail_tokens is None:
+            # offsets/sizes are 16 bytes per record — copying them to RAM
+            # is what lets them extend past the file; the token payload
+            # (the part that scales with Σ|S|) stays mapped.
+            self._offsets = np.array(self._offsets[: self._num_records + 1], dtype=np.int64)
+            self._sizes = np.array(self._sizes[: self._num_records], dtype=np.int64)
+            self._tail_tokens = np.empty(0, dtype=np.int64)
+            self._tail_counts = np.empty(0, dtype=np.int64)
+
+    def sync(self) -> "MappedColumnarView":
+        """Append records added after mapping into the in-RAM CSR tail."""
+        if self.dataset is None:
+            return self
+        records = self.dataset.records
+        if len(records) == self._num_records:
+            return self
+        self._ensure_tail()
+        assert self._tail_tokens is not None and self._tail_counts is not None
+        flat_tokens: list[int] = []
+        flat_counts: list[int] = []
+        lengths: list[int] = []
+        sizes: list[int] = []
+        for record in records[self._num_records:]:
+            if record.is_multiset:
+                items = sorted(record.counts().items())
+                flat_tokens.extend(token for token, _ in items)
+                flat_counts.extend(count for _, count in items)
+                lengths.append(len(items))
+            else:
+                flat_tokens.extend(record.tokens)
+                flat_counts.extend([1] * len(record.tokens))
+                lengths.append(len(record.tokens))
+            sizes.append(len(record))
+        extra_nnz = len(flat_tokens)
+        extra_rows = len(lengths)
+        used_tail = self._nnz - self._base_nnz
+        self._tail_tokens = _csr_grow(self._tail_tokens, used_tail, extra_nnz)
+        self._tail_counts = _csr_grow(self._tail_counts, used_tail, extra_nnz)
+        self._tail_tokens[used_tail:used_tail + extra_nnz] = flat_tokens
+        self._tail_counts[used_tail:used_tail + extra_nnz] = flat_counts
+        self._offsets = _csr_grow(self._offsets, self._num_records + 1, extra_rows)
+        tail = self._offsets[self._num_records] + np.cumsum(lengths, dtype=np.int64)
+        self._offsets[self._num_records + 1:self._num_records + 1 + extra_rows] = tail
+        self._sizes = _csr_grow(self._sizes, self._num_records, extra_rows)
+        self._sizes[self._num_records:self._num_records + extra_rows] = sizes
+        self._num_records = len(records)
+        self._nnz += extra_nnz
+        return self
+
+    def tokens_of(self, record_index: int) -> np.ndarray:
+        start, stop = int(self._offsets[record_index]), int(self._offsets[record_index + 1])
+        if stop <= self._base_nnz:
+            return self._tokens[start:stop]
+        assert self._tail_tokens is not None
+        return self._tail_tokens[start - self._base_nnz:stop - self._base_nnz]
+
+    def counts_of(self, record_index: int) -> np.ndarray:
+        start, stop = int(self._offsets[record_index]), int(self._offsets[record_index + 1])
+        if stop <= self._base_nnz:
+            return self._counts[start:stop]
+        assert self._tail_counts is not None
+        return self._tail_counts[start - self._base_nnz:stop - self._base_nnz]
+
+    def flat_tokens(self) -> np.ndarray:
+        if self._nnz == self._base_nnz:
+            return self._tokens[: self._nnz]
+        assert self._tail_tokens is not None
+        return np.concatenate(
+            [self._tokens, self._tail_tokens[: self._nnz - self._base_nnz]]
+        )
+
+    def flat_counts(self) -> np.ndarray:
+        if self._nnz == self._base_nnz:
+            return self._counts[: self._nnz]
+        assert self._tail_counts is not None
+        return np.concatenate(
+            [self._counts, self._tail_counts[: self._nnz - self._base_nnz]]
+        )
+
+    def byte_size(self) -> int:
+        total = super().byte_size()
+        if self._tail_tokens is not None:
+            assert self._tail_counts is not None
+            total += self._tail_tokens.nbytes + self._tail_counts.nbytes
+        return total
+
+    def _gather(self, members: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        starts = self._offsets[members]
+        lengths = self._offsets[members + 1] - starts
+        total = int(lengths.sum())
+        boundaries = np.cumsum(lengths) - lengths
+        gather = np.arange(total, dtype=np.int64) + np.repeat(starts - boundaries, lengths)
+        in_tail = gather >= self._base_nnz
+        if not in_tail.any():
+            return self._tokens[gather], self._counts[gather], boundaries, lengths
+        assert self._tail_tokens is not None and self._tail_counts is not None
+        tokens = np.empty(total, dtype=np.int64)
+        counts = np.empty(total, dtype=np.int64)
+        in_base = ~in_tail
+        base_gather = gather[in_base]
+        tail_gather = gather[in_tail] - self._base_nnz
+        tokens[in_base] = self._tokens[base_gather]
+        counts[in_base] = self._counts[base_gather]
+        tokens[in_tail] = self._tail_tokens[tail_gather]
+        counts[in_tail] = self._tail_counts[tail_gather]
+        return tokens, counts, boundaries, lengths
 
 
 class LazyRecords(SequenceABC):

@@ -368,6 +368,55 @@ class TestBareExcept:
         )
 
 
+# -- RL304: dataset.bin mutated outside compaction ------------------------
+
+
+class TestDatasetBinMutation:
+    def test_writer_construction_fires(self):
+        assert codes("ColumnarFileWriter(path).write(dataset)\n", ignore=["RL401", "RL402"]) == ["RL304"]
+
+    def test_qualified_writer_construction_fires(self):
+        source = "storage.ColumnarFileWriter(directory / 'dataset.bin')\n"
+        assert codes(source, ignore=["RL401", "RL402"]) == ["RL304"]
+
+    def test_open_for_write_fires(self):
+        source = "handle = open(directory / DATASET_BIN, 'r+b')\n"
+        assert codes(source, ignore=["RL401", "RL402"]) == ["RL304"]
+
+    def test_path_open_append_fires(self):
+        source = "(directory / 'dataset.bin').open('ab')\n"
+        assert codes(source, ignore=["RL401", "RL402"]) == ["RL304"]
+
+    def test_write_bytes_fires(self):
+        source = "(directory / DATASET_BIN).write_bytes(payload)\n"
+        assert codes(source, ignore=["RL401", "RL402"]) == ["RL304"]
+
+    def test_read_only_open_is_silent(self):
+        source = "handle = open(directory / DATASET_BIN, 'rb')\n"
+        assert codes(source, ignore=["RL401", "RL402"]) == []
+
+    def test_default_mode_open_is_silent(self):
+        assert codes("data = (directory / 'dataset.bin').open()\n", ignore=["RL401", "RL402"]) == []
+
+    def test_unrelated_write_is_silent(self):
+        assert codes("open(directory / 'notes.txt', 'w')\n", ignore=["RL401", "RL402"]) == []
+
+    def test_persistence_module_is_exempt(self):
+        source = "ColumnarFileWriter(path).write(dataset)\n"
+        assert (
+            codes(source, module_path="src/repro/core/persistence.py",
+                  ignore=["RL401", "RL402"]) == []
+        )
+
+    def test_columnar_file_module_is_exempt(self):
+        source = "(path / 'dataset.bin').open('wb')\n"
+        assert (
+            codes(source, module_path="src/repro/storage/columnar_file.py",
+                  ignore=["RL401", "RL402"])
+            == []
+        )
+
+
 # -- RL401: unowned file handle -------------------------------------------
 
 

@@ -175,7 +175,11 @@ class TestLaziness:
         loaded = load_sharded(tmp_path / "idx", mode="mmap")
         index, shard_id, _ = loaded.insert(["zz-new", "zz-also-new"])
         assert loaded.knn(["zz-new", "zz-also-new"], k=1).matches == [(index, 1.0)]
-        assert loaded.source_dir is None  # mutation disarms the save as usual
+        # The insert went to the delta log, so the save stays armed and a
+        # reload (any mode) serves the new record too.
+        assert loaded.source_dir == str(tmp_path / "idx")
+        reloaded = load_sharded(tmp_path / "idx", mode="mmap")
+        assert reloaded.knn(["zz-new", "zz-also-new"], k=1).matches == [(index, 1.0)]
 
 
 class TestShardedRefusals:

@@ -163,21 +163,36 @@ class TestModeResolution:
         with pytest.raises(ValueError, match="save_sharded"):
             fresh.knn_record(queries[0], 3, parallel="process")
 
-    def test_mutation_disarms_process_mode(self, dataset, queries, tmp_path):
+    def test_unsaved_mutation_disarms_process_mode(self, dataset, queries, tmp_path):
         fresh = ShardedLES3.build(
             dataset, 2, num_groups=6, partitioner_factory=minitoken_factory
         )
-        save_sharded(fresh, tmp_path / "idx")
         fresh.insert(["brand", "new"])
         with pytest.raises(ValueError, match="save_sharded"):
             fresh.knn_record(queries[0], 3, parallel="process")
-        # Re-saving re-arms it, with the new record visible to the workers.
+        # Saving arms it, with the new record visible to the workers.
         save_sharded(fresh, tmp_path / "idx")
         with fresh:
             assert (
                 fresh.knn(["brand", "new"], 1, parallel="process").matches
                 == fresh.knn(["brand", "new"], 1).matches
             )
+
+    def test_saved_mutation_keeps_process_mode_armed(self, dataset, tmp_path):
+        """Post-save mutations reach workers through the delta log."""
+        fresh = ShardedLES3.build(
+            dataset, 2, num_groups=6, partitioner_factory=minitoken_factory
+        )
+        save_sharded(fresh, tmp_path / "idx")
+        index, _, _ = fresh.insert(["delta-brand", "delta-new"])
+        with fresh:
+            assert fresh.knn(
+                ["delta-brand", "delta-new"], 1, parallel="process"
+            ).matches == [(index, 1.0)]
+            fresh.remove(index)
+            assert fresh.knn(
+                ["delta-brand", "delta-new"], 1, parallel="process"
+            ).matches != [(index, 1.0)]
 
     def test_default_mode_attribute(self, dataset):
         engine = ShardedLES3.build(

@@ -131,8 +131,32 @@ class TestRoundTrip:
         assert engine.source_dir is None
         save_sharded(engine, tmp_path / "idx")
         assert engine.source_dir == str(tmp_path / "idx")
+        base_epoch = engine._source_epoch
         engine.remove(0)
-        assert engine.source_dir is None  # mutation invalidates the save
+        # Mutation no longer invalidates the save: the op lands in the
+        # generation's delta.log and the epoch advertises it to workers.
+        assert engine.source_dir == str(tmp_path / "idx")
+        assert engine._source_epoch == f"{base_epoch}+1"
+        assert (tmp_path / "idx" / "delta.log").is_file()
+
+    def test_unsaved_mutation_still_disarms_process_mode(self, dataset, tmp_path):
+        """An engine never saved has no delta log: the old contract holds."""
+        engine = build_sharded(dataset, 3)
+        save_sharded(engine, tmp_path / "idx")
+        rebuilt = build_sharded(dataset, 3)
+        rebuilt.remove(0)
+        assert rebuilt.source_dir is None
+
+    def test_delta_mutations_survive_reload(self, dataset, tmp_path):
+        engine = build_sharded(dataset, 3)
+        save_sharded(engine, tmp_path / "idx")
+        index, shard_id, _ = engine.insert(["delta-only", "tokens"])
+        engine.remove(2)
+        reloaded = load_sharded(tmp_path / "idx")
+        assert reloaded.knn(["delta-only", "tokens"], k=1).matches == [(index, 1.0)]
+        assert reloaded.removed == engine.removed
+        assert reloaded._delta.num_ops == 2
+        assert reloaded._source_epoch.endswith("+2")
 
 
 class TestCorruptionDetection:

@@ -123,9 +123,15 @@ class TestStatsAndValidate:
         assert "index OK" in capsys.readouterr().out
 
     def test_validate_accepts_index_with_deletes(self, index_dir, tmp_path, capsys):
+        import shutil
+
         from repro.core import load_engine, save_engine
 
-        engine = load_engine(index_dir)
+        # Mutate a copy: removes on a loaded engine are durable now (they
+        # append to the generation's delta.log), and index_dir is shared.
+        source = tmp_path / "source"
+        shutil.copytree(index_dir, source)
+        engine = load_engine(source)
         engine.remove(0)
         engine.remove(7)
         target = tmp_path / "with-deletes"
